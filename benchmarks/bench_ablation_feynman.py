@@ -1,0 +1,72 @@
+"""§6.4 comparison: CutQC vs Feynman-path (qubit-bipartition) simulation.
+
+The paper argues the path-sum alternatives ([10], [28]) "do not scale
+well": their cost is exponential in the number of gates crossing the
+qubit bipartition, which grows with circuit depth, while CutQC's
+postprocessing is exponential only in the number of *wire cuts* the MIP
+finds.  We measure both on supremacy-style workloads of growing depth:
+the crossing-gate count climbs with depth (and the path count 2^g
+explodes), while the wire-cut count the searcher needs stays flat.
+"""
+
+import time
+
+import numpy as np
+
+from repro import CutQC, simulate_probabilities
+from repro.cutting import CutSearchError
+from repro.library import supremacy_grid
+from repro.sim.feynman import FeynmanPathSimulator
+
+from conftest import report
+
+
+def _one(depth):
+    circuit = supremacy_grid(2, 4, depth=depth, seed=0)
+    truth = simulate_probabilities(circuit)
+
+    sim = FeynmanPathSimulator(max_paths=1 << 16)
+    paths = sim.num_paths(circuit)
+    if paths <= sim.max_paths:
+        began = time.perf_counter()
+        feynman_probs = sim.probabilities(circuit)
+        feynman_seconds = f"{time.perf_counter() - began:.3f}"
+        assert np.allclose(feynman_probs, truth, atol=1e-8)
+    else:
+        feynman_seconds = "--"
+
+    try:
+        pipeline = CutQC(circuit, max_subcircuit_qubits=6)
+        cut = pipeline.cut()
+        pipeline.evaluate()
+        result = pipeline.fd_query(strategy="tensor_network")
+        assert np.allclose(result.probabilities, truth, atol=1e-8)
+        cuts = cut.num_cuts
+        cutqc_seconds = f"{result.stats.elapsed_seconds:.3f}"
+    except CutSearchError:
+        cuts, cutqc_seconds = "--", "--"
+
+    crossings = len(sim.crossing_gates(circuit))
+    return (depth, crossings, paths, feynman_seconds, cuts, cutqc_seconds)
+
+
+def test_feynman_vs_cutqc_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_one(depth) for depth in (8, 12, 16, 20, 24)],
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "ablation_feynman",
+        "§6.4 — Feynman-path baseline vs CutQC on 2x4 supremacy, growing depth",
+        ["depth", "crossing gates", "paths", "feynman s", "wire cuts",
+         "cutqc postprocess s"],
+        rows,
+    )
+    # Path count grows with depth ...
+    paths = [row[2] for row in rows]
+    assert paths[-1] > paths[0]
+    # ... and eventually exceeds any budget, while the wire-cut count the
+    # MIP needs stays bounded by the 10-cut budget whenever feasible.
+    cut_counts = [row[4] for row in rows if row[4] != "--"]
+    assert cut_counts and max(cut_counts) <= 10

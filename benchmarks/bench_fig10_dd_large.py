@@ -1,0 +1,90 @@
+"""Figure 10: DD postprocessing runtime far beyond the simulation limit.
+
+Circuits of 30-64 qubits are cut onto 20/30-qubit device budgets;
+subcircuit outputs are synthetic (the paper's protocol at this scale) and
+one DD recursion samples a 2^12-bin landscape (2^35 in the paper — the
+definition is a parameter, see DESIGN.md).  Larger devices admit cheaper
+cuts and faster recursions; benchmarks that cannot be cut within the
+budgets terminate early, exactly as in the paper's figure.
+"""
+
+import time
+
+from repro.cutting import CutSearchError, find_cuts
+from repro.library import get_benchmark
+
+from conftest import interleaved_active_order, report
+from repro.postprocess import RandomTensorProvider
+from repro.postprocess.dd import DynamicDefinitionQuery
+
+_DEFINITION_QUBITS = 12
+_CASES = (
+    ("bv", 32, {}),
+    ("bv", 48, {}),
+    ("bv", 64, {}),
+    ("hwea", 40, {}),
+    ("hwea", 64, {}),
+    ("adder", 40, {"seed": 0}),
+    ("supremacy", 30, {"seed": 0, "depth": 8}),
+    ("supremacy", 42, {"seed": 0, "depth": 8}),
+    ("aqft", 36, {}),
+)
+_DEVICES = (20, 30)
+
+
+def _one(name, size, kwargs, device):
+    circuit = get_benchmark(name, size, **kwargs)
+    if device >= size:
+        return None
+    try:
+        solution = find_cuts(circuit, device, method="heuristic", max_cuts=8)
+    except CutSearchError:
+        return (name, size, device, "--", "--", "uncuttable")
+    cut = solution.apply(circuit)
+    provider = RandomTensorProvider(cut, seed=3)
+    query = DynamicDefinitionQuery(
+        provider,
+        max_active_qubits=_DEFINITION_QUBITS,
+        active_order=interleaved_active_order(cut),
+    )
+    began = time.perf_counter()
+    try:
+        query.step()
+    except MemoryError:
+        return (name, size, device, cut.num_cuts, "--", "tensor too large")
+    elapsed = time.perf_counter() - began
+    return (name, size, device, cut.num_cuts, f"{elapsed:.3f}", "ok")
+
+
+def _sweep():
+    rows = []
+    for device in _DEVICES:
+        for name, size, kwargs in _CASES:
+            row = _one(name, size, kwargs, device)
+            if row is not None:
+                rows.append(row)
+    return rows
+
+
+def test_fig10_dd_beyond_simulation_limit(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report(
+        "fig10",
+        f"Fig. 10 — one DD recursion (definition 2^{_DEFINITION_QUBITS} "
+        "bins), synthetic subcircuit outputs",
+        ["benchmark", "qubits", "device", "cuts", "DD recursion s", "status"],
+        rows,
+    )
+    ok = [row for row in rows if row[5] == "ok"]
+    assert ok, "some configurations must run"
+    # Largest circuits sampled far beyond classical simulation reach.
+    assert max(row[1] for row in ok) >= 48
+    # Larger devices never need *more* cuts for the same circuit.
+    for name, size, kwargs in _CASES:
+        cuts = {
+            row[2]: row[3]
+            for row in ok
+            if row[0] == name and row[1] == size and row[3] != "--"
+        }
+        if len(cuts) == 2:
+            assert cuts[30] <= cuts[20], (name, size, cuts)

@@ -1,0 +1,75 @@
+"""Figure 12: postprocessing scales with parallel workers.
+
+The paper postprocesses a 4x6 supremacy circuit mapped to the 15-qubit
+Melbourne device on 1-16 compute nodes and observes near-perfect scaling
+(14X on 16 nodes), because the 4^K Kronecker terms partition with no
+inter-node communication.  We run the same experiment with a local
+multiprocessing pool: a 4x5 (20-qubit) supremacy circuit on a 14-qubit
+budget, workers 1/2/4.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import CutQC
+from repro.library import supremacy
+
+from conftest import report
+
+_WORKERS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def prepared_pipeline():
+    circuit = supremacy(20, seed=0, depth=8)
+    pipeline = CutQC(circuit, max_subcircuit_qubits=14)
+    cut = pipeline.cut()
+    pipeline.evaluate()
+    return pipeline, cut
+
+
+def test_fig12_parallel_scaling(benchmark, prepared_pipeline):
+    pipeline, cut = prepared_pipeline
+
+    def sweep():
+        timings = {}
+        reference = None
+        for workers in _WORKERS:
+            result = pipeline.fd_query(workers=workers)
+            timings[workers] = result.stats.elapsed_seconds
+            if reference is None:
+                reference = result.probabilities
+            else:
+                assert np.allclose(result.probabilities, reference, atol=1e-10)
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    serial = timings[1]
+    cores = os.cpu_count() or 1
+    rows = [
+        (workers, cut.num_cuts, 4**cut.num_cuts, f"{seconds:.3f}",
+         f"{serial / seconds:.2f}x", f"{min(workers, cores):.2f}x")
+        for workers, seconds in sorted(timings.items())
+    ]
+    report(
+        "fig12",
+        "Fig. 12 — FD postprocess scaling, 20q supremacy on 14q budget "
+        f"({cores} CPU core(s) available)",
+        ["workers", "cuts", "kron products", "runtime s", "speedup",
+         "achievable"],
+        rows,
+    )
+    if cores >= 2:
+        # Scaling claim: the widest pool achieves a real speedup over
+        # serial (the paper sees 14X on 16 nodes).
+        assert serial / timings[max(_WORKERS)] > 1.3
+        assert timings[max(_WORKERS)] < serial * 1.1
+    else:
+        # Single-core machine: parallel speedup is not observable and
+        # pool overhead fluctuates with system load, so the only hard
+        # claim left is the one that makes the paper's scaling possible:
+        # the zero-communication partition reproduces the identical
+        # distribution for every worker count (asserted inside sweep()).
+        assert timings[max(_WORKERS)] < serial * 3.0

@@ -1,0 +1,51 @@
+"""Figure 1: BV fidelity collapses as (noisier) devices grow.
+
+The paper runs BV instances sized to half the device on IBM hardware and
+shows fidelity (correct-answer probability) dropping from ~0.9 on 5
+qubits to <1% on 20 qubits.  We reproduce the trend on the virtual device
+ladder (error rates grow with size, routing adds depth); the largest
+53-qubit point is out of laptop-simulation reach (see DESIGN.md).
+"""
+
+import numpy as np
+
+from repro.devices import fig1_device_suite
+from repro.library import bv, bv_solution
+from repro.metrics import fidelity
+from repro.utils import bitstring_to_index
+
+from conftest import report
+
+
+def _sweep():
+    rows = []
+    for device in fig1_device_suite(seed=11):
+        problem_size = max(2, device.num_qubits // 2)
+        circuit = bv(problem_size)
+        observed = device.run(circuit, shots=8192, trajectories=16)
+        solution = bitstring_to_index(bv_solution(problem_size))
+        rows.append(
+            (
+                device.name,
+                device.num_qubits,
+                problem_size,
+                f"{device.noise.error_2q:.4f}",
+                f"{fidelity(observed, solution):.4f}",
+            )
+        )
+    return rows
+
+
+def test_fig1_bv_fidelity_vs_device_size(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report(
+        "fig1",
+        "Fig. 1 — BV at half device size: fidelity vs device size",
+        ["device", "device qubits", "BV qubits", "2q error", "fidelity"],
+        rows,
+    )
+    fidelities = [float(row[4]) for row in rows]
+    # The paper's finding: monotone collapse with device size.
+    assert fidelities[0] > fidelities[-1]
+    assert fidelities[0] > 0.5
+    assert all(b <= a + 0.05 for a, b in zip(fidelities, fidelities[1:]))

@@ -1,0 +1,48 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every bench regenerates the rows/series of one paper table or figure and
+records them under ``results/`` (plus stdout, visible with ``pytest -s``).
+Absolute numbers differ from the paper (Python on one machine vs C+MKL on
+a 16-node cluster); the reproduction target is the *shape*: who wins, by
+roughly what factor, and where the crossovers fall.  EXPERIMENTS.md
+summarizes paper-vs-measured for each figure.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def report(figure: str, title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Format a results table, print it, and persist it to results/."""
+    rows = [list(map(str, row)) for row in rows]
+    header = list(header)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+
+    lines: List[str] = [f"== {title} ==", fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure}.txt").write_text(text + "\n")
+    return text
+
+
+def interleaved_active_order(cut) -> List[int]:
+    """Spread DD active qubits across subcircuits (balances bin tensors)."""
+    queues = [[line.wire for line in sub.output_lines] for sub in cut.subcircuits]
+    order: List[int] = []
+    while any(queues):
+        for queue in queues:
+            if queue:
+                order.append(queue.pop(0))
+    return order

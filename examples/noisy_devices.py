@@ -1,0 +1,63 @@
+"""CutQC on a small QPU beats direct execution on a big one (Fig. 11).
+
+A 6-qubit BV circuit is (a) executed directly on the virtual 20-qubit
+Johannesburg device and (b) cut onto the virtual 5-qubit Bogota device and
+reconstructed.  Bigger NISQ devices are noisier and routing makes the
+uncut circuit deeper, so the CutQC route yields a lower chi^2 loss —
+the paper's headline fidelity result.
+
+Run:  python examples/noisy_devices.py
+"""
+
+import numpy as np
+
+from repro import CutQC, bogota, johannesburg, simulate_probabilities
+from repro.library import bv, bv_solution
+from repro.metrics import chi_square_loss, chi_square_reduction
+from repro.utils import bitstring_to_index
+
+
+def main() -> None:
+    circuit = bv(6)
+    truth = simulate_probabilities(circuit)
+    solution = bitstring_to_index(bv_solution(6))
+
+    large = johannesburg(seed=7)
+    small = bogota(seed=7)
+    print("devices:")
+    print(f"  direct : {large.describe()}")
+    print(f"  cutqc  : {small.describe()}")
+    print()
+
+    # (a) Direct execution on the large, noisier device.
+    direct = large.run(circuit, shots=8192, trajectories=24)
+    chi2_direct = chi_square_loss(direct, truth)
+    print(f"direct on {large.name}:")
+    print(f"  chi^2 = {chi2_direct:.4f}, "
+          f"P(solution) = {direct[solution]:.3f}")
+
+    # (b) CutQC: cut onto the small device, reconstruct classically.
+    pipeline = CutQC(
+        circuit,
+        max_subcircuit_qubits=small.num_qubits,
+        backend=small.backend(shots=8192, trajectories=24),
+    )
+    cut = pipeline.cut()
+    reconstructed = np.clip(pipeline.fd_query().probabilities, 0.0, None)
+    reconstructed /= reconstructed.sum()
+    chi2_cutqc = chi_square_loss(reconstructed, truth)
+    print(f"CutQC via {small.name} "
+          f"({cut.num_subcircuits} subcircuits, {cut.num_cuts} cut(s)):")
+    print(f"  chi^2 = {chi2_cutqc:.4f}, "
+          f"P(solution) = {reconstructed[solution]:.3f}")
+
+    reduction = chi_square_reduction(chi2_direct, chi2_cutqc)
+    print(f"\nchi^2 percentage reduction (Fig. 11 metric): {reduction:.0f}%")
+    if reduction > 0:
+        print("CutQC with the small device beats the big device — "
+              "noisy quantum entanglement across the cut is replaced by "
+              "noise-free classical postprocessing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Extension workload: cut a QAOA MaxCut circuit and keep its physics.
+
+QAOA is the canonical near-term variational application.  Its cost layer
+applies one RZZ per problem-graph edge, so cutting the circuit mirrors
+partitioning the problem graph.  This example cuts a 10-qubit ring QAOA
+onto a 6-qubit budget and shows the reconstructed distribution yields the
+same expected cut value <C> as the uncut circuit — the quantity a
+variational optimizer actually consumes.
+
+Run:  python examples/qaoa_maxcut.py
+"""
+
+import numpy as np
+
+from repro import CutQC, simulate_probabilities
+from repro.library import maxcut_cost, qaoa_maxcut, ring_graph
+from repro.viz import compare_histograms
+
+
+def main() -> None:
+    num_qubits = 10
+    edges = ring_graph(num_qubits)
+    circuit = qaoa_maxcut(num_qubits, edges=edges, parameters=[1.2, 0.4])
+    print(f"QAOA MaxCut: {num_qubits}-node ring, p=1, "
+          f"{len(circuit)} gates; budget 6 qubits")
+
+    pipeline = CutQC(circuit, max_subcircuit_qubits=6)
+    cut = pipeline.cut()
+    print(cut.summary())
+
+    reconstructed = pipeline.fd_query().probabilities
+    truth = simulate_probabilities(circuit)
+    assert np.allclose(reconstructed, truth, atol=1e-8)
+
+    cost_cut = maxcut_cost(reconstructed, edges, num_qubits)
+    cost_truth = maxcut_cost(truth, edges, num_qubits)
+    uniform = maxcut_cost(np.full(truth.size, 1 / truth.size), edges, num_qubits)
+    print(f"\n<C> reconstructed : {cost_cut:.6f}")
+    print(f"<C> ground truth  : {cost_truth:.6f}")
+    print(f"<C> random guess  : {uniform:.6f}")
+    assert abs(cost_cut - cost_truth) < 1e-8
+
+    print("\ntop states (reconstructed vs ground truth):")
+    print(compare_histograms(reconstructed, truth, top=5,
+                             labels=("cutqc", "truth")))
+    print("\nA variational optimizer driving gamma/beta through CutQC "
+          "sees exactly the objective it would see on a big machine.")
+
+
+if __name__ == "__main__":
+    main()

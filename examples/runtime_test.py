@@ -1,0 +1,38 @@
+"""Artifact-style runtime benchmark (paper appendix A.5/A.6).
+
+Runs the runtime experiment on a 10-qubit virtual QC and prints the
+speedup of CutQC postprocessing over classical simulation — the same
+workflow as the paper artifact's ``runtime_test.py``.  Adjust the
+``RuntimeExperimentConfig`` fields (device sizes, benchmarks, circuit
+sizes, workers) to customize, per appendix A.7.
+
+Run:  python examples/runtime_test.py
+"""
+
+from repro.experiments import RuntimeExperimentConfig, run_runtime_experiment
+
+
+def main() -> None:
+    config = RuntimeExperimentConfig(
+        benchmarks=("bv", "hwea", "adder", "supremacy"),
+        device_sizes=(10,),
+        max_circuit_qubits=14,
+        workers=1,
+    )
+    records = run_runtime_experiment(config)
+
+    header = ("benchmark", "qubits", "QC size", "cuts", "postprocess s",
+              "simulation s", "speedup", "status")
+    print("  ".join(f"{h:<13}" for h in header))
+    for record in records:
+        print("  ".join(f"{str(cell):<13}" for cell in record.row()))
+
+    speedups = [r.speedup for r in records if r.speedup is not None]
+    if speedups:
+        print(f"\nbest speedup over classical simulation: "
+              f"{max(speedups):.1f}x "
+              f"(paper reports 60X-8600X with C+MKL on 16 nodes)")
+
+
+if __name__ == "__main__":
+    main()

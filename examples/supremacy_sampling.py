@@ -1,0 +1,52 @@
+"""Dynamic definition on a dense-output circuit (Figs. 8 and 9 narrative).
+
+Random "supremacy" circuits have dense, Porter-Thomas-like output.  The
+DD query builds a blurred probability landscape and sharpens it by
+recursively zooming into the most probable bins; the chi^2 loss against
+the statevector ground truth decreases with every recursion.
+
+Run:  python examples/supremacy_sampling.py
+"""
+
+import numpy as np
+
+from repro import CutQC, simulate_probabilities
+from repro.library import supremacy
+from repro.metrics import chi_square_loss
+
+
+def main() -> None:
+    num_qubits = 12
+    device_size = 8
+    circuit = supremacy(num_qubits, seed=1, depth=8)
+    print(f"supremacy circuit: {num_qubits} qubits (3x4 grid), "
+          f"{len(circuit)} gates, device budget {device_size}")
+
+    truth = simulate_probabilities(circuit)
+    print(f"ground truth has {np.count_nonzero(truth > 1e-9)} populated "
+          f"states out of {truth.size} — a dense distribution\n")
+
+    pipeline = CutQC(circuit, max_subcircuit_qubits=device_size)
+    cut = pipeline.cut()
+    print(cut.summary())
+    print()
+
+    query = pipeline.dd_query(max_active_qubits=4, max_recursions=1)
+    losses = [chi_square_loss(query.approximate_distribution(), truth)]
+    print(f"recursion 1: chi^2 = {losses[-1]:.4f} "
+          f"(definition 2^4 bins)")
+    for step in range(2, 7):
+        query.step()
+        losses.append(chi_square_loss(query.approximate_distribution(), truth))
+        print(f"recursion {step}: chi^2 = {losses[-1]:.4f} "
+              f"({len(query.current_partition)} bins in the partition)")
+
+    assert losses[-1] < losses[0], "zooming must sharpen the landscape"
+    improvement = 100 * (losses[0] - losses[-1]) / losses[0]
+    print(f"\nchi^2 improved by {improvement:.0f}% over "
+          f"{len(losses) - 1} zoom recursions, without ever storing "
+          "the full-definition distribution during postprocessing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Circuit intermediate representation: gates, circuits and the cut graph."""
+
+from .gates import Gate, gate_matrix, is_supported_gate
+from .circuit import QuantumCircuit
+from .dag import CircuitGraph, WireEdge, build_circuit_graph
+from .qasm import QasmError, from_qasm, to_qasm
+from .analysis import CircuitReport, analyze_circuit, interaction_graph, min_bipartition_cuts
+
+__all__ = [
+    "Gate",
+    "gate_matrix",
+    "is_supported_gate",
+    "QuantumCircuit",
+    "CircuitGraph",
+    "WireEdge",
+    "build_circuit_graph",
+    "QasmError",
+    "from_qasm",
+    "to_qasm",
+    "CircuitReport",
+    "analyze_circuit",
+    "interaction_graph",
+    "min_bipartition_cuts",
+]

@@ -1,0 +1,212 @@
+"""Command-line interface: cut, evaluate and query circuits from a shell.
+
+Examples
+--------
+Cut a 12-qubit supremacy circuit onto an 8-qubit device and show the plan::
+
+    python -m repro cut --benchmark supremacy --qubits 12 --device-size 8
+
+Run the full pipeline and print the top output states::
+
+    python -m repro run --benchmark bv --qubits 11 --device-size 5 --top 5
+
+Dynamic-definition query::
+
+    python -m repro dd --benchmark bv --qubits 16 --device-size 10 \
+        --active 2 --recursions 8
+
+List virtual device presets::
+
+    python -m repro devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import CutQC
+from .cutting import CutSearchError
+from .devices import DEVICE_PRESETS, get_device
+from .library import BENCHMARKS, get_benchmark
+from .metrics import chi_square_loss
+from .sim import simulate_probabilities
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CutQC reproduction: cut large circuits onto small QPUs",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_circuit_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--benchmark", required=True, choices=sorted(BENCHMARKS),
+            help="benchmark circuit family (paper §5.3)",
+        )
+        sub.add_argument("--qubits", type=int, required=True)
+        sub.add_argument("--seed", type=int, default=0,
+                         help="generator seed (randomized benchmarks)")
+        sub.add_argument("--device-size", type=int, required=True,
+                         help="max qubits per subcircuit (device size D)")
+        sub.add_argument("--max-subcircuits", type=int, default=5)
+        sub.add_argument("--max-cuts", type=int, default=10)
+        sub.add_argument(
+            "--method", choices=("auto", "mip", "heuristic"), default="auto",
+            help="cut-search backend",
+        )
+
+    cut = commands.add_parser("cut", help="find cuts and print the plan")
+    add_circuit_options(cut)
+
+    run = commands.add_parser("run", help="cut + evaluate + FD query")
+    add_circuit_options(run)
+    run.add_argument("--top", type=int, default=5,
+                     help="print this many highest-probability states")
+    run.add_argument("--workers", type=int, default=1)
+    run.add_argument("--device", choices=sorted(DEVICE_PRESETS),
+                     help="evaluate subcircuits on this noisy virtual device"
+                          " (default: exact statevector)")
+    run.add_argument("--shots", type=int, default=8192)
+    run.add_argument("--verify", action="store_true",
+                     help="compare against statevector ground truth")
+
+    dd = commands.add_parser("dd", help="cut + evaluate + DD query")
+    add_circuit_options(dd)
+    dd.add_argument("--active", type=int, default=2,
+                    help="active qubits per recursion (memory cap)")
+    dd.add_argument("--recursions", type=int, default=8)
+
+    devices = commands.add_parser("devices", help="list device presets")
+    del devices  # no extra options
+
+    return parser
+
+
+def _build_circuit(args: argparse.Namespace):
+    kwargs = {}
+    if args.benchmark in ("supremacy", "adder"):
+        kwargs["seed"] = args.seed
+    return get_benchmark(args.benchmark, args.qubits, **kwargs)
+
+
+def _build_pipeline(args: argparse.Namespace, backend=None) -> CutQC:
+    circuit = _build_circuit(args)
+    return CutQC(
+        circuit,
+        max_subcircuit_qubits=args.device_size,
+        max_subcircuits=args.max_subcircuits,
+        max_cuts=args.max_cuts,
+        method=args.method,
+        backend=backend,
+    )
+
+
+def _command_cut(args: argparse.Namespace) -> int:
+    from .viz import cut_diagram
+
+    pipeline = _build_pipeline(args)
+    cut = pipeline.cut()
+    print(cut.summary())
+    if pipeline.solution is not None:
+        print(f"search method: {pipeline.solution.method}")
+        print(f"objective (Eq. 14 FLOPs): {pipeline.solution.objective:.3e}")
+    print("cut positions (wire, index): "
+          f"{[(c.wire, c.wire_index) for c in cut.cuts]}")
+    print(cut_diagram(cut))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    backend = None
+    if args.device:
+        device = get_device(args.device, seed=args.seed)
+        if device.num_qubits < args.device_size:
+            print(
+                f"error: preset {args.device} has {device.num_qubits} qubits "
+                f"but --device-size is {args.device_size}",
+                file=sys.stderr,
+            )
+            return 2
+        backend = device.backend(shots=args.shots)
+    pipeline = _build_pipeline(args, backend=backend)
+    cut = pipeline.cut()
+    print(cut.summary())
+    result = pipeline.fd_query(workers=args.workers)
+    stats = result.stats
+    print(
+        f"FD query: {stats.num_terms} Kronecker terms "
+        f"({stats.num_skipped} skipped), {stats.elapsed_seconds:.3f}s, "
+        f"{stats.workers} worker(s)"
+    )
+    from .viz import histogram
+
+    probabilities = result.probabilities
+    print(f"top {args.top} states:")
+    print(histogram(probabilities, top=args.top))
+    if args.verify:
+        truth = simulate_probabilities(pipeline.circuit)
+        loss = chi_square_loss(np.clip(probabilities, 0, None), truth)
+        print(f"chi^2 vs statevector ground truth: {loss:.6f}")
+    return 0
+
+
+def _command_dd(args: argparse.Namespace) -> int:
+    pipeline = _build_pipeline(args)
+    cut = pipeline.cut()
+    print(cut.summary())
+    query = pipeline.dd_query(
+        max_active_qubits=args.active, max_recursions=args.recursions
+    )
+    n = pipeline.circuit.num_qubits
+    for recursion in query.recursions:
+        zoomed = "".join(
+            str(recursion.fixed[w]) if w in recursion.fixed else "?"
+            for w in range(n)
+        )
+        print(
+            f"recursion {recursion.index + 1}: zoomed={zoomed} "
+            f"active={recursion.active} "
+            f"max-bin p={recursion.probabilities.max():.4f}"
+        )
+    states = query.solution_states(threshold=0.25)
+    if states:
+        print("solution states (p >= 0.25):")
+        for bits, probability in states[:5]:
+            print(f"  |{bits}>  p = {probability:.6f}")
+    else:
+        print("no dominant solution state resolved "
+              "(dense output or too few recursions)")
+    return 0
+
+
+def _command_devices(_: argparse.Namespace) -> int:
+    for name in sorted(DEVICE_PRESETS):
+        print(get_device(name).describe())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "cut": _command_cut,
+        "run": _command_run,
+        "dd": _command_dd,
+        "devices": _command_devices,
+    }
+    try:
+        return handlers[args.command](args)
+    except CutSearchError as error:
+        print(f"cut search failed: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

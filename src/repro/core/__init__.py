@@ -1,0 +1,5 @@
+"""The paper's primary contribution: the end-to-end CutQC pipeline."""
+
+from .pipeline import CutQC, evaluate_with_cutqc
+
+__all__ = ["CutQC", "evaluate_with_cutqc"]

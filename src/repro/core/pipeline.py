@@ -1,0 +1,187 @@
+"""The end-to-end CutQC pipeline (paper Fig. 5).
+
+``CutQC`` wires the stages together: the MIP cut searcher locates cuts,
+the cutter produces subcircuits, an evaluation backend (exact statevector,
+finite-shot sampler, or a noisy virtual device) runs every physical
+variant, and the postprocessor answers full-definition or
+dynamic-definition queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..cutting import (
+    CutCircuit,
+    CutSolution,
+    SubcircuitResult,
+    cut_circuit,
+    evaluate_subcircuit,
+    find_cuts,
+)
+from ..cutting.searcher import DEFAULT_MAX_CUTS, DEFAULT_MAX_SUBCIRCUITS
+from ..devices import VirtualDevice
+from ..postprocess import (
+    DynamicDefinitionQuery,
+    PrecomputedTensorProvider,
+    ReconstructionResult,
+    Reconstructor,
+)
+
+__all__ = ["CutQC", "evaluate_with_cutqc"]
+
+Backend = Callable[[QuantumCircuit], np.ndarray]
+
+
+class CutQC:
+    """Cut a circuit, evaluate the pieces, reconstruct or sample the output.
+
+    Parameters
+    ----------
+    circuit:
+        The (fully connected) circuit to evaluate.
+    max_subcircuit_qubits:
+        Device size ``D`` — the qubit budget per subcircuit.
+    backend:
+        A ``circuit -> probability vector`` callable used to evaluate
+        subcircuit variants.  Defaults to exact statevector simulation.
+        Pass ``device.backend(...)`` for noisy hardware emulation.
+    cuts:
+        Explicit ``(wire, wire_index)`` cut points; when given, the MIP
+        search is skipped.
+    """
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        max_subcircuit_qubits: int,
+        max_subcircuits: int = DEFAULT_MAX_SUBCIRCUITS,
+        max_cuts: int = DEFAULT_MAX_CUTS,
+        method: str = "auto",
+        backend: Optional[Backend] = None,
+        device: Optional[VirtualDevice] = None,
+        cuts: Optional[Sequence[Tuple[int, int]]] = None,
+    ):
+        if device is not None and backend is not None:
+            raise ValueError("pass either a backend or a device, not both")
+        self.circuit = circuit
+        self.max_subcircuit_qubits = max_subcircuit_qubits
+        self.max_subcircuits = max_subcircuits
+        self.max_cuts = max_cuts
+        self.method = method
+        self.backend = device.backend() if device is not None else backend
+        self._explicit_cuts = list(cuts) if cuts is not None else None
+        self._solution: Optional[CutSolution] = None
+        self._cut: Optional[CutCircuit] = None
+        self._results: Optional[List[SubcircuitResult]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def solution(self) -> Optional[CutSolution]:
+        return self._solution
+
+    def cut(self) -> CutCircuit:
+        """Locate cuts (unless given explicitly) and split the circuit."""
+        if self._cut is None:
+            if self._explicit_cuts is not None:
+                self._cut = cut_circuit(self.circuit, self._explicit_cuts)
+            else:
+                self._solution = find_cuts(
+                    self.circuit,
+                    self.max_subcircuit_qubits,
+                    max_subcircuits=self.max_subcircuits,
+                    max_cuts=self.max_cuts,
+                    method=self.method,
+                )
+                self._cut = self._solution.apply(self.circuit)
+            width = self._cut.max_subcircuit_width()
+            if width > self.max_subcircuit_qubits:
+                raise ValueError(
+                    f"cut produced a {width}-qubit subcircuit, exceeding the "
+                    f"{self.max_subcircuit_qubits}-qubit budget"
+                )
+        return self._cut
+
+    def evaluate(self) -> List[SubcircuitResult]:
+        """Run every physical variant of every subcircuit on the backend."""
+        if self._results is None:
+            cut = self.cut()
+            self._results = [
+                evaluate_subcircuit(subcircuit, self.backend)
+                for subcircuit in cut.subcircuits
+            ]
+        return self._results
+
+    # ------------------------------------------------------------------
+    def fd_query(
+        self,
+        workers: int = 1,
+        greedy_order: bool = True,
+        early_termination: bool = True,
+        strategy: str = "kron",
+    ) -> ReconstructionResult:
+        """Full-definition query: the complete 2**n output distribution."""
+        reconstructor = Reconstructor(self.cut(), results=self.evaluate())
+        return reconstructor.reconstruct(
+            workers=workers,
+            greedy_order=greedy_order,
+            early_termination=early_termination,
+            strategy=strategy,
+        )
+
+    def dd_query(
+        self,
+        max_active_qubits: int,
+        max_recursions: int = 10,
+        active_order: Optional[Sequence[int]] = None,
+        shots_per_variant: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> DynamicDefinitionQuery:
+        """Dynamic-definition query: binned sampling with recursive zoom.
+
+        With ``shots_per_variant`` set, each recursion re-samples the
+        subcircuit variants with that many shots and merges at the shot
+        level (Algorithm 1's literal execution mode) instead of collapsing
+        precomputed exact tensors.
+        """
+        if shots_per_variant is not None:
+            from ..postprocess import ShotBasedTensorProvider
+
+            provider = ShotBasedTensorProvider(
+                self.cut(),
+                shots=shots_per_variant,
+                backend=self.backend,
+                seed=seed,
+            )
+        else:
+            provider = PrecomputedTensorProvider(
+                self.cut(), results=self.evaluate()
+            )
+        query = DynamicDefinitionQuery(
+            provider,
+            max_active_qubits=max_active_qubits,
+            active_order=active_order,
+        )
+        query.run(max_recursions)
+        return query
+
+
+def evaluate_with_cutqc(
+    circuit: QuantumCircuit,
+    max_subcircuit_qubits: int,
+    backend: Optional[Backend] = None,
+    workers: int = 1,
+    **kwargs,
+) -> np.ndarray:
+    """One-call FD evaluation: returns the reconstructed distribution."""
+    pipeline = CutQC(
+        circuit,
+        max_subcircuit_qubits,
+        backend=backend,
+        **kwargs,
+    )
+    return pipeline.fd_query(workers=workers).probabilities

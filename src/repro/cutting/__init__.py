@@ -1,0 +1,59 @@
+"""Circuit cutting: cut search, cutting, and subcircuit variant generation."""
+
+from .cutter import (
+    CutCircuit,
+    Subcircuit,
+    SubcircuitLine,
+    WireCut,
+    cut_circuit,
+    cut_circuit_from_assignment,
+)
+from .model import CutSearchError, PartitionCost, evaluate_partition, objective_from_f
+from .mip import MIPCutSearcher, branch_and_bound_search
+from .heuristics import heuristic_search, local_search, scan_partition
+from .searcher import (
+    DEFAULT_MAX_CUTS,
+    DEFAULT_MAX_SUBCIRCUITS,
+    CutSolution,
+    find_cuts,
+)
+from .variants import (
+    INIT_LABELS,
+    MEAS_BASES,
+    SubcircuitResult,
+    SubcircuitVariant,
+    evaluate_subcircuit,
+    generate_variants,
+    num_physical_variants,
+    variant_circuit,
+)
+
+__all__ = [
+    "CutCircuit",
+    "Subcircuit",
+    "SubcircuitLine",
+    "WireCut",
+    "cut_circuit",
+    "cut_circuit_from_assignment",
+    "CutSearchError",
+    "PartitionCost",
+    "evaluate_partition",
+    "objective_from_f",
+    "MIPCutSearcher",
+    "branch_and_bound_search",
+    "heuristic_search",
+    "local_search",
+    "scan_partition",
+    "DEFAULT_MAX_CUTS",
+    "DEFAULT_MAX_SUBCIRCUITS",
+    "CutSolution",
+    "find_cuts",
+    "INIT_LABELS",
+    "MEAS_BASES",
+    "SubcircuitResult",
+    "SubcircuitVariant",
+    "evaluate_subcircuit",
+    "generate_variants",
+    "num_physical_variants",
+    "variant_circuit",
+]

@@ -1,0 +1,108 @@
+"""Cut-search front-end: pick a solver, return a priced `CutSolution`.
+
+``find_cuts`` mirrors the paper's workflow (Fig. 5): given the input
+circuit and the device size ``D`` (plus the experiment limits of §5.1 —
+at most 5 subcircuits and 10 cuts), it locates the cut set minimizing the
+postprocessing-cost objective of Eq. (14).  Small instances are solved
+exactly with branch and bound (our stand-in for Gurobi); large ones fall
+back to the scan + local-search heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..circuits import QuantumCircuit, build_circuit_graph
+from .cutter import CutCircuit, cut_circuit_from_assignment
+from .heuristics import heuristic_search
+from .mip import branch_and_bound_search
+from .model import CutSearchError, PartitionCost
+
+__all__ = ["CutSolution", "find_cuts", "DEFAULT_MAX_SUBCIRCUITS", "DEFAULT_MAX_CUTS"]
+
+#: The experiment limits the paper uses throughout §5/§6.
+DEFAULT_MAX_SUBCIRCUITS = 5
+DEFAULT_MAX_CUTS = 10
+
+#: Above this vertex count the exact search is usually intractable.
+_EXACT_VERTEX_LIMIT = 22
+
+
+@dataclass
+class CutSolution:
+    """A priced cut: the partition, its cost, and the cut positions."""
+
+    assignment: List[int]
+    cost: PartitionCost
+    method: str
+
+    @property
+    def num_cuts(self) -> int:
+        return self.cost.num_cuts
+
+    @property
+    def objective(self) -> float:
+        return self.cost.objective
+
+    def apply(self, circuit: QuantumCircuit) -> CutCircuit:
+        """Cut ``circuit`` according to this solution."""
+        return cut_circuit_from_assignment(circuit, self.assignment)
+
+
+def find_cuts(
+    circuit: QuantumCircuit,
+    max_subcircuit_qubits: int,
+    max_subcircuits: int = DEFAULT_MAX_SUBCIRCUITS,
+    max_cuts: int = DEFAULT_MAX_CUTS,
+    method: str = "auto",
+) -> CutSolution:
+    """Locate the cheapest cut of ``circuit`` onto a ``D``-qubit device.
+
+    Parameters
+    ----------
+    method:
+        ``"mip"`` forces the exact branch-and-bound search, ``"heuristic"``
+        forces scan + local search, ``"auto"`` (default) picks by circuit
+        size and falls back to the heuristic if the exact search exceeds
+        its node budget.
+
+    Raises
+    ------
+    CutSearchError
+        If no feasible cut exists within the budgets.
+    """
+    if method not in ("auto", "mip", "heuristic"):
+        raise ValueError(f"unknown method {method!r}")
+    graph = build_circuit_graph(circuit)
+
+    if method == "mip":
+        assignment, cost = branch_and_bound_search(
+            graph, max_subcircuit_qubits, max_subcircuits, max_cuts
+        )
+        return CutSolution(assignment=assignment, cost=cost, method="mip")
+    if method == "heuristic":
+        assignment, cost = heuristic_search(
+            graph, max_subcircuit_qubits, max_subcircuits, max_cuts
+        )
+        return CutSolution(assignment=assignment, cost=cost, method="heuristic")
+
+    if graph.num_vertices <= _EXACT_VERTEX_LIMIT:
+        try:
+            assignment, cost = branch_and_bound_search(
+                graph, max_subcircuit_qubits, max_subcircuits, max_cuts
+            )
+            return CutSolution(assignment=assignment, cost=cost, method="mip")
+        except CutSearchError as error:
+            if "node limit" not in str(error):
+                raise
+    assignment, cost = heuristic_search(
+        graph, max_subcircuit_qubits, max_subcircuits, max_cuts
+    )
+    return CutSolution(assignment=assignment, cost=cost, method="heuristic")
+
+
+def cut_positions(solution: CutSolution, circuit: QuantumCircuit) -> List[Tuple[int, int]]:
+    """The ``(wire, wire_index)`` cut points implied by a solution."""
+    cut = solution.apply(circuit)
+    return [(c.wire, c.wire_index) for c in cut.cuts]

@@ -1,0 +1,151 @@
+"""Enumerate and evaluate the physical variants of a subcircuit.
+
+Per Fig. 3, the upstream side of every cut is measured in one of the Pauli
+bases {I, X, Y, Z} and the downstream side is initialized in one of
+{|0>, |1>, |+>, |+i>}.  The I and Z measurements share the same physical
+circuit, so a subcircuit with ``O`` measurement lines and ``rho``
+initialization lines has ``3^O * 4^rho`` distinct physical variants — the
+circuits a quantum device actually runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..sim.statevector import simulate_probabilities
+from .cutter import Subcircuit
+
+__all__ = [
+    "MEAS_BASES",
+    "INIT_LABELS",
+    "SubcircuitVariant",
+    "generate_variants",
+    "variant_circuit",
+    "evaluate_subcircuit",
+    "SubcircuitResult",
+    "num_physical_variants",
+]
+
+#: Physical measurement bases (I reuses the Z circuit during attribution).
+MEAS_BASES: Tuple[str, ...] = ("Z", "X", "Y")
+#: Downstream initialization states, in the order used by the term transform.
+INIT_LABELS: Tuple[str, ...] = ("zero", "one", "plus", "plus_i")
+
+_PREP_GATES: Dict[str, Tuple[Tuple[str, ...], ...]] = {
+    "zero": (),
+    "one": (("x",),),
+    "plus": (("h",),),
+    "plus_i": (("h",), ("s",)),
+}
+
+_BASIS_GATES: Dict[str, Tuple[Tuple[str, ...], ...]] = {
+    "Z": (),
+    "X": (("h",),),
+    "Y": (("sdg",), ("h",)),
+}
+
+
+@dataclass(frozen=True)
+class SubcircuitVariant:
+    """One physical variant: init labels and measurement bases per line."""
+
+    inits: Tuple[str, ...]
+    bases: Tuple[str, ...]
+
+
+def num_physical_variants(subcircuit: Subcircuit) -> int:
+    """``3^O * 4^rho`` — the device workload per subcircuit."""
+    return (len(MEAS_BASES) ** len(subcircuit.meas_lines)) * (
+        len(INIT_LABELS) ** len(subcircuit.init_lines)
+    )
+
+
+def generate_variants(subcircuit: Subcircuit) -> List[SubcircuitVariant]:
+    """All physical variants, inits varying slowest (deterministic order)."""
+    init_choices = itertools.product(
+        INIT_LABELS, repeat=len(subcircuit.init_lines)
+    )
+    variants = []
+    for inits in init_choices:
+        for bases in itertools.product(MEAS_BASES, repeat=len(subcircuit.meas_lines)):
+            variants.append(SubcircuitVariant(inits=tuple(inits), bases=tuple(bases)))
+    return variants
+
+
+def variant_circuit(
+    subcircuit: Subcircuit, variant: SubcircuitVariant
+) -> QuantumCircuit:
+    """The runnable circuit: state prep + body + basis rotations."""
+    init_lines = subcircuit.init_lines
+    meas_lines = subcircuit.meas_lines
+    if len(variant.inits) != len(init_lines):
+        raise ValueError(
+            f"variant has {len(variant.inits)} init labels, subcircuit has "
+            f"{len(init_lines)} init lines"
+        )
+    if len(variant.bases) != len(meas_lines):
+        raise ValueError(
+            f"variant has {len(variant.bases)} bases, subcircuit has "
+            f"{len(meas_lines)} measurement lines"
+        )
+    circuit = QuantumCircuit(subcircuit.width)
+    for label, line in zip(variant.inits, init_lines):
+        for gate_spec in _PREP_GATES[label]:
+            circuit.add(gate_spec[0], (line.line,))
+    circuit.compose(subcircuit.circuit)
+    for basis, line in zip(variant.bases, meas_lines):
+        for gate_spec in _BASIS_GATES[basis]:
+            circuit.add(gate_spec[0], (line.line,))
+    return circuit
+
+
+#: An evaluation backend maps a runnable circuit to a probability vector.
+Backend = Callable[[QuantumCircuit], np.ndarray]
+
+
+def _statevector_backend(circuit: QuantumCircuit) -> np.ndarray:
+    return simulate_probabilities(circuit)
+
+
+@dataclass
+class SubcircuitResult:
+    """Raw evaluation results of all physical variants of one subcircuit.
+
+    ``probabilities[(inits, bases)]`` is the 2**width probability vector
+    of the corresponding variant (line 0 is the most significant bit).
+    """
+
+    subcircuit: Subcircuit
+    probabilities: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], np.ndarray]
+
+    def vector(self, inits: Sequence[str], bases: Sequence[str]) -> np.ndarray:
+        return self.probabilities[(tuple(inits), tuple(bases))]
+
+
+def evaluate_subcircuit(
+    subcircuit: Subcircuit,
+    backend: Optional[Backend] = None,
+) -> SubcircuitResult:
+    """Run every physical variant of ``subcircuit`` through ``backend``.
+
+    The default backend is the exact statevector simulator (what the paper
+    uses for its runtime studies, §5.1); pass a noisy device's ``run`` for
+    hardware emulation.
+    """
+    backend = backend or _statevector_backend
+    probabilities = {}
+    for variant in generate_variants(subcircuit):
+        circuit = variant_circuit(subcircuit, variant)
+        vector = np.asarray(backend(circuit), dtype=float)
+        if vector.size != 1 << subcircuit.width:
+            raise ValueError(
+                f"backend returned vector of size {vector.size} for a "
+                f"{subcircuit.width}-qubit variant"
+            )
+        probabilities[(variant.inits, variant.bases)] = vector
+    return SubcircuitResult(subcircuit=subcircuit, probabilities=probabilities)

@@ -1,0 +1,125 @@
+"""Virtual NISQ device: qubit count, coupling map, noise, shot execution.
+
+The stand-in for IBM hardware (DESIGN.md substitutions).  ``run`` performs
+the full hardware pipeline the paper describes in §2: transpile to the
+device's connectivity and native gates, execute shots under the device
+noise model, and return the empirical distribution over the circuit's
+logical qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..sim.noise import NoiseModel, NoisySimulator
+from ..utils import marginalize
+
+__all__ = ["VirtualDevice"]
+
+
+@dataclass
+class VirtualDevice:
+    """A small virtual quantum computer."""
+
+    name: str
+    num_qubits: int
+    coupling_map: Tuple[Tuple[int, int], ...]
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    shots: int = 8192
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        pairs = []
+        for a, b in self.coupling_map:
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits) or a == b:
+                raise ValueError(f"invalid coupling pair ({a}, {b})")
+            pairs.append((min(a, b), max(a, b)))
+        object.__setattr__(self, "coupling_map", tuple(sorted(set(pairs))))
+        graph = self.coupling_graph()
+        if self.num_qubits > 1 and not nx.is_connected(graph):
+            raise ValueError(f"device {self.name!r} coupling map is disconnected")
+
+    # ------------------------------------------------------------------
+    def coupling_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self.coupling_map)
+        return graph
+
+    def are_coupled(self, a: int, b: int) -> bool:
+        return (min(a, b), max(a, b)) in self.coupling_map
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: Optional[int] = None,
+        trajectories: int = 24,
+        seed: Optional[int] = None,
+    ) -> np.ndarray:
+        """Transpile + noisy shots; distribution over the logical qubits.
+
+        ``shots=None`` uses the device default; ``shots=0`` disables shot
+        noise and returns the estimated noisy distribution itself.
+        """
+        from .transpiler import compact_circuit, transpile
+
+        if circuit.num_qubits > self.num_qubits:
+            raise ValueError(
+                f"circuit of {circuit.num_qubits} qubits does not fit device "
+                f"{self.name!r} ({self.num_qubits} qubits)"
+            )
+        transpiled = transpile(circuit, self)
+        # Simulate only the physical wires the routed circuit touches —
+        # idle device qubits stay in |0> and are never read out.  Wires
+        # holding (possibly gate-free) logical qubits must survive.
+        compacted, kept_wires = compact_circuit(
+            transpiled.circuit, keep=transpiled.final_layout
+        )
+        simulator = NoisySimulator(
+            self.noise,
+            trajectories=trajectories,
+            shots=shots if shots is not None else self.shots,
+            seed=seed if seed is not None else self.seed,
+        )
+        full = simulator.run(compacted)
+        # Read out only the physical qubits holding logical wires, in
+        # logical order (what hardware measurement mapping does).
+        keep = [
+            kept_wires.index(transpiled.final_layout[q])
+            for q in range(circuit.num_qubits)
+        ]
+        return marginalize(full, keep, compacted.num_qubits)
+
+    def backend(
+        self,
+        shots: Optional[int] = None,
+        trajectories: int = 24,
+        seed: Optional[int] = None,
+    ) -> Callable[[QuantumCircuit], np.ndarray]:
+        """A ``circuit -> distribution`` callable for the CutQC pipeline."""
+        rng = np.random.default_rng(seed if seed is not None else self.seed)
+
+        def run(circuit: QuantumCircuit) -> np.ndarray:
+            return self.run(
+                circuit,
+                shots=shots,
+                trajectories=trajectories,
+                seed=int(rng.integers(2**31 - 1)),
+            )
+
+        return run
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_qubits} qubits, "
+            f"{len(self.coupling_map)} couplings, "
+            f"e1={self.noise.error_1q:.4f}, e2={self.noise.error_2q:.4f}, "
+            f"readout={self.noise.readout:.4f}"
+        )

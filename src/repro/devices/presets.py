@@ -1,0 +1,156 @@
+"""Virtual counterparts of the IBM devices the paper runs on.
+
+Topologies are simplified (lines and grids) and error rates are chosen so
+that larger devices are noisier — the empirical trend behind the paper's
+Fig. 1.  Absolute rates are representative of early-2020s superconducting
+hardware, not calibrated to any specific backend.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.noise import NoiseModel
+from .device import VirtualDevice
+
+__all__ = [
+    "line_coupling",
+    "ring_coupling",
+    "grid_coupling",
+    "make_device",
+    "bogota",
+    "vigo",
+    "melbourne",
+    "johannesburg",
+    "rochester",
+    "fig1_device_suite",
+    "DEVICE_PRESETS",
+    "get_device",
+]
+
+
+def line_coupling(num_qubits: int) -> Tuple[Tuple[int, int], ...]:
+    return tuple((i, i + 1) for i in range(num_qubits - 1))
+
+
+def ring_coupling(num_qubits: int) -> Tuple[Tuple[int, int], ...]:
+    pairs = list(line_coupling(num_qubits))
+    if num_qubits > 2:
+        pairs.append((0, num_qubits - 1))
+    return tuple(pairs)
+
+
+def grid_coupling(rows: int, cols: int) -> Tuple[Tuple[int, int], ...]:
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                pairs.append((q, q + 1))
+            if r + 1 < rows:
+                pairs.append((q, q + cols))
+    return tuple(pairs)
+
+
+def _size_scaled_noise(num_qubits: int) -> NoiseModel:
+    """Error rates growing with device size (the Fig. 1 empirical trend)."""
+    scale = 1.0 + 0.06 * max(0, num_qubits - 5)
+    return NoiseModel(
+        error_1q=min(0.05, 0.0004 * scale),
+        error_2q=min(0.30, 0.008 * scale),
+        readout=min(0.30, 0.015 * scale),
+    )
+
+
+def make_device(
+    name: str,
+    num_qubits: int,
+    topology: str = "line",
+    rows: Optional[int] = None,
+    cols: Optional[int] = None,
+    noise: Optional[NoiseModel] = None,
+    shots: int = 8192,
+    seed: Optional[int] = None,
+) -> VirtualDevice:
+    """Build a virtual device with a standard topology and scaled noise."""
+    if topology == "line":
+        coupling = line_coupling(num_qubits)
+    elif topology == "ring":
+        coupling = ring_coupling(num_qubits)
+    elif topology == "grid":
+        if rows is None or cols is None or rows * cols != num_qubits:
+            raise ValueError("grid topology needs rows*cols == num_qubits")
+        coupling = grid_coupling(rows, cols)
+    else:
+        raise ValueError(f"unknown topology {topology!r}")
+    return VirtualDevice(
+        name=name,
+        num_qubits=num_qubits,
+        coupling_map=coupling,
+        noise=noise or _size_scaled_noise(num_qubits),
+        shots=shots,
+        seed=seed,
+    )
+
+
+def bogota(seed: Optional[int] = None) -> VirtualDevice:
+    """5-qubit line — the paper's CutQC execution device (Fig. 11)."""
+    return make_device("virtual-bogota", 5, "line", seed=seed)
+
+
+def vigo(seed: Optional[int] = None) -> VirtualDevice:
+    """Another 5-qubit device (artifact appendix)."""
+    return make_device("virtual-vigo", 5, "line", seed=seed)
+
+
+def melbourne(seed: Optional[int] = None) -> VirtualDevice:
+    """15-qubit device used by the paper's Fig. 12 experiment."""
+    return make_device("virtual-melbourne", 15, "grid", rows=3, cols=5, seed=seed)
+
+
+def johannesburg(seed: Optional[int] = None) -> VirtualDevice:
+    """20-qubit device — the paper's direct-execution baseline (Fig. 11)."""
+    return make_device("virtual-johannesburg", 20, "grid", rows=4, cols=5, seed=seed)
+
+
+def rochester(seed: Optional[int] = None) -> VirtualDevice:
+    """Stand-in for the 53-qubit Rochester (Fig. 1's largest point).
+
+    Approximated as a 54-qubit 6x9 grid; only useful for layout/routing
+    studies — noisy simulation at this size is beyond laptop scale.
+    """
+    return make_device("virtual-rochester", 54, "grid", rows=6, cols=9, seed=seed)
+
+
+DEVICE_PRESETS = {
+    "bogota": bogota,
+    "vigo": vigo,
+    "melbourne": melbourne,
+    "johannesburg": johannesburg,
+    "rochester": rochester,
+}
+
+
+def get_device(name: str, seed: Optional[int] = None) -> VirtualDevice:
+    try:
+        factory = DEVICE_PRESETS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; presets: {sorted(DEVICE_PRESETS)}"
+        ) from None
+    return factory(seed=seed)
+
+
+def fig1_device_suite(seed: Optional[int] = None) -> List[VirtualDevice]:
+    """Increasing-size device ladder for the Fig. 1 reproduction.
+
+    Capped at 20 qubits so the noisy trajectory simulation stays laptop
+    scale (the paper's 53-qubit point needs a 26-qubit noisy simulation;
+    see DESIGN.md).
+    """
+    return [
+        make_device("virtual-5q", 5, "line", seed=seed),
+        make_device("virtual-10q", 10, "grid", rows=2, cols=5, seed=seed),
+        make_device("virtual-15q", 15, "grid", rows=3, cols=5, seed=seed),
+        make_device("virtual-20q", 20, "grid", rows=4, cols=5, seed=seed),
+    ]

@@ -1,0 +1,23 @@
+"""Programmatic experiment runners (the paper's artifact workflow, A.5).
+
+The artifact appendix ships two scripts — ``runtime_test.py`` and
+``fidelity_test.py`` — whose parameters users adjust to customize runs
+(A.7: size of QC, size/type of circuits, threads, devices).  This package
+is the library form of those scripts; ``examples/runtime_test.py`` and
+``examples/fidelity_test.py`` are thin front-ends, and the figure benches
+under ``benchmarks/`` assert the same behaviours under pytest.
+"""
+
+from .fidelity import FidelityExperimentConfig, run_fidelity_experiment
+from .records import DDRecord, FidelityRecord, RuntimeRecord
+from .runtime import RuntimeExperimentConfig, run_runtime_experiment
+
+__all__ = [
+    "FidelityExperimentConfig",
+    "run_fidelity_experiment",
+    "DDRecord",
+    "FidelityRecord",
+    "RuntimeRecord",
+    "RuntimeExperimentConfig",
+    "run_runtime_experiment",
+]

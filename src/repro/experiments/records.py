@@ -1,0 +1,82 @@
+"""Result records shared by the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["RuntimeRecord", "FidelityRecord", "DDRecord"]
+
+
+@dataclass
+class RuntimeRecord:
+    """One configuration of the runtime experiment (paper Fig. 6 row)."""
+
+    benchmark: str
+    num_qubits: int
+    device_size: int
+    num_cuts: Optional[int]
+    postprocess_seconds: Optional[float]
+    simulation_seconds: Optional[float]
+    status: str
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if (
+            self.postprocess_seconds is None
+            or self.simulation_seconds is None
+            or self.postprocess_seconds <= 0
+        ):
+            return None
+        return self.simulation_seconds / self.postprocess_seconds
+
+    def row(self) -> tuple:
+        speedup = self.speedup
+        return (
+            self.benchmark,
+            self.num_qubits,
+            self.device_size,
+            "--" if self.num_cuts is None else self.num_cuts,
+            "--" if self.postprocess_seconds is None else f"{self.postprocess_seconds:.3f}",
+            "--" if self.simulation_seconds is None else f"{self.simulation_seconds:.3f}",
+            "--" if speedup is None else f"{speedup:.1f}x",
+            self.status,
+        )
+
+
+@dataclass
+class FidelityRecord:
+    """One configuration of the fidelity experiment (paper Fig. 11 row)."""
+
+    benchmark: str
+    num_qubits: int
+    chi2_direct: float
+    chi2_cutqc: Optional[float]
+    status: str
+
+    @property
+    def reduction_percent(self) -> Optional[float]:
+        if self.chi2_cutqc is None or self.chi2_direct <= 0:
+            return None
+        return 100.0 * (self.chi2_direct - self.chi2_cutqc) / self.chi2_direct
+
+    def row(self) -> tuple:
+        reduction = self.reduction_percent
+        return (
+            self.benchmark,
+            self.num_qubits,
+            f"{self.chi2_direct:.4f}",
+            "--" if self.chi2_cutqc is None else f"{self.chi2_cutqc:.4f}",
+            "--" if reduction is None else f"{reduction:+.0f}%",
+        )
+
+
+@dataclass
+class DDRecord:
+    """One benchmark's DD trace (paper Fig. 9 series)."""
+
+    benchmark: str
+    num_qubits: int
+    chi2_by_recursion: List[float]
+    cumulative_seconds: List[float]
+    simulation_seconds: float

@@ -1,0 +1,122 @@
+"""The runtime experiment — the artifact appendix's ``runtime_test.py``.
+
+Measures CutQC FD postprocessing against full statevector simulation for
+a configurable set of benchmarks, circuit sizes and virtual QPU sizes
+(paper Fig. 6 / §6.1).  The adjustable parameters mirror the artifact's
+(A.7): device size, circuit sizes, benchmark types, worker count, and
+cost budgets replacing "max system memory".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import CutQC
+from ..cutting import CutSearchError
+from ..library import get_benchmark, valid_sizes
+from ..postprocess import reconstruction_flops
+from ..sim import simulate_probabilities
+from .records import RuntimeRecord
+
+__all__ = ["RuntimeExperimentConfig", "run_runtime_experiment"]
+
+
+@dataclass
+class RuntimeExperimentConfig:
+    """Knobs of the runtime experiment."""
+
+    benchmarks: Sequence[str] = ("supremacy", "aqft", "grover", "bv", "adder", "hwea")
+    device_sizes: Sequence[int] = (6, 8, 10)
+    #: explicit (benchmark, size) pairs; when empty, sizes are derived
+    #: from ``size_range`` per device like the paper's sweeps.
+    cases: Sequence[Tuple[str, int, int]] = ()
+    size_multiplier: float = 2.0
+    max_circuit_qubits: int = 15
+    workers: int = 1
+    flop_budget: float = 2e9
+    variant_budget: int = 25_000
+    verify: bool = True
+    supremacy_depth: int = 8
+    seed: int = 0
+
+
+def _sizes_for(config: RuntimeExperimentConfig, name: str, device: int) -> List[int]:
+    low = device + 1
+    high = min(int(config.size_multiplier * device) + 2, config.max_circuit_qubits)
+    sizes = valid_sizes(name, low, high, even_only=True)
+    picked: List[int] = []
+    if sizes:
+        picked.append(sizes[0])
+        if len(sizes) > 1:
+            picked.append(sizes[-1])
+    return picked
+
+
+def _circuit(config: RuntimeExperimentConfig, name: str, size: int):
+    kwargs = (
+        {"seed": config.seed, "depth": config.supremacy_depth}
+        if name == "supremacy"
+        else {}
+    )
+    return get_benchmark(name, size, **kwargs)
+
+
+def _run_one(
+    config: RuntimeExperimentConfig, name: str, size: int, device: int
+) -> RuntimeRecord:
+    circuit = _circuit(config, name, size)
+    try:
+        pipeline = CutQC(circuit, max_subcircuit_qubits=device)
+        cut = pipeline.cut()
+    except CutSearchError:
+        return RuntimeRecord(name, size, device, None, None, None, "uncuttable")
+    if reconstruction_flops(cut) > config.flop_budget:
+        return RuntimeRecord(
+            name, size, device, cut.num_cuts, None, None, "too costly"
+        )
+    variants = sum(
+        3 ** len(s.meas_lines) * 4 ** len(s.init_lines) for s in cut.subcircuits
+    )
+    if variants > config.variant_budget:
+        return RuntimeRecord(
+            name, size, device, cut.num_cuts, None, None, "too many variants"
+        )
+    pipeline.evaluate()
+    result = pipeline.fd_query(workers=config.workers)
+    began = time.perf_counter()
+    truth = simulate_probabilities(circuit)
+    simulation_seconds = time.perf_counter() - began
+    if config.verify and not np.allclose(result.probabilities, truth, atol=1e-6):
+        return RuntimeRecord(
+            name, size, device, cut.num_cuts, None, None, "MISMATCH"
+        )
+    return RuntimeRecord(
+        benchmark=name,
+        num_qubits=size,
+        device_size=device,
+        num_cuts=cut.num_cuts,
+        postprocess_seconds=result.stats.elapsed_seconds,
+        simulation_seconds=simulation_seconds,
+        status="ok",
+    )
+
+
+def run_runtime_experiment(
+    config: Optional[RuntimeExperimentConfig] = None,
+) -> List[RuntimeRecord]:
+    """Run the sweep; returns one record per configuration."""
+    config = config or RuntimeExperimentConfig()
+    records: List[RuntimeRecord] = []
+    if config.cases:
+        for name, size, device in config.cases:
+            records.append(_run_one(config, name, size, device))
+        return records
+    for device in config.device_sizes:
+        for name in config.benchmarks:
+            for size in _sizes_for(config, name, device):
+                records.append(_run_one(config, name, size, device))
+    return records

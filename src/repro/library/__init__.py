@@ -1,0 +1,105 @@
+"""The paper's six benchmark circuits (§5.3) behind one registry.
+
+Each generator enforces the paper's validity constraints on circuit size
+(near-square grids for supremacy, odd sizes for Grover, even for adder and
+the H-layer benchmarks), and :func:`valid_sizes` reports which sizes a
+sweep may use — mirroring the gaps in the paper's Fig. 6 curves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..circuits import QuantumCircuit
+from .adder import adder, adder_register_width, adder_solution
+from .aqft import aqft, default_approximation_degree, qft
+from .bv import bv, bv_solution
+from .grover import grover, grover_data_qubits, mcx_vchain, mcz
+from .hwea import hwea, hwea_parameter_count
+from .supremacy import grid_shape, supremacy, supremacy_grid, supremacy_valid_sizes
+from .qaoa import maxcut_cost, qaoa_maxcut, random_regular_graph, ring_graph
+
+__all__ = [
+    "BENCHMARKS",
+    "get_benchmark",
+    "valid_sizes",
+    "adder",
+    "adder_register_width",
+    "adder_solution",
+    "aqft",
+    "qft",
+    "default_approximation_degree",
+    "bv",
+    "bv_solution",
+    "grover",
+    "grover_data_qubits",
+    "mcx_vchain",
+    "mcz",
+    "hwea",
+    "hwea_parameter_count",
+    "supremacy",
+    "supremacy_grid",
+    "supremacy_valid_sizes",
+    "grid_shape",
+    "maxcut_cost",
+    "qaoa_maxcut",
+    "random_regular_graph",
+    "ring_graph",
+]
+
+BENCHMARKS = ("supremacy", "aqft", "grover", "bv", "adder", "hwea")
+
+_GENERATORS: Dict[str, Callable[..., QuantumCircuit]] = {
+    "supremacy": supremacy,
+    "aqft": aqft,
+    "grover": grover,
+    "bv": bv,
+    "adder": adder,
+    "hwea": hwea,
+}
+
+
+def get_benchmark(name: str, num_qubits: int, **kwargs) -> QuantumCircuit:
+    """Build benchmark ``name`` at ``num_qubits`` qubits.
+
+    Extra keyword arguments are forwarded to the generator (e.g. ``depth``
+    and ``seed`` for supremacy, ``iterations`` for Grover).
+    """
+    try:
+        generator = _GENERATORS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; expected one of {BENCHMARKS}"
+        ) from None
+    return generator(num_qubits, **kwargs)
+
+
+def _size_ok(name: str, num_qubits: int) -> bool:
+    if num_qubits < 2:
+        return False
+    if name == "supremacy":
+        try:
+            grid_shape(num_qubits)
+        except ValueError:
+            return False
+        return True
+    if name == "grover":
+        return num_qubits >= 3 and num_qubits % 2 == 1
+    if name == "adder":
+        return num_qubits >= 4 and num_qubits % 2 == 0
+    if name in ("aqft", "bv", "hwea"):
+        # The paper examines even sizes for these three (§6.1); the
+        # generators themselves accept any size >= 2.
+        return True
+    return False
+
+
+def valid_sizes(name: str, low: int, high: int, even_only: bool = False) -> List[int]:
+    """Benchmark sizes in ``[low, high]`` honoring the paper's constraints."""
+    name = name.lower()
+    if name not in _GENERATORS:
+        raise ValueError(f"unknown benchmark {name!r}; expected one of {BENCHMARKS}")
+    sizes = [n for n in range(low, high + 1) if _size_ok(name, n)]
+    if even_only and name in ("aqft", "bv", "hwea"):
+        sizes = [n for n in sizes if n % 2 == 0]
+    return sizes

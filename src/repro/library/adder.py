@@ -1,0 +1,111 @@
+"""Cuccaro ripple-carry adder (paper benchmark 5).
+
+``adder(n)`` sums two ``w``-bit registers where ``n = 2w + 2`` (one
+carry-in ancilla plus a carry-out qubit), so only even total sizes are
+valid — exactly the paper's constraint.  Register values are encoded with
+X gates, and the ideal output is the single deterministic state holding
+``a + b``, which makes the adder a convenient fidelity benchmark.
+
+Qubit layout (LSB first): ``cin, b0, a0, b1, a1, ..., cout``.  After the
+circuit, ``b`` holds the sum bits and ``cout`` the final carry; ``a`` and
+``cin`` are restored.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["adder", "adder_register_width", "adder_solution"]
+
+
+def adder_register_width(num_qubits: int) -> int:
+    """Register width ``w`` for an ``n = 2w + 2`` qubit adder."""
+    if num_qubits < 4 or num_qubits % 2:
+        raise ValueError(
+            f"adder circuits need an even qubit count >= 4, got {num_qubits}"
+        )
+    return (num_qubits - 2) // 2
+
+
+def _maj(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    circuit.ccx(c, b, a)
+
+
+def _uma(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def _register_values(
+    width: int, a_value: Optional[int], b_value: Optional[int], seed: Optional[int]
+) -> tuple:
+    limit = 1 << width
+    if a_value is None or b_value is None:
+        rng = np.random.default_rng(seed if seed is not None else 2021)
+        if a_value is None:
+            a_value = int(rng.integers(limit))
+        if b_value is None:
+            b_value = int(rng.integers(limit))
+    if not 0 <= a_value < limit or not 0 <= b_value < limit:
+        raise ValueError(f"register values must be in [0, {limit})")
+    return a_value, b_value
+
+
+def adder(
+    num_qubits: int,
+    a_value: Optional[int] = None,
+    b_value: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder computing ``b := a + b``."""
+    width = adder_register_width(num_qubits)
+    a_value, b_value = _register_values(width, a_value, b_value, seed)
+
+    cin = 0
+    b_qubits = [1 + 2 * i for i in range(width)]
+    a_qubits = [2 + 2 * i for i in range(width)]
+    cout = num_qubits - 1
+
+    circuit = QuantumCircuit(num_qubits)
+    for bit in range(width):
+        if (a_value >> bit) & 1:
+            circuit.x(a_qubits[bit])
+        if (b_value >> bit) & 1:
+            circuit.x(b_qubits[bit])
+
+    carries = [cin] + a_qubits[:-1]
+    for i in range(width):
+        _maj(circuit, carries[i], b_qubits[i], a_qubits[i])
+    circuit.cx(a_qubits[-1], cout)
+    for i in reversed(range(width)):
+        _uma(circuit, carries[i], b_qubits[i], a_qubits[i])
+    return circuit
+
+
+def adder_solution(
+    num_qubits: int,
+    a_value: Optional[int] = None,
+    b_value: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """The deterministic ideal output bitstring of :func:`adder`.
+
+    The string is in wire order (qubit 0 first), matching the package's
+    basis-state convention.
+    """
+    width = adder_register_width(num_qubits)
+    a_value, b_value = _register_values(width, a_value, b_value, seed)
+    total = a_value + b_value
+    bits = ["0"] * num_qubits
+    for bit in range(width):
+        bits[1 + 2 * bit] = str((total >> bit) & 1)  # sum bit in b register
+        bits[2 + 2 * bit] = str((a_value >> bit) & 1)  # a register restored
+    bits[num_qubits - 1] = str((total >> width) & 1)  # carry out
+    return "".join(bits)

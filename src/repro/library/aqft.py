@@ -1,0 +1,53 @@
+"""Approximate Quantum Fourier Transform (paper benchmark 2).
+
+The exact QFT applies, after the Hadamard on qubit ``i``, controlled-phase
+rotations ``CP(pi / 2^(j-i))`` from every later qubit ``j``.  The AQFT
+drops rotations smaller than a threshold — Barenco et al. show that a
+degree of about ``log2(n) + 2`` preserves accuracy while shortening the
+circuit, which is why the paper benchmarks AQFT rather than full QFT on
+NISQ devices.
+
+The final swap network is omitted (it only relabels output bits and would
+add 2-qubit gates with no computational content), matching the reference
+CutQC benchmark generator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["aqft", "qft", "default_approximation_degree"]
+
+
+def default_approximation_degree(num_qubits: int) -> int:
+    """The ``log2(n) + 2`` rule of thumb from Barenco et al."""
+    return max(1, math.ceil(math.log2(num_qubits)) + 2) if num_qubits > 1 else 1
+
+
+def aqft(num_qubits: int, approximation_degree: Optional[int] = None) -> QuantumCircuit:
+    """AQFT keeping controlled phases ``CP(pi/2^k)`` with ``k < degree``."""
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    degree = (
+        default_approximation_degree(num_qubits)
+        if approximation_degree is None
+        else approximation_degree
+    )
+    if degree < 1:
+        raise ValueError("approximation_degree must be >= 1")
+    circuit = QuantumCircuit(num_qubits)
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            distance = control - target
+            if distance < degree:
+                circuit.cp(math.pi / (1 << distance), control, target)
+    return circuit
+
+
+def qft(num_qubits: int) -> QuantumCircuit:
+    """Exact QFT (no rotation dropped, no final swaps)."""
+    return aqft(num_qubits, approximation_degree=num_qubits)

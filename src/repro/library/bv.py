@@ -1,0 +1,60 @@
+"""Bernstein–Vazirani circuits (paper benchmark 4, and Figures 1 and 7).
+
+``bv(n)`` uses ``n - 1`` data qubits plus one oracle ancilla (the last
+qubit).  The hidden string defaults to all ones, which keeps the circuit
+fully connected — a requirement of the cut model (a zero bit would leave
+its wire without any multiqubit gate).  A trailing Hadamard returns the
+ancilla to |1>, so the ideal output is the single deterministic state
+``s + "1"`` — the "solution state" the DD query of Fig. 7 locates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["bv", "bv_solution"]
+
+
+def _check_string(num_qubits: int, hidden_string: Optional[Sequence[int]]):
+    data_qubits = num_qubits - 1
+    if hidden_string is None:
+        bits = [1] * data_qubits
+    else:
+        bits = [int(b) for b in hidden_string]
+        if len(bits) != data_qubits:
+            raise ValueError(
+                f"hidden string of length {len(bits)} does not match "
+                f"{data_qubits} data qubits"
+            )
+        if any(b not in (0, 1) for b in bits):
+            raise ValueError("hidden string must be binary")
+    return bits
+
+
+def bv(num_qubits: int, hidden_string: Optional[Sequence[int]] = None) -> QuantumCircuit:
+    """Bernstein–Vazirani on ``num_qubits`` total qubits (ancilla last)."""
+    if num_qubits < 2:
+        raise ValueError("BV needs at least 2 qubits (1 data + 1 ancilla)")
+    bits = _check_string(num_qubits, hidden_string)
+    if not any(bits):
+        raise ValueError("hidden string must contain at least one 1 bit")
+    ancilla = num_qubits - 1
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(num_qubits - 1):
+        circuit.h(qubit)
+    circuit.x(ancilla).h(ancilla)
+    for qubit, bit in enumerate(bits):
+        if bit:
+            circuit.cx(qubit, ancilla)
+    for qubit in range(num_qubits - 1):
+        circuit.h(qubit)
+    circuit.h(ancilla)  # return the |-> ancilla to a deterministic |1>
+    return circuit
+
+
+def bv_solution(num_qubits: int, hidden_string: Optional[Sequence[int]] = None) -> str:
+    """The deterministic ideal output bitstring of :func:`bv`."""
+    bits = _check_string(num_qubits, hidden_string)
+    return "".join(str(b) for b in bits) + "1"

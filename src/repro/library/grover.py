@@ -1,0 +1,112 @@
+"""Grover search circuits (paper benchmark 3).
+
+Following the paper's Qiskit-based construction, a circuit on ``n`` total
+qubits (``n`` odd) splits into ``d = (n + 1) // 2`` data qubits and
+``d - 1`` ancilla qubits used by the V-chain decomposition of the
+multi-controlled-Z in the oracle and diffusion operators.  The oracle
+marks the all-ones data state.
+
+Multi-qubit primitives are decomposed down to 1-/2-qubit gates on the fly
+(Toffoli via the standard 6-CX network), so the emitted circuits are
+directly cuttable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["grover", "grover_data_qubits", "mcz", "mcx_vchain"]
+
+
+def mcx_vchain(
+    circuit: QuantumCircuit,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+) -> QuantumCircuit:
+    """Multi-controlled X via the V-chain of Toffolis (k-2 ancillas)."""
+    controls = list(controls)
+    k = len(controls)
+    if k == 0:
+        return circuit.x(target)
+    if k == 1:
+        return circuit.cx(controls[0], target)
+    if k == 2:
+        return circuit.ccx(controls[0], controls[1], target)
+    needed = k - 2
+    if len(ancillas) < needed:
+        raise ValueError(f"{k}-controlled X needs {needed} ancillas, got {len(ancillas)}")
+    chain = list(ancillas[:needed])
+    circuit.ccx(controls[0], controls[1], chain[0])
+    for i in range(1, needed):
+        circuit.ccx(controls[i + 1], chain[i - 1], chain[i])
+    circuit.ccx(controls[k - 1], chain[-1], target)
+    for i in reversed(range(1, needed)):
+        circuit.ccx(controls[i + 1], chain[i - 1], chain[i])
+    circuit.ccx(controls[0], controls[1], chain[0])
+    return circuit
+
+
+def mcz(
+    circuit: QuantumCircuit,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+) -> QuantumCircuit:
+    """Multi-controlled Z: conjugate the V-chain MCX by Hadamards."""
+    controls = list(controls)
+    if not controls:
+        return circuit.z(target)
+    if len(controls) == 1:
+        return circuit.cz(controls[0], target)
+    if len(controls) == 2:
+        return circuit.ccz(controls[0], controls[1], target)
+    circuit.h(target)
+    mcx_vchain(circuit, controls, target, ancillas)
+    circuit.h(target)
+    return circuit
+
+
+def grover_data_qubits(num_qubits: int) -> int:
+    """Number of data qubits for an ``num_qubits``-qubit Grover circuit.
+
+    The circuit has ``d`` data qubits plus the ``d - 3`` ancillas its
+    V-chain multi-controlled-Z consumes, so ``num_qubits = 2d - 3`` and
+    only odd total sizes are valid — the same odd-only constraint the
+    paper's Qiskit construction has (every ancilla wire actually carries
+    gates, keeping the circuit fully connected for the cut model).
+    """
+    if num_qubits < 3 or num_qubits % 2 == 0:
+        raise ValueError(
+            f"Grover circuits need an odd qubit count >= 3, got {num_qubits}"
+        )
+    return (num_qubits + 3) // 2
+
+
+def grover(num_qubits: int, iterations: int = 1) -> QuantumCircuit:
+    """Grover search marking the all-ones state of the data register.
+
+    Data qubits are ``0 .. d-1``; ancillas are ``d .. n-1`` and return to
+    |0> after every oracle/diffusion application.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be positive")
+    data = grover_data_qubits(num_qubits)
+    ancillas = list(range(data, num_qubits))
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(data):
+        circuit.h(qubit)
+    for _ in range(iterations):
+        # Oracle: flip the phase of |1...1> on the data register.
+        mcz(circuit, list(range(data - 1)), data - 1, ancillas)
+        # Diffusion: invert about the mean.
+        for qubit in range(data):
+            circuit.h(qubit)
+            circuit.x(qubit)
+        mcz(circuit, list(range(data - 1)), data - 1, ancillas)
+        for qubit in range(data):
+            circuit.x(qubit)
+            circuit.h(qubit)
+    return circuit

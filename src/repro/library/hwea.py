@@ -1,0 +1,82 @@
+"""Hardware-efficient ansatz (paper benchmark 6).
+
+A layered variational circuit: per-qubit RY/RZ rotations followed by a
+linear CX entangling chain, repeated ``layers`` times with a trailing
+rotation layer.  The default (no explicit parameters) reproduces the
+configuration the paper's Fig. 9 describes — an ansatz whose ideal output
+has exactly *two* maximally-entangled solution states (a GHZ state): only
+qubit 0 gets a non-trivial RY(pi/2), so the CX chain spreads the
+superposition into (|0...0> + |1...1>)/sqrt(2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import math
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["hwea", "hwea_parameter_count"]
+
+
+def hwea_parameter_count(num_qubits: int, layers: int = 1) -> int:
+    """Number of rotation parameters (2 per qubit per rotation layer)."""
+    return 2 * num_qubits * (layers + 1)
+
+
+def hwea(
+    num_qubits: int,
+    layers: int = 1,
+    parameters: Optional[Sequence[float]] = None,
+    seed: Optional[int] = None,
+) -> QuantumCircuit:
+    """Hardware-efficient ansatz with linear CX entanglement.
+
+    Parameters
+    ----------
+    parameters:
+        Flat sequence of ``hwea_parameter_count(num_qubits, layers)``
+        angles, consumed as (RY, RZ) pairs qubit-by-qubit, layer-by-layer.
+        When omitted, the GHZ configuration described above is used (and
+        ``seed`` randomizes only the inert RZ phases so circuits are not
+        degenerate).
+    """
+    if num_qubits < 2:
+        raise ValueError("hwea needs at least 2 qubits")
+    if layers < 1:
+        raise ValueError("layers must be positive")
+
+    if parameters is not None:
+        expected = hwea_parameter_count(num_qubits, layers)
+        angles = [float(p) for p in parameters]
+        if len(angles) != expected:
+            raise ValueError(f"expected {expected} parameters, got {len(angles)}")
+    else:
+        rng = np.random.default_rng(seed if seed is not None else 7)
+        angles = []
+        for layer in range(layers + 1):
+            for qubit in range(num_qubits):
+                if layer == 0 and qubit == 0:
+                    ry_angle = math.pi / 2.0  # open the GHZ superposition
+                else:
+                    ry_angle = 0.0
+                rz_angle = float(rng.uniform(0, 2 * math.pi)) if layer == 0 else 0.0
+                angles.extend([ry_angle, rz_angle])
+
+    circuit = QuantumCircuit(num_qubits)
+    cursor = 0
+    for layer in range(layers + 1):
+        for qubit in range(num_qubits):
+            ry_angle, rz_angle = angles[cursor], angles[cursor + 1]
+            cursor += 2
+            if ry_angle:
+                circuit.ry(ry_angle, qubit)
+            if rz_angle:
+                circuit.rz(rz_angle, qubit)
+        if layer < layers:
+            for qubit in range(num_qubits - 1):
+                circuit.cx(qubit, qubit + 1)
+    return circuit

@@ -1,0 +1,124 @@
+"""2-D random "supremacy" circuits (paper benchmark 1, adapted from Boixo).
+
+Qubits sit on a ``rows x cols`` grid.  After an initial Hadamard layer,
+each cycle applies one pattern of non-overlapping CZ gates (alternating
+horizontal/vertical brick patterns) and random single-qubit gates from
+{sqrt(X), sqrt(Y), T} on the idle qubits, with no immediate repetition per
+qubit and T as each qubit's first random gate — the structure that makes
+these circuits produce dense (Porter–Thomas-like) output and makes them
+hard to cut.
+
+The paper evaluates only *near-square* shapes (the two dimensions differing
+by at most 2), which is what :func:`supremacy` selects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["supremacy_grid", "supremacy", "supremacy_valid_sizes", "grid_shape"]
+
+_RANDOM_1Q = ("t", "sx", "sy")
+
+
+#: Boixo et al.'s 8-configuration rotation: each grid coupling activates
+#: roughly once per 8 cycles, which is what keeps near-square supremacy
+#: circuits cuttable with a handful of cuts (paper §5.3).
+_CONFIGS = ("h0", "h1", "v0", "v1", "h2", "h3", "v2", "v3")
+
+
+def _cz_layer(rows: int, cols: int, cycle: int) -> List[Tuple[int, int]]:
+    """Non-overlapping CZ pairs for one cycle (8-configuration rotation)."""
+    config = _CONFIGS[cycle % len(_CONFIGS)]
+    variant = int(config[1])
+    pairs: List[Tuple[int, int]] = []
+    if config[0] == "h":
+        for r in range(rows):
+            for c in range(cols - 1):
+                if c % 2 == variant % 2 and r % 2 == variant // 2:
+                    pairs.append((r * cols + c, r * cols + c + 1))
+    else:
+        for r in range(rows - 1):
+            for c in range(cols):
+                if r % 2 == variant % 2 and c % 2 == variant // 2:
+                    pairs.append((r * cols + c, (r + 1) * cols + c))
+    return pairs
+
+
+def supremacy_grid(
+    rows: int, cols: int, depth: int = 10, seed: Optional[int] = None
+) -> QuantumCircuit:
+    """Random circuit on a ``rows x cols`` grid with ``depth`` CZ cycles."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid must contain at least 2 qubits")
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    rng = np.random.default_rng(seed)
+    num_qubits = rows * cols
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+
+    last_1q = ["h"] * num_qubits
+    for cycle in range(depth):
+        pairs = _cz_layer(rows, cols, cycle)
+        busy = {q for pair in pairs for q in pair}
+        for a, b in pairs:
+            circuit.cz(a, b)
+        for qubit in range(num_qubits):
+            if qubit in busy:
+                continue
+            if last_1q[qubit] == "h":
+                choice = "t"  # first random gate on each qubit is T
+            else:
+                options = [g for g in _RANDOM_1Q if g != last_1q[qubit]]
+                choice = options[rng.integers(len(options))]
+            circuit.add(choice, (qubit,))
+            last_1q[qubit] = choice
+    return circuit
+
+
+def grid_shape(num_qubits: int, max_aspect_delta: int = 2) -> Tuple[int, int]:
+    """Pick a near-square ``rows x cols`` factorization of ``num_qubits``.
+
+    Raises ``ValueError`` if no factor pair with ``|rows - cols| <=
+    max_aspect_delta`` exists (matching the paper, not every size is a
+    valid supremacy benchmark).
+    """
+    best: Optional[Tuple[int, int]] = None
+    for rows in range(1, int(num_qubits**0.5) + 1):
+        if num_qubits % rows:
+            continue
+        cols = num_qubits // rows
+        if abs(rows - cols) <= max_aspect_delta:
+            if best is None or abs(rows - cols) < abs(best[0] - best[1]):
+                best = (rows, cols)
+    if best is None:
+        raise ValueError(
+            f"{num_qubits} qubits has no near-square grid factorization"
+        )
+    return best
+
+
+def supremacy(
+    num_qubits: int, depth: int = 10, seed: Optional[int] = None
+) -> QuantumCircuit:
+    """Near-square supremacy circuit with ``num_qubits`` qubits."""
+    rows, cols = grid_shape(num_qubits)
+    return supremacy_grid(rows, cols, depth=depth, seed=seed)
+
+
+def supremacy_valid_sizes(low: int, high: int) -> List[int]:
+    """Sizes in ``[low, high]`` admitting a near-square grid."""
+    sizes = []
+    for n in range(max(2, low), high + 1):
+        try:
+            grid_shape(n)
+        except ValueError:
+            continue
+        sizes.append(n)
+    return sizes

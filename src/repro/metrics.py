@@ -1,0 +1,65 @@
+"""Output-quality metrics: the paper's chi^2 loss (Eq. 16) and friends."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "chi_square_loss",
+    "chi_square_reduction",
+    "fidelity",
+    "total_variation_distance",
+    "hellinger_fidelity",
+]
+
+
+def chi_square_loss(observed: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Eq. 16: sum_i (a_i - b_i)^2 / (a_i + b_i), with 0/0 terms dropped.
+
+    ``observed`` are the execution probabilities (modes b/c of Fig. 2) and
+    ``ground_truth`` the statevector probabilities (mode a).  Smaller is
+    better; 0 means an exact match.
+    """
+    observed = np.asarray(observed, dtype=float)
+    ground_truth = np.asarray(ground_truth, dtype=float)
+    if observed.shape != ground_truth.shape:
+        raise ValueError(
+            f"shape mismatch: {observed.shape} vs {ground_truth.shape}"
+        )
+    denominator = observed + ground_truth
+    mask = denominator > 0
+    numerator = (observed - ground_truth) ** 2
+    return float((numerator[mask] / denominator[mask]).sum())
+
+
+def chi_square_reduction(chi2_direct: float, chi2_cutqc: float) -> float:
+    """Fig. 11's percentage reduction: ``100 * (chi_J - chi_B) / chi_J``."""
+    if chi2_direct <= 0:
+        raise ValueError("direct-execution chi^2 must be positive")
+    return 100.0 * (chi2_direct - chi2_cutqc) / chi2_direct
+
+
+def fidelity(observed: np.ndarray, solution_index: int) -> float:
+    """Correct-answer probability, the Fig. 1 fidelity metric."""
+    observed = np.asarray(observed, dtype=float)
+    if not 0 <= solution_index < observed.size:
+        raise ValueError(f"solution index {solution_index} out of range")
+    return float(observed[solution_index])
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Half the L1 distance between two distributions."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def hellinger_fidelity(p: np.ndarray, q: np.ndarray) -> float:
+    """Classical fidelity ``(sum_i sqrt(p_i q_i))^2`` between distributions."""
+    p = np.clip(np.asarray(p, dtype=float), 0.0, None)
+    q = np.clip(np.asarray(q, dtype=float), 0.0, None)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return float(np.sqrt(p * q).sum() ** 2)

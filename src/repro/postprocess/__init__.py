@@ -1,0 +1,54 @@
+"""Classical postprocessing: attribution, FD reconstruction, DD query."""
+
+from .attribution import (
+    ATTRIBUTION_BASES,
+    DOWNSTREAM_TERMS,
+    UPSTREAM_TERMS,
+    TermTensor,
+    attributed_vector,
+    build_term_tensor,
+)
+from .reconstruct import (
+    ReconstructionResult,
+    ReconstructionStats,
+    Reconstructor,
+    binned_tensor,
+    reconstruct_full,
+)
+from .dd import (
+    Bin,
+    DDRecursion,
+    DynamicDefinitionQuery,
+    PrecomputedTensorProvider,
+)
+from .cost import (
+    classical_simulation_flops,
+    estimate_speedup,
+    reconstruction_flops,
+)
+from .synthetic import RandomTensorProvider
+from .shots import ShotBasedTensorProvider, estimate_required_shots
+
+__all__ = [
+    "ATTRIBUTION_BASES",
+    "DOWNSTREAM_TERMS",
+    "UPSTREAM_TERMS",
+    "TermTensor",
+    "attributed_vector",
+    "build_term_tensor",
+    "ReconstructionResult",
+    "ReconstructionStats",
+    "Reconstructor",
+    "binned_tensor",
+    "reconstruct_full",
+    "Bin",
+    "DDRecursion",
+    "DynamicDefinitionQuery",
+    "PrecomputedTensorProvider",
+    "classical_simulation_flops",
+    "estimate_speedup",
+    "reconstruction_flops",
+    "RandomTensorProvider",
+    "ShotBasedTensorProvider",
+    "estimate_required_shots",
+]

@@ -1,0 +1,212 @@
+"""Turn raw subcircuit results into per-cut *term tensors*.
+
+Equation (2) expands every cut into four paired terms.  For the upstream
+(measured) side the four terms are linear combinations of the attributed
+Pauli-basis results::
+
+    t1 = p_I + p_Z     t2 = p_I - p_Z     t3 = p_X     t4 = p_Y
+
+and for the downstream (initialized) side::
+
+    t1 = q_0           t2 = q_1
+    t3 = 2 q_+  - q_0 - q_1
+    t4 = 2 q_+i - q_0 - q_1
+
+where ``p_M`` is the subcircuit distribution measured in basis ``M`` with
+the cut qubit *attributed away* with signs per Eq. (3) (+ for outcome 0,
+- for outcome 1; basis I attributes both outcomes with +), and ``q_s`` is
+the distribution with the cut qubit initialized to ``s``.
+
+A subcircuit touching ``m`` cuts therefore yields a tensor with one
+length-4 axis per cut plus a length ``2^f`` axis of effective outputs; the
+reconstructor combines these tensors over all ``4^K`` assignments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..cutting.cutter import Subcircuit
+from ..cutting.variants import INIT_LABELS, SubcircuitResult
+
+__all__ = [
+    "UPSTREAM_TERMS",
+    "DOWNSTREAM_TERMS",
+    "ATTRIBUTION_BASES",
+    "TermTensor",
+    "build_term_tensor",
+    "attributed_vector",
+]
+
+#: Attribution bases, in the axis order used below (I reuses the Z circuit).
+ATTRIBUTION_BASES: Tuple[str, ...] = ("I", "X", "Y", "Z")
+
+#: Rows = the four cut terms, columns = attributed bases (I, X, Y, Z).
+UPSTREAM_TERMS = np.array(
+    [
+        [1.0, 0.0, 0.0, 1.0],   # t1 = p_I + p_Z
+        [1.0, 0.0, 0.0, -1.0],  # t2 = p_I - p_Z
+        [0.0, 1.0, 0.0, 0.0],   # t3 = p_X
+        [0.0, 0.0, 1.0, 0.0],   # t4 = p_Y
+    ]
+)
+
+#: Rows = the four cut terms, columns = init states (|0>, |1>, |+>, |+i>).
+DOWNSTREAM_TERMS = np.array(
+    [
+        [1.0, 0.0, 0.0, 0.0],    # t1 = q_0
+        [0.0, 1.0, 0.0, 0.0],    # t2 = q_1
+        [-1.0, -1.0, 2.0, 0.0],  # t3 = 2 q_plus - q_0 - q_1
+        [-1.0, -1.0, 0.0, 2.0],  # t4 = 2 q_plus_i - q_0 - q_1
+    ]
+)
+
+_SIGNS = {
+    "I": np.array([1.0, 1.0]),
+    "X": np.array([1.0, -1.0]),
+    "Y": np.array([1.0, -1.0]),
+    "Z": np.array([1.0, -1.0]),
+}
+
+
+def attributed_vector(
+    subcircuit: Subcircuit,
+    raw_vector: np.ndarray,
+    bases: Sequence[str],
+) -> np.ndarray:
+    """Attribute the cut-measure qubits away with Eq. (3) signs.
+
+    ``raw_vector`` is the physical distribution of the variant whose
+    measurement circuits implement ``bases`` (I is implemented by the Z
+    circuit); the result is a signed pseudo-distribution over the
+    subcircuit's effective (output) qubits, in line order.
+    """
+    meas_lines = subcircuit.meas_lines
+    if len(bases) != len(meas_lines):
+        raise ValueError(
+            f"{len(bases)} bases for {len(meas_lines)} measurement lines"
+        )
+    tensor = np.asarray(raw_vector, dtype=float).reshape((2,) * subcircuit.width)
+    # Contract measurement axes from highest line index down so earlier
+    # axis positions stay valid.
+    pairs = sorted(
+        zip((line.line for line in meas_lines), bases), reverse=True
+    )
+    for axis, basis in pairs:
+        signs = _SIGNS[basis]
+        tensor = np.tensordot(tensor, signs, axes=([axis], [0]))
+    return tensor.reshape(-1)
+
+
+@dataclass
+class TermTensor:
+    """All 4-term combinations of one subcircuit, ready for reconstruction.
+
+    ``data[row]`` is the effective-output vector for the cut-term
+    assignment encoded by ``row``: with ``cut_order = [c1, ..., cm]``,
+    ``row = t(c1) * 4^(m-1) + ... + t(cm)`` where ``t(c)`` in 0..3.
+    """
+
+    subcircuit_index: int
+    cut_order: List[int]
+    num_effective: int
+    data: np.ndarray  # shape (4^m, 2^f)
+    nonzero: np.ndarray  # bool per row — rows of all zeros can be skipped
+
+    @property
+    def num_cuts(self) -> int:
+        return len(self.cut_order)
+
+    def row_for(self, terms: Dict[int, int]) -> int:
+        """Row index for a global cut->term assignment."""
+        row = 0
+        for cut_id in self.cut_order:
+            row = row * 4 + terms[cut_id]
+        return row
+
+    def vector(self, terms: Dict[int, int]) -> np.ndarray:
+        return self.data[self.row_for(terms)]
+
+
+def build_term_tensor(result: SubcircuitResult) -> TermTensor:
+    """Apply attribution and the 4-term transforms to raw variant results."""
+    subcircuit = result.subcircuit
+    init_lines = subcircuit.init_lines
+    meas_lines = subcircuit.meas_lines
+    num_init = len(init_lines)
+    num_meas = len(meas_lines)
+    num_effective = subcircuit.num_effective
+    vec_len = 1 << num_effective
+
+    # Raw attributed tensor: one length-4 axis per init line, one per
+    # measurement line (in ATTRIBUTION_BASES order), then the output axis.
+    shape = (4,) * (num_init + num_meas) + (vec_len,)
+    attributed = np.zeros(shape)
+    for init_combo in itertools.product(range(4), repeat=num_init):
+        init_labels = tuple(INIT_LABELS[i] for i in init_combo)
+        for basis_combo in itertools.product(range(4), repeat=num_meas):
+            bases = tuple(ATTRIBUTION_BASES[b] for b in basis_combo)
+            physical = tuple("Z" if b == "I" else b for b in bases)
+            raw = result.vector(init_labels, physical)
+            attributed[init_combo + basis_combo] = attributed_vector(
+                subcircuit, raw, bases
+            )
+
+    axis_cut_ids = [line.init_cut for line in init_lines] + [
+        line.meas_cut for line in meas_lines
+    ]
+    return transform_attributed_to_terms(
+        attributed,
+        num_init=num_init,
+        num_meas=num_meas,
+        axis_cut_ids=axis_cut_ids,
+        num_effective=num_effective,
+        subcircuit_index=subcircuit.index,
+    )
+
+
+def transform_attributed_to_terms(
+    attributed: np.ndarray,
+    num_init: int,
+    num_meas: int,
+    axis_cut_ids: Sequence[int],
+    num_effective: int,
+    subcircuit_index: int,
+) -> TermTensor:
+    """Apply the 4-term transforms and canonicalize cut-axis order.
+
+    ``attributed`` has one length-4 axis per init cut (init-state index),
+    one length-4 axis per measurement cut (attributed basis index in
+    :data:`ATTRIBUTION_BASES` order) and a trailing output axis.
+    """
+    vec_len = attributed.shape[-1]
+    tensor = attributed
+    for axis in range(num_init):
+        tensor = np.moveaxis(
+            np.tensordot(DOWNSTREAM_TERMS, tensor, axes=([1], [axis])), 0, axis
+        )
+    for offset in range(num_meas):
+        axis = num_init + offset
+        tensor = np.moveaxis(
+            np.tensordot(UPSTREAM_TERMS, tensor, axes=([1], [axis])), 0, axis
+        )
+
+    # Reorder the cut axes to ascending cut id (the reconstructor's
+    # canonical order) and flatten to (4^m, 2^f).
+    order = sorted(range(len(axis_cut_ids)), key=lambda i: axis_cut_ids[i])
+    tensor = np.transpose(tensor, axes=list(order) + [len(axis_cut_ids)])
+    cut_order = [axis_cut_ids[i] for i in order]
+
+    data = tensor.reshape(4 ** len(cut_order), vec_len)
+    nonzero = np.any(data != 0.0, axis=1)
+    return TermTensor(
+        subcircuit_index=subcircuit_index,
+        cut_order=cut_order,
+        num_effective=num_effective,
+        data=data,
+        nonzero=nonzero,
+    )

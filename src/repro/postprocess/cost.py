@@ -1,0 +1,63 @@
+"""Cost models: Eq. (14) FLOP estimator and classical-simulation baseline.
+
+The paper's MIP minimizes the number of floating-point multiplications of
+the FD build step (Eq. 14).  The same expression, paired with a simple
+statevector-simulation cost model, lets us extrapolate the *shape* of
+Fig. 6 and Fig. 10 to the paper's full 35-100 qubit scale on hardware that
+cannot hold those vectors (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits import QuantumCircuit
+from ..cutting.cutter import CutCircuit
+from ..cutting.model import objective_from_f
+
+__all__ = [
+    "reconstruction_flops",
+    "classical_simulation_flops",
+    "estimate_speedup",
+    "dd_recursion_flops",
+]
+
+
+def reconstruction_flops(cut: CutCircuit) -> float:
+    """Eq. (14) priced on an actual cut circuit (greedy order)."""
+    f_values = [sub.num_effective for sub in cut.subcircuits]
+    return objective_from_f(cut.num_cuts, f_values)
+
+
+def classical_simulation_flops(circuit: QuantumCircuit) -> float:
+    """Statevector-simulation cost model: each k-qubit gate touches the
+    full 2**n state with a 2**k-wide contraction."""
+    total = 0.0
+    state = float(1 << circuit.num_qubits)
+    for gate in circuit:
+        total += state * float(1 << gate.num_qubits)
+    return total
+
+
+def estimate_speedup(cut: CutCircuit) -> float:
+    """Modelled classical-simulation / CutQC postprocessing FLOP ratio.
+
+    Ignores quantum-device time like the paper (§5.1: gate times are
+    nanoseconds; subcircuits run in parallel on QPUs) and counts only the
+    dominant classical work on each side.
+    """
+    build = reconstruction_flops(cut)
+    if build <= 0:
+        return float("inf")
+    return classical_simulation_flops(cut.circuit) / build
+
+
+def dd_recursion_flops(
+    num_cuts: int, active_per_subcircuit: Sequence[int]
+) -> float:
+    """Cost of one DD recursion with the given active-qubit split.
+
+    Identical to Eq. (14) but with the merged subcircuit outputs: ``f_c``
+    becomes the number of *active* output qubits each subcircuit retains.
+    """
+    return objective_from_f(num_cuts, list(active_per_subcircuit))

@@ -1,0 +1,272 @@
+"""Dynamic-definition (DD) query — paper §4.3, Algorithm 1.
+
+DD reconstructs a *binned* view of the uncut distribution: a chosen subset
+of qubits is ``active`` (their states resolved), the rest are ``merged``
+(probabilities summed per bin).  Recursions zoom into the highest-
+probability bin by fixing its active qubits (``zoomed``) and activating a
+fresh batch of merged qubits, so solution states of sparse circuits are
+located in O(n) recursions and dense distributions can be sampled at any
+definition without ever storing the full 2**n vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..cutting.cutter import CutCircuit
+from ..cutting.variants import SubcircuitResult
+from ..utils import permute_qubits
+from .attribution import TermTensor, build_term_tensor
+from .reconstruct import _accumulate_range, binned_tensor
+
+__all__ = [
+    "Bin",
+    "DDRecursion",
+    "TensorProvider",
+    "PrecomputedTensorProvider",
+    "DynamicDefinitionQuery",
+]
+
+Role = Tuple  # ("active",) | ("merged",) | ("fixed", bit)
+
+
+@dataclass
+class Bin:
+    """One probability bin: fixed (zoomed) qubits + one active-qubit state."""
+
+    fixed: Dict[int, int]
+    active: Tuple[int, ...]
+    index: int
+    probability: float
+    recursion: int
+    zoomed: bool = False  # True once a later recursion refined this bin
+
+    @property
+    def assignment(self) -> Dict[int, int]:
+        """All resolved qubits: fixed plus this bin's active-qubit bits."""
+        resolved = dict(self.fixed)
+        width = len(self.active)
+        for position, wire in enumerate(self.active):
+            resolved[wire] = (self.index >> (width - 1 - position)) & 1
+        return resolved
+
+    def merged_wires(self, num_qubits: int) -> List[int]:
+        resolved = self.assignment
+        return [w for w in range(num_qubits) if w not in resolved]
+
+
+@dataclass
+class DDRecursion:
+    """The output of one DD recursion (one reconstruction pass)."""
+
+    index: int
+    fixed: Dict[int, int]
+    active: Tuple[int, ...]
+    probabilities: np.ndarray
+    elapsed_seconds: float
+    parent_bin: Optional[Bin] = None
+
+
+class TensorProvider(Protocol):
+    """Supplies collapsed term tensors for a DD qubit-role spec."""
+
+    @property
+    def num_qubits(self) -> int: ...
+
+    @property
+    def num_cuts(self) -> int: ...
+
+    def collapsed(
+        self, roles: Dict[int, Role]
+    ) -> List[Tuple[TermTensor, List[int]]]: ...
+
+
+class PrecomputedTensorProvider:
+    """Default provider: collapse fully-evaluated subcircuit term tensors."""
+
+    def __init__(
+        self,
+        cut_circuit: CutCircuit,
+        results: Optional[Sequence[SubcircuitResult]] = None,
+        tensors: Optional[Sequence[TermTensor]] = None,
+    ):
+        self.cut_circuit = cut_circuit
+        if tensors is None:
+            if results is None:
+                raise ValueError("provide subcircuit results or term tensors")
+            tensors = [build_term_tensor(result) for result in results]
+        self.tensors = sorted(tensors, key=lambda t: t.subcircuit_index)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.cut_circuit.circuit.num_qubits
+
+    @property
+    def num_cuts(self) -> int:
+        return self.cut_circuit.num_cuts
+
+    def collapsed(self, roles: Dict[int, Role]):
+        return [
+            binned_tensor(tensor, self.cut_circuit.subcircuits[i], roles)
+            for i, tensor in enumerate(self.tensors)
+        ]
+
+
+class DynamicDefinitionQuery:
+    """Algorithm 1: recursive zoom-in over probability bins."""
+
+    def __init__(
+        self,
+        provider: TensorProvider,
+        max_active_qubits: int,
+        active_order: Optional[Sequence[int]] = None,
+    ):
+        if max_active_qubits < 1:
+            raise ValueError("max_active_qubits must be positive")
+        self.provider = provider
+        self.max_active_qubits = int(max_active_qubits)
+        order = (
+            list(range(provider.num_qubits))
+            if active_order is None
+            else list(active_order)
+        )
+        if sorted(order) != list(range(provider.num_qubits)):
+            raise ValueError("active_order must be a permutation of all wires")
+        self.active_order = order
+        self.bins: List[Bin] = []
+        self.recursions: List[DDRecursion] = []
+
+    # ------------------------------------------------------------------
+    def run(self, max_recursions: int) -> List[DDRecursion]:
+        """Run up to ``max_recursions`` recursions (Algorithm 1 loop)."""
+        for _ in range(max_recursions):
+            if self.recursions and self._choose_bin() is None:
+                break  # nothing left to zoom into
+            self.step()
+        return self.recursions
+
+    def step(self) -> DDRecursion:
+        """One DD recursion: choose a bin, zoom, reconstruct, re-bin."""
+        import time
+
+        if not self.recursions:
+            fixed: Dict[int, int] = {}
+            parent: Optional[Bin] = None
+        else:
+            parent = self._choose_bin()
+            if parent is None:
+                raise RuntimeError("no expandable bin remains")
+            fixed = parent.assignment
+            parent.zoomed = True
+        active = self._next_active(fixed)
+        if not active:
+            raise RuntimeError("no merged qubit remains to activate")
+        roles: Dict[int, Role] = {}
+        for wire in range(self.provider.num_qubits):
+            if wire in fixed:
+                roles[wire] = ("fixed", fixed[wire])
+            elif wire in active:
+                roles[wire] = ("active",)
+            else:
+                roles[wire] = ("merged",)
+        began = time.perf_counter()
+        probabilities = self._reconstruct(roles, active)
+        elapsed = time.perf_counter() - began
+        recursion = DDRecursion(
+            index=len(self.recursions),
+            fixed=fixed,
+            active=tuple(active),
+            probabilities=probabilities,
+            elapsed_seconds=elapsed,
+            parent_bin=parent,
+        )
+        self.recursions.append(recursion)
+        for index, probability in enumerate(probabilities):
+            self.bins.append(
+                Bin(
+                    fixed=dict(fixed),
+                    active=tuple(active),
+                    index=index,
+                    probability=float(probability),
+                    recursion=recursion.index,
+                )
+            )
+        return recursion
+
+    # ------------------------------------------------------------------
+    def _choose_bin(self) -> Optional[Bin]:
+        """Highest-probability bin that still has merged qubits to expand."""
+        best: Optional[Bin] = None
+        total = self.provider.num_qubits
+        for candidate in self.bins:
+            if candidate.zoomed:
+                continue
+            if len(candidate.assignment) >= total:
+                continue  # fully resolved, nothing to zoom into
+            if best is None or candidate.probability > best.probability:
+                best = candidate
+        return best
+
+    def _next_active(self, fixed: Dict[int, int]) -> List[int]:
+        remaining = [w for w in self.active_order if w not in fixed]
+        return remaining[: self.max_active_qubits]
+
+    def _reconstruct(
+        self, roles: Dict[int, Role], active: Sequence[int]
+    ) -> np.ndarray:
+        collapsed = self.provider.collapsed(roles)
+        tensors = [item[0] for item in collapsed]
+        kron_wires: List[int] = []
+        order = sorted(
+            range(len(tensors)), key=lambda i: tensors[i].num_effective
+        )
+        for index in order:
+            kron_wires.extend(collapsed[index][1])
+        num_cuts = self.provider.num_cuts
+        vector, _ = _accumulate_range(
+            tensors, order, num_cuts, 0, 4**num_cuts, True
+        )
+        vector = vector * (0.5**num_cuts)
+        permutation = [kron_wires.index(w) for w in active]
+        return permute_qubits(vector, permutation)
+
+    # ------------------------------------------------------------------
+    # Query products
+    # ------------------------------------------------------------------
+    @property
+    def current_partition(self) -> List[Bin]:
+        """Bins that currently tile the whole Hilbert space (not zoomed)."""
+        return [b for b in self.bins if not b.zoomed]
+
+    def solution_states(self, threshold: float = 0.5) -> List[Tuple[str, float]]:
+        """Fully-resolved states with probability above ``threshold``."""
+        total = self.provider.num_qubits
+        states = []
+        for candidate in self.bins:
+            resolved = candidate.assignment
+            if len(resolved) == total and candidate.probability >= threshold:
+                bits = "".join(str(resolved[w]) for w in range(total))
+                states.append((bits, candidate.probability))
+        states.sort(key=lambda item: -item[1])
+        return states
+
+    def approximate_distribution(self) -> np.ndarray:
+        """The blurred 2**n landscape from the current partition (Fig. 8).
+
+        Each unzoomed bin spreads its probability uniformly over its merged
+        qubits.  Only sensible for small ``n`` (it materializes 2**n).
+        """
+        total = self.provider.num_qubits
+        out = np.zeros((2,) * total)
+        for candidate in self.current_partition:
+            resolved = candidate.assignment
+            merged = candidate.merged_wires(total)
+            slicer = tuple(
+                resolved[w] if w in resolved else slice(None) for w in range(total)
+            )
+            weight = candidate.probability / (2 ** len(merged))
+            out[slicer] = weight
+        return out.reshape(-1)

@@ -1,0 +1,39 @@
+"""Simulation backends: exact statevector, shot sampling, and noisy NISQ."""
+
+from .statevector import (
+    INITIAL_STATES,
+    Statevector,
+    initial_state,
+    simulate_probabilities,
+    simulate_statevector,
+)
+from .sampler import (
+    ShotSampler,
+    counts_to_probabilities,
+    probabilities_to_counts_dict,
+    sample_counts,
+    sample_distribution,
+)
+from .noise import NoiseModel, NoisySimulator, apply_readout_error
+from .density import DensityMatrix, DensityMatrixSimulator
+from .feynman import FeynmanPathSimulator, gate_schmidt_terms
+
+__all__ = [
+    "INITIAL_STATES",
+    "Statevector",
+    "initial_state",
+    "simulate_probabilities",
+    "simulate_statevector",
+    "ShotSampler",
+    "counts_to_probabilities",
+    "probabilities_to_counts_dict",
+    "sample_counts",
+    "sample_distribution",
+    "NoiseModel",
+    "NoisySimulator",
+    "apply_readout_error",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "FeynmanPathSimulator",
+    "gate_schmidt_terms",
+]

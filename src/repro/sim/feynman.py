@@ -1,0 +1,178 @@
+"""Feynman-path (qubit-bipartition) classical simulation — the §6.4 baseline.
+
+The classical-simulation alternatives the paper discusses ([10] Bravyi,
+Smith & Smolin; [28] Markov et al.) partition the *qubits* into two
+halves, decompose every 2-qubit gate that crosses the partition into a
+sum of ``r <= 4`` products of single-qubit operators (the gate's operator
+Schmidt decomposition), and sum over all ``prod r_i`` "Feynman paths",
+simulating each half independently per path.
+
+Differences from CutQC (paper §6.4):
+
+* paths carry *complex amplitudes*, so the method cannot run on NISQ
+  hardware at all — it is purely classical;
+* it cuts 2-qubit **gates** across a qubit bipartition, not wire edges;
+* the path count grows exponentially in the number of crossing gates,
+  so it "does not scale well past subcircuits beyond the classical
+  simulation limit".
+
+Implemented here so the repo contains the baseline the paper positions
+itself against; see ``benchmarks/bench_ablation_feynman.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import Gate, QuantumCircuit
+from .statevector import Statevector
+
+__all__ = ["gate_schmidt_terms", "FeynmanPathSimulator"]
+
+
+@dataclass(frozen=True)
+class _SchmidtTerm:
+    coefficient: complex
+    left: np.ndarray  # 2x2 operator on the first gate qubit
+    right: np.ndarray  # 2x2 operator on the second gate qubit
+
+
+def gate_schmidt_terms(gate: Gate) -> List[_SchmidtTerm]:
+    """Operator Schmidt decomposition of a 2-qubit gate.
+
+    Returns terms such that ``U = sum_k coeff_k * (left_k (x) right_k)``
+    with the first gate qubit as the more significant index, matching the
+    package convention.  CX/CZ/CP have Schmidt rank 2; SWAP has rank 4.
+    """
+    if not gate.is_multiqubit:
+        raise ValueError("Schmidt decomposition applies to 2-qubit gates")
+    unitary = gate.matrix()
+    # U[(a_out b_out), (a_in b_in)] -> M[(a_out a_in), (b_out b_in)]
+    tensor = unitary.reshape(2, 2, 2, 2)  # a_out, b_out, a_in, b_in
+    rearranged = np.transpose(tensor, (0, 2, 1, 3)).reshape(4, 4)
+    u, s, vh = np.linalg.svd(rearranged)
+    terms: List[_SchmidtTerm] = []
+    for k, singular in enumerate(s):
+        if singular < 1e-12:
+            continue
+        left = u[:, k].reshape(2, 2)
+        right = vh[k, :].reshape(2, 2)
+        terms.append(_SchmidtTerm(complex(singular), left, right))
+    return terms
+
+
+class FeynmanPathSimulator:
+    """Bipartition simulator: sum over gate-decomposition paths.
+
+    Parameters
+    ----------
+    partition:
+        Qubits in the "left" half; defaults to the first ``n // 2``.
+    max_paths:
+        Safety valve — raise instead of enumerating more paths.
+    """
+
+    def __init__(
+        self,
+        partition: Optional[Sequence[int]] = None,
+        max_paths: int = 1 << 20,
+    ):
+        self.partition = None if partition is None else sorted(set(partition))
+        self.max_paths = int(max_paths)
+
+    # ------------------------------------------------------------------
+    def crossing_gates(self, circuit: QuantumCircuit) -> List[int]:
+        """Positions of 2-qubit gates crossing the partition."""
+        left = self._left_set(circuit)
+        crossings = []
+        for position, gate in enumerate(circuit):
+            if gate.is_multiqubit:
+                sides = {qubit in left for qubit in gate.qubits}
+                if len(sides) == 2:
+                    crossings.append(position)
+        return crossings
+
+    def num_paths(self, circuit: QuantumCircuit) -> int:
+        total = 1
+        for position in self.crossing_gates(circuit):
+            total *= len(gate_schmidt_terms(circuit[position]))
+        return total
+
+    # ------------------------------------------------------------------
+    def amplitudes(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Full output amplitudes via the path sum."""
+        left = self._left_set(circuit)
+        left_qubits = sorted(left)
+        right_qubits = [q for q in range(circuit.num_qubits) if q not in left]
+        if not left_qubits or not right_qubits:
+            raise ValueError("partition must split the qubits into two halves")
+        left_index = {q: i for i, q in enumerate(left_qubits)}
+        right_index = {q: i for i, q in enumerate(right_qubits)}
+
+        crossings = self.crossing_gates(circuit)
+        term_lists = [gate_schmidt_terms(circuit[p]) for p in crossings]
+        total_paths = 1
+        for terms in term_lists:
+            total_paths *= len(terms)
+        if total_paths > self.max_paths:
+            raise ValueError(
+                f"{total_paths} Feynman paths exceed max_paths="
+                f"{self.max_paths} — the method's exponential wall (§6.4)"
+            )
+
+        amplitudes = np.zeros(
+            (1 << len(left_qubits)) * (1 << len(right_qubits)), dtype=complex
+        )
+        for choice in itertools.product(*term_lists) if term_lists else [()]:
+            coefficient = complex(1.0)
+            left_state = Statevector(len(left_qubits))
+            right_state = Statevector(len(right_qubits))
+            crossing_cursor = 0
+            for position, gate in enumerate(circuit):
+                if position in crossings:
+                    term = choice[crossing_cursor]
+                    crossing_cursor += 1
+                    coefficient *= term.coefficient
+                    qa, qb = gate.qubits
+                    if qa in left:
+                        left_state.apply_matrix(term.left, [left_index[qa]])
+                        right_state.apply_matrix(term.right, [right_index[qb]])
+                    else:
+                        right_state.apply_matrix(term.left, [right_index[qa]])
+                        left_state.apply_matrix(term.right, [left_index[qb]])
+                    continue
+                if all(q in left for q in gate.qubits):
+                    left_state.apply_matrix(
+                        gate.matrix(), [left_index[q] for q in gate.qubits]
+                    )
+                else:
+                    right_state.apply_matrix(
+                        gate.matrix(), [right_index[q] for q in gate.qubits]
+                    )
+            amplitudes += coefficient * np.kron(
+                left_state.amplitudes(), right_state.amplitudes()
+            )
+
+        # kron order is (left qubits, right qubits); permute to wire order.
+        from ..utils import permute_qubits
+
+        kron_wires = left_qubits + right_qubits
+        permutation = [kron_wires.index(w) for w in range(circuit.num_qubits)]
+        return permute_qubits(amplitudes, permutation)
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        amplitudes = self.amplitudes(circuit)
+        return (amplitudes.real**2 + amplitudes.imag**2).astype(float)
+
+    # ------------------------------------------------------------------
+    def _left_set(self, circuit: QuantumCircuit) -> set:
+        if self.partition is None:
+            return set(range(circuit.num_qubits // 2))
+        invalid = [q for q in self.partition if q < 0 or q >= circuit.num_qubits]
+        if invalid:
+            raise ValueError(f"partition qubits {invalid} out of range")
+        return set(self.partition)

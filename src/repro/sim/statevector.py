@@ -1,0 +1,153 @@
+"""Exact statevector simulation (paper Fig. 2a — the ground-truth mode).
+
+The state is stored as a rank-``n`` tensor of shape ``(2,)*n`` with axis
+``i`` holding qubit ``i``; flattening in C order gives the qubit-0-is-MSB
+index convention used across the package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Gate, QuantumCircuit
+
+__all__ = [
+    "Statevector",
+    "simulate_statevector",
+    "simulate_probabilities",
+    "INITIAL_STATES",
+    "initial_state",
+]
+
+#: Single-qubit initialization states used by the downstream subcircuit
+#: variants: the computational basis plus |+> and |+i> (paper Fig. 3).
+INITIAL_STATES = {
+    "zero": np.array([1.0, 0.0], dtype=complex),
+    "one": np.array([0.0, 1.0], dtype=complex),
+    "plus": np.array([1.0, 1.0], dtype=complex) / np.sqrt(2.0),
+    "plus_i": np.array([1.0, 1.0j], dtype=complex) / np.sqrt(2.0),
+}
+
+
+def initial_state(label: str) -> np.ndarray:
+    """Look up a single-qubit initialization state by label."""
+    try:
+        return INITIAL_STATES[label].copy()
+    except KeyError:
+        raise ValueError(
+            f"unknown initial state {label!r}; expected one of "
+            f"{sorted(INITIAL_STATES)}"
+        ) from None
+
+
+class Statevector:
+    """A mutable ``n``-qubit pure state with in-place gate application."""
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+        if num_qubits <= 0:
+            raise ValueError("num_qubits must be positive")
+        self.num_qubits = int(num_qubits)
+        if data is None:
+            tensor = np.zeros((2,) * self.num_qubits, dtype=complex)
+            tensor[(0,) * self.num_qubits] = 1.0
+            self._tensor = tensor
+        else:
+            array = np.asarray(data, dtype=complex)
+            if array.size != 1 << self.num_qubits:
+                raise ValueError(
+                    f"data of size {array.size} does not match "
+                    f"{self.num_qubits} qubits"
+                )
+            self._tensor = array.reshape((2,) * self.num_qubits).copy()
+
+    @classmethod
+    def from_product(cls, states: Sequence[np.ndarray]) -> "Statevector":
+        """Build a product state from per-qubit 2-vectors (qubit 0 first)."""
+        vector = np.array([1.0], dtype=complex)
+        for state in states:
+            single = np.asarray(state, dtype=complex).reshape(2)
+            vector = np.kron(vector, single)
+        return cls(len(states), vector)
+
+    @classmethod
+    def from_labels(cls, labels: Sequence[str]) -> "Statevector":
+        """Product state from labels in :data:`INITIAL_STATES`."""
+        return cls.from_product([initial_state(label) for label in labels])
+
+    # ------------------------------------------------------------------
+    def apply_gate(self, gate: Gate) -> "Statevector":
+        return self.apply_matrix(gate.matrix(), gate.qubits)
+
+    def apply_matrix(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "Statevector":
+        """Apply a ``2^k x 2^k`` unitary to the given qubits (first = MSB)."""
+        qubits = list(qubits)
+        k = len(qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not act on {k} qubit(s)"
+            )
+        operator = matrix.reshape((2,) * (2 * k))
+        # Contract operator input axes with the state axes for ``qubits``.
+        contracted = np.tensordot(operator, self._tensor, axes=(range(k, 2 * k), qubits))
+        # tensordot puts the k output axes first; move them back into place.
+        self._tensor = np.moveaxis(contracted, range(k), qubits)
+        return self
+
+    def apply_circuit(self, circuit: QuantumCircuit) -> "Statevector":
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError(
+                f"circuit has {circuit.num_qubits} qubits, state has "
+                f"{self.num_qubits}"
+            )
+        for gate in circuit:
+            self.apply_gate(gate)
+        return self
+
+    # ------------------------------------------------------------------
+    def amplitudes(self) -> np.ndarray:
+        """Flat complex amplitude vector (length ``2**n``)."""
+        return self._tensor.reshape(-1).copy()
+
+    def probabilities(self) -> np.ndarray:
+        """Flat probability vector (length ``2**n``)."""
+        flat = self._tensor.reshape(-1)
+        return (flat.real**2 + flat.imag**2).astype(float)
+
+    def probability_of(self, bitstring: str) -> float:
+        from ..utils import bitstring_to_index
+
+        return float(self.probabilities()[bitstring_to_index(bitstring)])
+
+    def inner(self, other: "Statevector") -> complex:
+        return complex(np.vdot(other.amplitudes(), self.amplitudes()))
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._tensor))
+
+
+def simulate_statevector(
+    circuit: QuantumCircuit,
+    initial_labels: Optional[Sequence[str]] = None,
+) -> Statevector:
+    """Run ``circuit`` from |0..0> (or the given per-qubit labels)."""
+    if initial_labels is None:
+        state = Statevector(circuit.num_qubits)
+    else:
+        if len(initial_labels) != circuit.num_qubits:
+            raise ValueError(
+                f"{len(initial_labels)} labels for {circuit.num_qubits} qubits"
+            )
+        state = Statevector.from_labels(initial_labels)
+    return state.apply_circuit(circuit)
+
+
+def simulate_probabilities(
+    circuit: QuantumCircuit,
+    initial_labels: Optional[Sequence[str]] = None,
+) -> np.ndarray:
+    """Exact output distribution of ``circuit`` (ground truth, Fig. 2a)."""
+    return simulate_statevector(circuit, initial_labels).probabilities()

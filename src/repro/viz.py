@@ -1,0 +1,118 @@
+"""Terminal visualization: histograms, cut diagrams, DD zoom traces.
+
+Everything renders to plain text so examples and the CLI work over SSH —
+the same spirit as the paper's figures, at 80 columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .circuits import QuantumCircuit
+from .cutting.cutter import CutCircuit
+from .utils import index_to_bitstring
+
+__all__ = ["histogram", "compare_histograms", "cut_diagram", "dd_trace"]
+
+_BAR = "#"
+
+
+def histogram(
+    probabilities: np.ndarray,
+    top: int = 8,
+    width: int = 40,
+    threshold: float = 1e-6,
+) -> str:
+    """Render the ``top`` most probable states as a bar chart."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    num_qubits = int(np.log2(probabilities.size))
+    if 1 << num_qubits != probabilities.size:
+        raise ValueError("probability vector length is not a power of two")
+    order = np.argsort(probabilities)[::-1]
+    lines: List[str] = []
+    peak = float(probabilities[order[0]]) if probabilities.size else 0.0
+    for index in order[:top]:
+        value = float(probabilities[index])
+        if value < threshold:
+            break
+        bar = _BAR * max(1, int(round(width * value / peak))) if peak > 0 else ""
+        bits = index_to_bitstring(int(index), num_qubits)
+        lines.append(f"|{bits}>  {value:8.4f}  {bar}")
+    if not lines:
+        lines.append("(all probabilities below threshold)")
+    return "\n".join(lines)
+
+
+def compare_histograms(
+    observed: np.ndarray,
+    reference: np.ndarray,
+    top: int = 8,
+    width: int = 24,
+    labels: Sequence[str] = ("observed", "reference"),
+) -> str:
+    """Side-by-side bars of two distributions over the reference's top states."""
+    observed = np.asarray(observed, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if observed.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: {observed.shape} vs {reference.shape}"
+        )
+    num_qubits = int(np.log2(reference.size))
+    order = np.argsort(reference)[::-1][:top]
+    peak = max(float(observed.max()), float(reference.max()), 1e-12)
+    lines = [f"{'state':<{num_qubits + 2}}  {labels[0]:<{width + 9}} {labels[1]}"]
+    for index in order:
+        bits = index_to_bitstring(int(index), num_qubits)
+        bar_a = _BAR * int(round(width * observed[index] / peak))
+        bar_b = _BAR * int(round(width * reference[index] / peak))
+        lines.append(
+            f"|{bits}>  {observed[index]:7.4f} {bar_a:<{width}} "
+            f"{reference[index]:7.4f} {bar_b}"
+        )
+    return "\n".join(lines)
+
+
+def cut_diagram(cut: CutCircuit) -> str:
+    """Annotate each wire with its segments and cut positions.
+
+    One row per original wire: ``=`` marks multiqubit-gate slots, ``X``
+    marks a cut, and the digits name the subcircuit owning each segment.
+    """
+    graph = cut.graph
+    lines = []
+    for wire in range(cut.circuit.num_qubits):
+        vertex_ids = graph.wire_vertices[wire]
+        clusters = [cut.assignment[v] for v in vertex_ids]
+        cells: List[str] = []
+        for position, cluster in enumerate(clusters):
+            if position > 0 and clusters[position - 1] != cluster:
+                cells.append("X")
+            cells.append(f"={cluster}=")
+        lines.append(f"q{wire:<3} " + "".join(cells))
+    legend = (
+        f"{cut.num_subcircuits} subcircuits, {cut.num_cuts} cut(s); "
+        "'=c=' is a gate slot owned by subcircuit c, 'X' is a cut"
+    )
+    return "\n".join(lines + [legend])
+
+
+def dd_trace(query, max_rows: Optional[int] = None) -> str:
+    """Render a DD query's zoom history (one line per recursion)."""
+    num_qubits = query.provider.num_qubits
+    lines = []
+    recursions = query.recursions[:max_rows] if max_rows else query.recursions
+    for recursion in recursions:
+        zoomed = "".join(
+            str(recursion.fixed[w]) if w in recursion.fixed else "?"
+            for w in range(num_qubits)
+        )
+        best = int(recursion.probabilities.argmax())
+        lines.append(
+            f"rec {recursion.index + 1:>2}: {zoomed} "
+            f"active={list(recursion.active)} "
+            f"best-bin={best:0{len(recursion.active)}b} "
+            f"p={recursion.probabilities.max():.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Tests for circuit analysis diagnostics."""
+
+import pytest
+
+from repro import QuantumCircuit, find_cuts
+from repro.circuits.analysis import (
+    analyze_circuit,
+    interaction_graph,
+    layer_profile,
+    min_bipartition_cuts,
+    wire_traffic,
+)
+from repro.library import bv, grover, supremacy
+
+
+class TestInteractionGraph:
+    def test_weights_count_gates(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(0, 1).cz(1, 2)
+        graph = interaction_graph(circuit)
+        assert graph[0][1]["weight"] == 2
+        assert graph[1][2]["weight"] == 1
+
+    def test_isolated_qubits_present(self):
+        graph = interaction_graph(QuantumCircuit(4).cx(0, 1))
+        assert set(graph.nodes) == {0, 1, 2, 3}
+
+
+class TestMinBipartitionCuts:
+    def test_chain_cuts_once(self):
+        circuit = QuantumCircuit(4)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        assert min_bipartition_cuts(circuit) == 1
+
+    def test_parallel_edges_counted(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cz(0, 1)
+        assert min_bipartition_cuts(circuit) == 2
+
+    def test_single_gate_zero(self):
+        assert min_bipartition_cuts(QuantumCircuit(2).cx(0, 1)) == 0
+
+    def test_lower_bounds_actual_search(self):
+        """The Stoer-Wagner bound never exceeds what find_cuts uses for
+        a 2-subcircuit solution."""
+        circuit = bv(8)
+        bound = min_bipartition_cuts(circuit)
+        solution = find_cuts(circuit, 7, max_subcircuits=2)
+        assert solution.num_cuts >= bound
+
+    def test_dense_circuits_have_larger_bound(self):
+        sparse = bv(8)
+        dense = grover(7)
+        assert min_bipartition_cuts(dense) > min_bipartition_cuts(sparse)
+
+
+class TestWireTrafficAndLayers:
+    def test_wire_traffic(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(1, 2)
+        traffic = wire_traffic(circuit)
+        assert traffic == {0: 1, 1: 3, 2: 2}
+
+    def test_layer_profile_counts(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        profile = layer_profile(circuit)
+        assert profile == [(2, 0), (0, 1)]
+
+    def test_layer_profile_total(self):
+        circuit = supremacy(8, seed=0)
+        profile = layer_profile(circuit)
+        assert sum(a + b for a, b in profile) == len(circuit)
+
+
+class TestReport:
+    def test_report_fields(self):
+        report = analyze_circuit(bv(6))
+        assert report.num_qubits == 6
+        assert report.fully_connected
+        assert report.min_bipartition_cuts >= 1
+        assert 0 < report.interaction_density <= 1
+
+    def test_summary_text(self):
+        text = analyze_circuit(bv(6)).summary()
+        assert "6 qubits" in text and "min 2-way cut" in text
+
+    def test_density_ordering_matches_paper(self):
+        """§6.1: supremacy/Grover are densely connected, BV is not."""
+        assert (
+            analyze_circuit(grover(7)).interaction_density
+            > analyze_circuit(bv(7)).interaction_density
+        )
+        assert (
+            analyze_circuit(supremacy(8, seed=0)).min_bipartition_cuts
+            >= analyze_circuit(bv(8)).min_bipartition_cuts
+        )

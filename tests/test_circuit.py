@@ -1,0 +1,160 @@
+"""Tests for the QuantumCircuit container and builder API."""
+
+import numpy as np
+import pytest
+
+from repro import QuantumCircuit
+from repro.circuits import Gate
+from repro.sim import simulate_probabilities, simulate_statevector
+
+
+class TestConstruction:
+    def test_positive_qubits_required(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_fluent_builders_chain(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        assert len(circuit) == 3
+        assert circuit[0].name == "h"
+        assert circuit[2].params == (0.3,)
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).h(2)
+
+    def test_init_from_gates(self):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1))]
+        circuit = QuantumCircuit(2, gates)
+        assert circuit.gates == tuple(gates)
+
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).h(0)
+        assert a == b
+        assert a != QuantumCircuit(2).h(1)
+
+    def test_extend(self):
+        circuit = QuantumCircuit(2)
+        circuit.extend([Gate("h", (0,)), Gate("h", (1,))])
+        assert len(circuit) == 2
+
+
+class TestComposition:
+    def test_compose_identity_mapping(self):
+        inner = QuantumCircuit(2).h(0).cx(0, 1)
+        outer = QuantumCircuit(2).compose(inner)
+        assert outer == inner
+
+    def test_compose_with_mapping(self):
+        inner = QuantumCircuit(2).cx(0, 1)
+        outer = QuantumCircuit(3).compose(inner, qubits=[2, 0])
+        assert outer[0].qubits == (2, 0)
+
+    def test_compose_mapping_length_checked(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(3).compose(QuantumCircuit(2).h(0), qubits=[0])
+
+    def test_inverse_undoes_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).t(1).rz(0.7, 2).cz(1, 2).ry(0.4, 0)
+        identity = circuit.copy().compose(circuit.inverse())
+        probs = simulate_probabilities(identity)
+        assert np.isclose(probs[0], 1.0)
+
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(2).h(0)
+        clone = circuit.copy()
+        clone.x(1)
+        assert len(circuit) == 1
+
+    def test_remapped(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        out = circuit.remapped([3, 1], 4)
+        assert out[0].qubits == (3, 1)
+        assert out.num_qubits == 4
+
+
+class TestToffoliNetwork:
+    @pytest.mark.parametrize(
+        "c1,c2,expect_flip",
+        [(0, 0, False), (0, 1, False), (1, 0, False), (1, 1, True)],
+    )
+    def test_ccx_truth_table(self, c1, c2, expect_flip):
+        circuit = QuantumCircuit(3)
+        if c1:
+            circuit.x(0)
+        if c2:
+            circuit.x(1)
+        circuit.ccx(0, 1, 2)
+        probs = simulate_probabilities(circuit)
+        target = (c1 << 2) | (c2 << 1) | (1 if expect_flip else 0)
+        assert np.isclose(probs[target], 1.0)
+
+    def test_ccz_phase(self):
+        # CCZ on |110> leaves it; on |111> flips its sign (invisible in
+        # probabilities), so verify via interference: H on target.
+        circuit = QuantumCircuit(3).x(0).x(1).h(2).ccz(0, 1, 2).h(2)
+        probs = simulate_probabilities(circuit)
+        # phase flip turns |+> into |->, so the target reads 1.
+        assert np.isclose(probs[0b111], 1.0)
+
+    def test_ccx_only_uses_supported_gates(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        assert all(gate.num_qubits <= 2 for gate in circuit)
+
+
+class TestStructuralQueries:
+    def test_gates_on_wire(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cz(1, 2).t(1)
+        wire1 = circuit.gates_on_wire(1)
+        assert [pos for pos, _ in wire1] == [1, 2, 3]
+
+    def test_multiqubit_gate_count(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cz(1, 2)
+        assert circuit.multiqubit_gate_count() == 2
+
+    def test_active_qubits(self):
+        circuit = QuantumCircuit(4).h(0).cx(2, 3)
+        assert circuit.active_qubits() == [0, 2, 3]
+
+    def test_depth(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert circuit.depth() == 2
+        assert QuantumCircuit(3).depth() == 0
+
+    def test_two_qubit_depth_ignores_1q(self):
+        circuit = QuantumCircuit(2).h(0).t(0).s(0).cx(0, 1)
+        assert circuit.two_qubit_depth() == 1
+
+    def test_fully_connected(self):
+        connected = QuantumCircuit(3).cx(0, 1).cx(1, 2)
+        assert connected.is_fully_connected()
+        disconnected = QuantumCircuit(3).cx(0, 1)
+        assert not disconnected.is_fully_connected()
+
+    def test_count_ops(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert circuit.count_ops() == {"h": 2, "cx": 1}
+
+    def test_draw_produces_row_per_qubit(self):
+        art = QuantumCircuit(3).h(0).cx(0, 2).draw()
+        assert len(art.splitlines()) == 3
+
+
+class TestSemantics:
+    def test_gate_order_matters(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).cx(0, 1).h(0)
+        pa = simulate_probabilities(a)
+        pb = simulate_probabilities(b)
+        assert not np.allclose(pa, pb)
+
+    def test_bell_state(self):
+        probs = simulate_probabilities(QuantumCircuit(2).h(0).cx(0, 1))
+        assert np.allclose(probs, [0.5, 0, 0, 0.5])
+
+    def test_swap_gate_semantics(self):
+        circuit = QuantumCircuit(2).x(0).swap(0, 1)
+        state = simulate_statevector(circuit)
+        assert np.isclose(state.probability_of("01"), 1.0)

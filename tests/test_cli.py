@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cut_arguments(self):
+        args = build_parser().parse_args(
+            ["cut", "--benchmark", "bv", "--qubits", "6", "--device-size", "5"]
+        )
+        assert args.command == "cut"
+        assert args.benchmark == "bv"
+        assert args.qubits == 6
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cut", "--benchmark", "shor", "--qubits", "6",
+                 "--device-size", "5"]
+            )
+
+
+class TestCommands:
+    def test_cut_prints_plan(self, capsys):
+        code = main(
+            ["cut", "--benchmark", "bv", "--qubits", "6", "--device-size", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "subcircuits" in out
+        assert "cut positions" in out
+
+    def test_run_prints_top_states(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--top", "3", "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "|111111>" in out  # BV all-ones solution (incl. ancilla)
+        assert "chi^2" in out
+
+    def test_run_on_virtual_device(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--device", "bogota", "--shots", "1024"]
+        )
+        assert code == 0
+        assert "top" in capsys.readouterr().out
+
+    def test_run_device_smaller_than_budget_errors(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "8",
+             "--device-size", "6", "--device", "bogota"]
+        )
+        assert code == 2
+        assert "5 qubits" in capsys.readouterr().err
+
+    def test_dd_locates_solution(self, capsys):
+        code = main(
+            ["dd", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--active", "2", "--recursions", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recursion 1" in out
+        assert "|111111>" in out
+
+    def test_devices_listing(self, capsys):
+        code = main(["devices"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "virtual-bogota" in out
+        assert "virtual-johannesburg" in out
+
+    def test_infeasible_cut_exit_code(self, capsys):
+        code = main(
+            ["cut", "--benchmark", "grover", "--qubits", "5",
+             "--device-size", "4", "--max-cuts", "2"]
+        )
+        assert code == 1
+        assert "cut search failed" in capsys.readouterr().err
+
+    def test_heuristic_method_flag(self, capsys):
+        code = main(
+            ["cut", "--benchmark", "bv", "--qubits", "10",
+             "--device-size", "6", "--method", "heuristic"]
+        )
+        assert code == 0
+        assert "heuristic" in capsys.readouterr().out

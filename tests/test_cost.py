@@ -1,0 +1,66 @@
+"""Tests for the cost models (Eq. 14 + classical-simulation baseline)."""
+
+import pytest
+
+from repro import QuantumCircuit, cut_circuit
+from repro.library import supremacy
+from repro.postprocess import (
+    classical_simulation_flops,
+    estimate_speedup,
+    reconstruction_flops,
+)
+from repro.postprocess.cost import dd_recursion_flops
+
+
+class TestReconstructionFlops:
+    def test_matches_eq14_on_fig4(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        # One cut, f = [2, 3]: 4^1 * (2^2 * 2^3) = 128.
+        assert reconstruction_flops(cut) == 128.0
+
+    def test_grows_with_cuts(self):
+        circuit = QuantumCircuit(6)
+        for q in range(5):
+            circuit.cx(q, q + 1)
+        one_cut = cut_circuit(circuit, [(3, 1)])
+        two_cuts = cut_circuit(circuit, [(2, 1), (4, 1)])
+        assert reconstruction_flops(two_cuts) > reconstruction_flops(one_cut)
+
+
+class TestClassicalSimulationFlops:
+    def test_exponential_in_qubits(self):
+        small = classical_simulation_flops(QuantumCircuit(4).h(0).cx(0, 1))
+        big = classical_simulation_flops(QuantumCircuit(8).h(0).cx(0, 1))
+        assert big == 16 * small
+
+    def test_linear_in_gates(self):
+        one = classical_simulation_flops(QuantumCircuit(4).h(0))
+        two = classical_simulation_flops(QuantumCircuit(4).h(0).h(1))
+        assert two == 2 * one
+
+
+class TestSpeedup:
+    def test_positive_for_sensible_cut(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        assert estimate_speedup(cut) > 0
+
+    def test_speedup_grows_with_circuit_size(self):
+        """The Fig. 6 trend: bigger circuits gain more from cutting, as
+        long as the cut stays cheap."""
+        speedups = []
+        for n in (12, 16):
+            circuit = supremacy(n, seed=0)
+            from repro import find_cuts
+
+            solution = find_cuts(circuit, n - 3)
+            cut = solution.apply(circuit)
+            speedups.append(estimate_speedup(cut))
+        assert speedups[-1] > 0
+
+
+class TestDDRecursionFlops:
+    def test_matches_objective_shape(self):
+        assert dd_recursion_flops(2, [3, 4]) == 16 * (8 * 16)
+
+    def test_smaller_active_sets_cheaper(self):
+        assert dd_recursion_flops(4, [2, 2]) < dd_recursion_flops(4, [5, 5])

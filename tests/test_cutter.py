@@ -1,0 +1,157 @@
+"""Tests for circuit cutting (subcircuit extraction + metadata)."""
+
+import pytest
+
+from repro import QuantumCircuit, cut_circuit, cut_circuit_from_assignment
+
+
+class TestFig4Example:
+    """The paper's worked example: one cut on q2 between the cZ ladder."""
+
+    def test_two_subcircuits_of_three_qubits(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        assert cut.num_subcircuits == 2
+        assert cut.num_cuts == 1
+        assert [sub.width for sub in cut.subcircuits] == [3, 3]
+
+    def test_line_roles(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        up, down = cut.subcircuits
+        # Upstream subcircuit: q0, q1 outputs plus q2's measured segment.
+        assert len(up.meas_lines) == 1 and len(up.init_lines) == 0
+        assert up.num_effective == 2
+        # Downstream: initialization line for q2's second segment, q3, q4.
+        assert len(down.init_lines) == 1 and len(down.meas_lines) == 0
+        assert down.num_effective == 3
+
+    def test_cut_metadata(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        (wire_cut,) = cut.cuts
+        assert wire_cut.wire == 2
+        assert wire_cut.wire_index == 1
+        assert wire_cut.upstream_subcircuit != wire_cut.downstream_subcircuit
+
+    def test_single_qubit_gate_stays_upstream(self, fig4_circuit):
+        # fig4 has t(2) between the cz(1,2) and cz(2,3): the cut at (2,1)
+        # sits before cz(2,3), so the T belongs to the upstream piece.
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        up, down = cut.subcircuits
+        assert "t" in up.circuit.count_ops()
+        assert "t" not in down.circuit.count_ops()
+
+    def test_gate_counts_preserved(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        total = sum(len(sub.circuit) for sub in cut.subcircuits)
+        assert total == len(fig4_circuit)
+
+    def test_output_wire_order_covers_all_wires(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        assert sorted(cut.output_wire_order()) == [0, 1, 2, 3, 4]
+
+    def test_summary_mentions_cuts(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        assert "1 cut" in cut.summary()
+
+
+class TestCutValidation:
+    def test_incomplete_cut_set_rejected(self):
+        # Two parallel wires connect the same pair of gates; cutting only
+        # one of them does not disconnect the gate graph.
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        with pytest.raises(ValueError, match="does not cleanly separate"):
+            cut_circuit(circuit, [(0, 1)])
+
+    def test_single_edge_cut_is_clean(self, fig4_circuit):
+        # Removing one bridge edge is a valid separating cut.
+        cut = cut_circuit(fig4_circuit, [(1, 1)])
+        assert cut.num_cuts == 1
+        assert cut.num_subcircuits == 2
+
+    def test_nonexistent_cut_position(self, fig4_circuit):
+        with pytest.raises(KeyError):
+            cut_circuit(fig4_circuit, [(0, 1)])
+
+    def test_assignment_length_checked(self, fig4_circuit):
+        with pytest.raises(ValueError):
+            cut_circuit_from_assignment(fig4_circuit, [0, 1])
+
+
+class TestMultiCut:
+    def test_two_cuts_three_subcircuits(self):
+        # A 6-qubit CX chain cut twice.
+        circuit = QuantumCircuit(6)
+        for q in range(5):
+            circuit.cx(q, q + 1)
+        cut = cut_circuit(circuit, [(2, 1), (4, 1)])
+        assert cut.num_subcircuits == 3
+        assert cut.num_cuts == 2
+        assert sum(sub.num_effective for sub in cut.subcircuits) == 6
+
+    def test_wire_returning_to_cluster_gets_new_line(self):
+        # q0 interacts with q1 (cluster A), then q2 (cluster B), then q1
+        # again -> cutting around the middle gives q0 three segments.
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(0, 2).cx(0, 1)
+        cut = cut_circuit(circuit, [(0, 1), (0, 2)])
+        assert cut.num_cuts == 2
+        widths = sorted(sub.width for sub in cut.subcircuits)
+        assert widths == [2, 3]  # A holds q0(a), q0(c), q1; B holds q0(b), q2
+
+    def test_middle_segment_has_both_roles(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(0, 2).cx(0, 1)
+        cut = cut_circuit(circuit, [(0, 1), (0, 2)])
+        middle = [
+            line
+            for sub in cut.subcircuits
+            for line in sub.lines
+            if line.init_cut is not None and line.meas_cut is not None
+        ]
+        assert len(middle) == 1
+        assert not middle[0].is_output
+
+    def test_effective_counts_match_eq7(self):
+        circuit = QuantumCircuit(6)
+        for q in range(5):
+            circuit.cx(q, q + 1)
+        cut = cut_circuit(circuit, [(2, 1), (4, 1)])
+        for sub in cut.subcircuits:
+            alpha = sum(
+                1 for line in sub.lines if line.init_cut is None
+            )
+            rho = len(sub.init_lines)
+            O = len(sub.meas_lines)
+            assert sub.num_effective == alpha + rho - O
+
+    def test_assignment_relabelled_in_first_appearance_order(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(1, 2)
+        cut = cut_circuit_from_assignment(circuit, [5, 5, 2])
+        assert cut.assignment == [0, 0, 1]
+
+
+class TestGateEmission:
+    def test_trailing_1q_gates_follow_last_segment(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(0, 1).t(0)
+        cut = cut_circuit(circuit, [(0, 1), (1, 1)])
+        later = cut.subcircuits[1]
+        assert "t" in later.circuit.count_ops()
+
+    def test_leading_1q_gates_go_to_first_segment(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1).cx(0, 1).cx(0, 1)
+        cut = cut_circuit(circuit, [(0, 1), (1, 1)])
+        first = cut.subcircuits[0]
+        assert first.circuit.count_ops().get("h") == 2
+
+    def test_subcircuit_gates_reference_local_lines(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        for sub in cut.subcircuits:
+            for gate in sub.circuit:
+                for qubit in gate.qubits:
+                    assert 0 <= qubit < sub.width
+
+    def test_max_subcircuit_width(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        assert cut.max_subcircuit_width() == 3

@@ -1,0 +1,190 @@
+"""Tests for the dynamic-definition query (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CutQC,
+    QuantumCircuit,
+    cut_circuit,
+    evaluate_subcircuit,
+    simulate_probabilities,
+    supremacy,
+)
+from repro.library import bv, bv_solution
+from repro.metrics import chi_square_loss
+from repro.postprocess import (
+    DynamicDefinitionQuery,
+    PrecomputedTensorProvider,
+    binned_tensor,
+    build_term_tensor,
+)
+from repro.utils import marginalize
+
+
+def _provider(circuit, cuts):
+    cut = cut_circuit(circuit, cuts)
+    results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+    return cut, PrecomputedTensorProvider(cut, results=results)
+
+
+class TestBinnedTensor:
+    def test_merged_matches_marginal(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        sub = cut.subcircuits[0]
+        tensor = build_term_tensor(evaluate_subcircuit(sub))
+        roles = {w: ("merged",) for w in range(5)}
+        for line in sub.output_lines:
+            roles[line.wire] = ("active",)
+        collapsed, wires = binned_tensor(tensor, sub, roles)
+        assert wires == [line.wire for line in sub.output_lines]
+        assert np.allclose(collapsed.data, tensor.data)
+
+    def test_full_merge_sums_rows(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        sub = cut.subcircuits[0]
+        tensor = build_term_tensor(evaluate_subcircuit(sub))
+        roles = {w: ("merged",) for w in range(5)}
+        collapsed, wires = binned_tensor(tensor, sub, roles)
+        assert wires == []
+        assert np.allclose(collapsed.data[:, 0], tensor.data.sum(axis=1))
+
+    def test_fixed_selects_bit(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        sub = cut.subcircuits[0]
+        tensor = build_term_tensor(evaluate_subcircuit(sub))
+        wire0 = sub.output_lines[0].wire
+        roles = {w: ("merged",) for w in range(5)}
+        roles[wire0] = ("fixed", 1)
+        collapsed, _ = binned_tensor(tensor, sub, roles)
+        full = tensor.data.reshape(4, 2, 2)
+        assert np.allclose(collapsed.data[:, 0], full[:, 1, :].sum(axis=1))
+
+    def test_unknown_role_rejected(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        sub = cut.subcircuits[0]
+        tensor = build_term_tensor(evaluate_subcircuit(sub))
+        roles = {w: ("bogus",) for w in range(5)}
+        with pytest.raises(ValueError):
+            binned_tensor(tensor, sub, roles)
+
+
+class TestDDRecursions:
+    def test_first_recursion_bins_sum_to_one(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        recursion = query.step()
+        assert np.isclose(recursion.probabilities.sum(), 1.0, atol=1e-9)
+        assert recursion.active == (0, 1)
+        assert recursion.fixed == {}
+
+    def test_bins_match_true_marginal(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        recursion = query.step()
+        truth = simulate_probabilities(fig4_circuit)
+        expected = marginalize(truth, [0, 1], 5)
+        assert np.allclose(recursion.probabilities, expected, atol=1e-9)
+
+    def test_zoomed_recursion_matches_conditional(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.step()
+        second = query.step()
+        # The second recursion fixes the highest-probability first-bin
+        # state and activates the next two wires.
+        assert set(second.fixed) == {0, 1}
+        assert second.active == (2, 3)
+        truth = simulate_probabilities(fig4_circuit).reshape((2,) * 5)
+        conditional = truth[second.fixed[0], second.fixed[1]].sum(axis=2)
+        assert np.allclose(second.probabilities, conditional.reshape(-1), atol=1e-9)
+
+    def test_bv_solution_located_like_fig7(self):
+        """The paper's Fig. 7: 4-qubit BV on 3-qubit devices, 1 active
+        qubit per recursion, solution found in 4 recursions."""
+        circuit = bv(4)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=3)
+        query = pipeline.dd_query(max_active_qubits=1, max_recursions=4)
+        assert len(query.recursions) == 4
+        states = query.solution_states(threshold=0.9)
+        assert states[0][0] == bv_solution(4)
+        assert states[0][1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_recursion_vector_lengths_bounded(self):
+        circuit = bv(4)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=3)
+        query = pipeline.dd_query(max_active_qubits=1, max_recursions=4)
+        for recursion in query.recursions:
+            assert recursion.probabilities.size == 2  # 2^1 per Fig. 7
+
+    def test_active_order_override(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(
+            provider, max_active_qubits=2, active_order=[4, 3, 2, 1, 0]
+        )
+        recursion = query.step()
+        assert recursion.active == (4, 3)
+
+    def test_invalid_active_order(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        with pytest.raises(ValueError):
+            DynamicDefinitionQuery(provider, 2, active_order=[0, 0, 1, 2, 3])
+
+    def test_max_active_validation(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        with pytest.raises(ValueError):
+            DynamicDefinitionQuery(provider, 0)
+
+    def test_run_stops_when_fully_resolved(self):
+        circuit = bv(4)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=3)
+        query = pipeline.dd_query(max_active_qubits=2, max_recursions=50)
+        # 4 qubits at 2 active per recursion: after a couple of recursions
+        # the top bin is fully resolved; run() must terminate early rather
+        # than loop 50 times.
+        assert len(query.recursions) < 50
+
+
+class TestApproximateDistribution:
+    def test_partition_tiles_space(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.run(3)
+        approx = query.approximate_distribution()
+        assert np.isclose(approx.sum(), 1.0, atol=1e-8)
+
+    def test_chi2_decreases_with_recursions_like_fig8(self):
+        circuit = supremacy(4, seed=0)
+        truth = simulate_probabilities(circuit)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=3)
+        query = pipeline.dd_query(max_active_qubits=2, max_recursions=1)
+        losses = [chi_square_loss(query.approximate_distribution(), truth)]
+        for _ in range(3):
+            query.step()
+            losses.append(chi_square_loss(query.approximate_distribution(), truth))
+        assert losses[-1] <= losses[0]
+
+    def test_exact_when_all_qubits_active(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=5)
+        query.step()
+        truth = simulate_probabilities(fig4_circuit)
+        assert np.allclose(query.approximate_distribution(), truth, atol=1e-9)
+
+    def test_current_partition_excludes_zoomed(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.run(2)
+        zoomed = [b for b in query.bins if b.zoomed]
+        assert len(zoomed) == 1
+        assert all(not b.zoomed for b in query.current_partition)
+
+
+class TestBinSemantics:
+    def test_bin_assignment_decoding(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.step()
+        bin_10 = next(b for b in query.bins if b.index == 0b10)
+        assert bin_10.assignment == {0: 1, 1: 0}
+        assert bin_10.merged_wires(5) == [2, 3, 4]

@@ -1,0 +1,115 @@
+"""Tests for virtual devices and presets."""
+
+import numpy as np
+import pytest
+
+from repro import QuantumCircuit, make_device, simulate_probabilities
+from repro.devices import (
+    DEVICE_PRESETS,
+    VirtualDevice,
+    bogota,
+    fig1_device_suite,
+    get_device,
+    grid_coupling,
+    johannesburg,
+    line_coupling,
+    ring_coupling,
+)
+from repro.sim import NoiseModel
+
+
+class TestCouplingHelpers:
+    def test_line(self):
+        assert line_coupling(4) == ((0, 1), (1, 2), (2, 3))
+
+    def test_ring_adds_wraparound(self):
+        assert (0, 3) in ring_coupling(4)
+
+    def test_grid_counts(self):
+        pairs = grid_coupling(3, 4)
+        assert len(pairs) == 3 * 3 + 2 * 4  # horizontal + vertical
+
+
+class TestVirtualDevice:
+    def test_coupling_validation(self):
+        with pytest.raises(ValueError):
+            VirtualDevice("bad", 2, ((0, 2),))
+        with pytest.raises(ValueError):
+            VirtualDevice("bad", 2, ((0, 0),))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualDevice("bad", 4, ((0, 1), (2, 3)))
+
+    def test_coupling_normalized_and_deduped(self):
+        device = VirtualDevice("d", 3, ((1, 0), (0, 1), (1, 2)))
+        assert device.coupling_map == ((0, 1), (1, 2))
+
+    def test_are_coupled_symmetric(self):
+        device = VirtualDevice("d", 3, ((0, 1), (1, 2)))
+        assert device.are_coupled(1, 0)
+        assert not device.are_coupled(0, 2)
+
+    def test_run_rejects_oversized_circuits(self):
+        device = make_device("tiny", 2, "line")
+        with pytest.raises(ValueError):
+            device.run(QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2))
+
+    def test_noiseless_device_matches_exact(self):
+        device = make_device("ideal", 4, "line", noise=NoiseModel())
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        out = device.run(circuit, shots=0)
+        assert np.allclose(out, simulate_probabilities(circuit), atol=1e-9)
+
+    def test_routing_required_case_still_correct(self):
+        # cx(0, 2) on a line device needs a swap; distribution unchanged.
+        device = make_device("ideal", 3, "line", noise=NoiseModel())
+        circuit = QuantumCircuit(3).h(0).cx(0, 2)
+        out = device.run(circuit, shots=0)
+        assert np.allclose(out, simulate_probabilities(circuit), atol=1e-9)
+
+    def test_noisy_run_is_distribution(self):
+        device = bogota(seed=1)
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        out = device.run(circuit, shots=4096, trajectories=8)
+        assert np.isclose(out.sum(), 1.0, atol=1e-9)
+        assert np.all(out >= -1e-12)
+
+    def test_backend_callable(self):
+        device = make_device("ideal", 3, "line", noise=NoiseModel(), seed=0)
+        backend = device.backend(shots=0)
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        assert np.allclose(backend(circuit), [0.5, 0, 0, 0.5], atol=1e-9)
+
+    def test_describe_mentions_rates(self):
+        text = bogota().describe()
+        assert "e2=" in text and "readout=" in text
+
+
+class TestPresets:
+    def test_preset_sizes(self):
+        assert bogota().num_qubits == 5
+        assert johannesburg().num_qubits == 20
+
+    def test_get_device_lookup(self):
+        assert get_device("bogota").num_qubits == 5
+        with pytest.raises(ValueError):
+            get_device("unknown-device")
+
+    def test_all_presets_construct(self):
+        for name in DEVICE_PRESETS:
+            device = get_device(name)
+            assert device.num_qubits >= 5
+
+    def test_larger_devices_noisier(self):
+        """The Fig. 1 premise: error rates grow with device size."""
+        suite = fig1_device_suite()
+        rates = [d.noise.error_2q for d in suite]
+        assert rates == sorted(rates)
+        assert rates[0] < rates[-1]
+
+    def test_make_device_grid_validation(self):
+        with pytest.raises(ValueError):
+            make_device("g", 6, "grid", rows=2, cols=2)
+        with pytest.raises(ValueError):
+            make_device("g", 6, "torus")

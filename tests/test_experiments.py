@@ -1,0 +1,107 @@
+"""Tests for the programmatic experiment runners (artifact workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import make_device
+from repro.experiments import (
+    FidelityExperimentConfig,
+    RuntimeExperimentConfig,
+    run_fidelity_experiment,
+    run_runtime_experiment,
+)
+from repro.sim import NoiseModel
+
+
+class TestRuntimeExperiment:
+    def test_explicit_cases(self):
+        config = RuntimeExperimentConfig(cases=[("bv", 8, 6), ("bv", 10, 6)])
+        records = run_runtime_experiment(config)
+        assert len(records) == 2
+        assert all(r.status == "ok" for r in records)
+        assert all(r.speedup is not None and r.speedup > 0 for r in records)
+
+    def test_uncuttable_case_reported(self):
+        config = RuntimeExperimentConfig(cases=[("grover", 7, 6)])
+        (record,) = run_runtime_experiment(config)
+        assert record.status == "uncuttable"
+        assert record.speedup is None
+        assert record.row()[3] == "--"
+
+    def test_flop_budget_skips(self):
+        config = RuntimeExperimentConfig(
+            cases=[("supremacy", 12, 6)], flop_budget=1.0
+        )
+        (record,) = run_runtime_experiment(config)
+        assert record.status == "too costly"
+
+    def test_sweep_covers_devices_and_benchmarks(self):
+        config = RuntimeExperimentConfig(
+            benchmarks=("bv",), device_sizes=(5, 6), max_circuit_qubits=9
+        )
+        records = run_runtime_experiment(config)
+        assert {r.device_size for r in records} == {5, 6}
+        assert all(r.benchmark == "bv" for r in records)
+
+    def test_rows_are_printable(self):
+        config = RuntimeExperimentConfig(cases=[("hwea", 8, 6)])
+        (record,) = run_runtime_experiment(config)
+        row = record.row()
+        assert row[0] == "hwea" and row[7] == "ok"
+        assert row[6].endswith("x")
+
+
+class TestFidelityExperiment:
+    @pytest.fixture
+    def small_noisy_devices(self):
+        large = make_device(
+            "big", 8, "line",
+            noise=NoiseModel(error_1q=0.002, error_2q=0.03, readout=0.04),
+            seed=3,
+        )
+        small = make_device(
+            "small", 4, "line",
+            noise=NoiseModel(error_1q=0.0005, error_2q=0.006, readout=0.01),
+            seed=3,
+        )
+        return large, small
+
+    def test_records_and_reduction(self, small_noisy_devices):
+        large, small = small_noisy_devices
+        config = FidelityExperimentConfig(
+            cases=(("bv", 5),),
+            shots=4096,
+            trajectories=12,
+            large_device=large,
+            small_device=small,
+        )
+        (record,) = run_fidelity_experiment(config)
+        assert record.status == "ok"
+        assert record.chi2_direct > 0
+        assert record.reduction_percent is not None
+
+    def test_cutqc_beats_direct_on_skewed_devices(self, small_noisy_devices):
+        large, small = small_noisy_devices
+        config = FidelityExperimentConfig(
+            cases=(("bv", 5), ("hwea", 5)),
+            shots=8192,
+            trajectories=16,
+            large_device=large,
+            small_device=small,
+        )
+        records = run_fidelity_experiment(config)
+        reductions = [r.reduction_percent for r in records]
+        assert np.mean(reductions) > 0
+
+    def test_mitigation_flag(self, small_noisy_devices):
+        large, small = small_noisy_devices
+        config = FidelityExperimentConfig(
+            cases=(("bv", 5),),
+            shots=4096,
+            trajectories=8,
+            large_device=large,
+            small_device=small,
+            mitigate=True,
+        )
+        (record,) = run_fidelity_experiment(config)
+        assert record.status == "ok"

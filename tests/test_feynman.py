@@ -1,0 +1,115 @@
+"""Tests for the Feynman-path bipartition simulator (§6.4 baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QuantumCircuit, simulate_probabilities
+from repro.circuits import Gate
+from repro.sim.feynman import FeynmanPathSimulator, gate_schmidt_terms
+from repro.sim import simulate_statevector
+from tests.conftest import random_connected_circuit
+
+
+class TestSchmidtDecomposition:
+    @pytest.mark.parametrize(
+        "gate,rank",
+        [
+            (Gate("cx", (0, 1)), 2),
+            (Gate("cz", (0, 1)), 2),
+            (Gate("cp", (0, 1), (0.7,)), 2),
+            (Gate("rzz", (0, 1), (0.9,)), 2),
+            (Gate("swap", (0, 1)), 4),
+        ],
+    )
+    def test_known_ranks(self, gate, rank):
+        assert len(gate_schmidt_terms(gate)) == rank
+
+    @pytest.mark.parametrize(
+        "gate",
+        [
+            Gate("cx", (0, 1)),
+            Gate("cz", (0, 1)),
+            Gate("cp", (0, 1), (1.1,)),
+            Gate("swap", (0, 1)),
+            Gate("rzz", (0, 1), (0.4,)),
+        ],
+    )
+    def test_terms_reconstruct_unitary(self, gate):
+        total = np.zeros((4, 4), dtype=complex)
+        for term in gate_schmidt_terms(gate):
+            total += term.coefficient * np.kron(term.left, term.right)
+        assert np.allclose(total, gate.matrix(), atol=1e-10)
+
+    def test_single_qubit_gate_rejected(self):
+        with pytest.raises(ValueError):
+            gate_schmidt_terms(Gate("h", (0,)))
+
+
+class TestFeynmanSimulator:
+    def test_matches_statevector_on_bell(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        sim = FeynmanPathSimulator()
+        assert np.allclose(
+            sim.probabilities(circuit), simulate_probabilities(circuit), atol=1e-10
+        )
+
+    def test_matches_on_ghz(self):
+        circuit = QuantumCircuit(4).h(0)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        sim = FeynmanPathSimulator()
+        assert np.allclose(
+            sim.probabilities(circuit), simulate_probabilities(circuit), atol=1e-10
+        )
+
+    def test_amplitudes_match_up_to_nothing(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).t(1).cz(1, 2).ry(0.4, 2)
+        sim = FeynmanPathSimulator()
+        expected = simulate_statevector(circuit).amplitudes()
+        assert np.allclose(sim.amplitudes(circuit), expected, atol=1e-10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_circuits_property(self, n, seed):
+        circuit = random_connected_circuit(n, n + 3, seed)
+        sim = FeynmanPathSimulator(max_paths=1 << 16)
+        assert np.allclose(
+            sim.probabilities(circuit),
+            simulate_probabilities(circuit),
+            atol=1e-8,
+        )
+
+    def test_custom_partition(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 2).cx(2, 1)
+        sim = FeynmanPathSimulator(partition=[0, 1])
+        assert np.allclose(
+            sim.probabilities(circuit), simulate_probabilities(circuit), atol=1e-10
+        )
+
+    def test_path_count_exponential_in_crossings(self):
+        circuit = QuantumCircuit(4)
+        for _ in range(3):
+            circuit.cx(1, 2)  # crosses the default [0,1] | [2,3] split
+        sim = FeynmanPathSimulator()
+        assert sim.num_paths(circuit) == 2**3
+        assert len(sim.crossing_gates(circuit)) == 3
+
+    def test_max_paths_guard(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(12):
+            circuit.cx(0, 1)
+        sim = FeynmanPathSimulator(max_paths=1000)
+        with pytest.raises(ValueError, match="Feynman paths"):
+            sim.amplitudes(circuit)
+
+    def test_partition_validation(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        with pytest.raises(ValueError):
+            FeynmanPathSimulator(partition=[5]).probabilities(circuit)
+        with pytest.raises(ValueError):
+            FeynmanPathSimulator(partition=[0, 1]).probabilities(circuit)

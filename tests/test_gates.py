@@ -1,0 +1,189 @@
+"""Tests for gate definitions and unitaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    PAULI_MATRICES,
+    SINGLE_QUBIT_GATES,
+    SUPPORTED_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+    gate_matrix,
+    is_supported_gate,
+)
+
+_FIXED_1Q = ["i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sy"]
+_FIXED_2Q = ["cx", "cz", "swap"]
+
+
+def _is_unitary(matrix: np.ndarray) -> bool:
+    return np.allclose(matrix @ matrix.conj().T, np.eye(matrix.shape[0]))
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name", _FIXED_1Q)
+    def test_fixed_1q_unitary(self, name):
+        assert _is_unitary(gate_matrix(name))
+
+    @pytest.mark.parametrize("name", _FIXED_2Q)
+    def test_fixed_2q_unitary(self, name):
+        assert _is_unitary(gate_matrix(name))
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "p"])
+    @pytest.mark.parametrize("theta", [0.0, 0.3, np.pi, -1.7])
+    def test_parametric_1q_unitary(self, name, theta):
+        assert _is_unitary(gate_matrix(name, (theta,)))
+
+    @pytest.mark.parametrize("theta", [0.0, 0.5, np.pi])
+    def test_parametric_2q_unitary(self, theta):
+        assert _is_unitary(gate_matrix("cp", (theta,)))
+        assert _is_unitary(gate_matrix("rzz", (theta,)))
+
+    def test_u_gate_unitary(self):
+        assert _is_unitary(gate_matrix("u", (0.3, 1.2, -0.5)))
+
+    def test_hadamard_squares_to_identity(self):
+        h = gate_matrix("h")
+        assert np.allclose(h @ h, np.eye(2))
+
+    def test_sx_squares_to_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_sy_squares_to_y(self):
+        sy = gate_matrix("sy")
+        assert np.allclose(sy @ sy, gate_matrix("y"))
+
+    def test_s_squares_to_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_t_squares_to_s(self):
+        t = gate_matrix("t")
+        assert np.allclose(t @ t, gate_matrix("s"))
+
+    def test_rz_matches_p_up_to_phase(self):
+        theta = 0.77
+        rz = gate_matrix("rz", (theta,))
+        p = gate_matrix("p", (theta,))
+        ratio = p @ np.linalg.inv(rz)
+        assert np.allclose(ratio, ratio[0, 0] * np.eye(2))
+
+    def test_cx_action(self):
+        cx = gate_matrix("cx")
+        # |10> -> |11>: first qubit is the MSB (control).
+        state = np.zeros(4)
+        state[0b10] = 1.0
+        assert np.allclose(cx @ state, np.eye(4)[0b11])
+
+    def test_cz_diagonal(self):
+        assert np.allclose(gate_matrix("cz"), np.diag([1, 1, 1, -1]))
+
+    def test_swap_action(self):
+        swap = gate_matrix("swap")
+        state = np.zeros(4)
+        state[0b01] = 1.0
+        assert np.allclose(swap @ state, np.eye(4)[0b10])
+
+    def test_cp_reduces_to_cz_at_pi(self):
+        assert np.allclose(gate_matrix("cp", (np.pi,)), gate_matrix("cz"))
+
+    def test_pauli_matrices_dict(self):
+        for name, matrix in PAULI_MATRICES.items():
+            assert _is_unitary(matrix)
+        assert np.allclose(
+            PAULI_MATRICES["X"] @ PAULI_MATRICES["Y"],
+            1j * PAULI_MATRICES["Z"],
+        )
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(ValueError):
+            gate_matrix("bogus")
+
+
+class TestGateDataclass:
+    def test_normalizes_name_case(self):
+        assert Gate("H", (0,)).name == "h"
+
+    def test_qubit_arity_validation(self):
+        with pytest.raises(ValueError):
+            Gate("h", (0, 1))
+        with pytest.raises(ValueError):
+            Gate("cx", (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_param_count_validation(self):
+        with pytest.raises(ValueError):
+            Gate("rx", (0,))
+        with pytest.raises(ValueError):
+            Gate("h", (0,), (0.5,))
+        with pytest.raises(ValueError):
+            Gate("u", (0,), (0.1, 0.2))
+
+    def test_unsupported_gate_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("ccx", (0, 1, 2))
+
+    def test_is_multiqubit(self):
+        assert Gate("cx", (0, 1)).is_multiqubit
+        assert not Gate("h", (0,)).is_multiqubit
+
+    def test_on_relabels_qubits(self):
+        gate = Gate("cx", (0, 1)).on(3, 5)
+        assert gate.qubits == (3, 5)
+
+    def test_hashable(self):
+        assert Gate("h", (0,)) in {Gate("h", (0,))}
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("h", ()),
+            ("s", ()),
+            ("sdg", ()),
+            ("t", ()),
+            ("tdg", ()),
+            ("x", ()),
+            ("sx", ()),
+            ("sy", ()),
+            ("cx", None),
+            ("swap", None),
+            ("rx", (0.7,)),
+            ("rz", (-1.1,)),
+            ("cp", (0.4,)),
+            ("rzz", (0.9,)),
+            ("u", (0.3, 0.8, -0.2)),
+        ],
+    )
+    def test_dagger_inverts(self, name, params):
+        qubits = (0,) if name in SINGLE_QUBIT_GATES else (0, 1)
+        gate = Gate(name, qubits, params or ())
+        product = gate.dagger().matrix() @ gate.matrix()
+        # Inverse up to global phase.
+        phase = product[0, 0]
+        assert abs(abs(phase) - 1.0) < 1e-10
+        assert np.allclose(product, phase * np.eye(product.shape[0]))
+
+    @given(st.floats(min_value=-6.0, max_value=6.0))
+    def test_rotation_dagger_property(self, theta):
+        for name in ("rx", "ry", "rz"):
+            gate = Gate(name, (0,), (theta,))
+            assert np.allclose(
+                gate.dagger().matrix() @ gate.matrix(), np.eye(2), atol=1e-9
+            )
+
+
+class TestGateRegistry:
+    def test_supported_partition(self):
+        assert SINGLE_QUBIT_GATES.isdisjoint(TWO_QUBIT_GATES)
+        assert SUPPORTED_GATES == SINGLE_QUBIT_GATES | TWO_QUBIT_GATES
+
+    def test_is_supported_gate(self):
+        assert is_supported_gate("CX")
+        assert not is_supported_gate("toffoli")

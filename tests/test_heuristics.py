@@ -1,0 +1,123 @@
+"""Tests for heuristic cut searchers (scan, KL, local search)."""
+
+import pytest
+
+from repro import QuantumCircuit, build_circuit_graph, supremacy
+from repro.cutting import (
+    CutSearchError,
+    branch_and_bound_search,
+    evaluate_partition,
+    heuristic_search,
+    local_search,
+    scan_partition,
+)
+from repro.cutting.heuristics import kl_partition
+from repro.library import bv
+from tests.conftest import random_connected_circuit
+
+
+def chain_graph(n=6):
+    circuit = QuantumCircuit(n)
+    for q in range(n - 1):
+        circuit.cx(q, q + 1)
+    return build_circuit_graph(circuit)
+
+
+class TestScanPartition:
+    def test_finds_feasible_chain_cut(self):
+        graph = chain_graph(6)
+        assignment, cost = scan_partition(graph, 4, max_subcircuits=3)
+        assert assignment is not None
+        assert cost.feasible
+        assert all(d <= 4 for d in cost.d)
+
+    def test_infeasible_returns_none(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 2)
+        graph = build_circuit_graph(circuit)
+        assignment, cost = scan_partition(graph, 2, max_subcircuits=2, max_cuts=1)
+        assert assignment is None
+        assert not cost.feasible
+
+    def test_assignment_is_contiguous_blocks(self):
+        graph = chain_graph(8)
+        assignment, cost = scan_partition(graph, 5, max_subcircuits=3)
+        assert assignment == sorted(assignment)
+
+
+class TestKLPartition:
+    def test_finds_spatial_cut_on_supremacy(self):
+        circuit = supremacy(12, seed=0)
+        graph = build_circuit_graph(circuit)
+        assignment, cost = kl_partition(graph, 9, max_subcircuits=3)
+        assert assignment is not None and cost.feasible
+        assert all(d <= 9 for d in cost.d)
+
+    def test_infeasible_returns_none_gracefully(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 2)
+        graph = build_circuit_graph(circuit)
+        assignment, cost = kl_partition(graph, 2, max_subcircuits=2, max_cuts=1)
+        assert assignment is None and not cost.feasible
+
+
+class TestLocalSearch:
+    def test_never_worsens_seed(self):
+        graph = chain_graph(7)
+        seed_assignment, seed_cost = scan_partition(graph, 5, max_subcircuits=3)
+        refined, refined_cost = local_search(
+            graph, seed_assignment, 5, max_subcircuits=3
+        )
+        assert refined_cost.objective <= seed_cost.objective
+        assert refined_cost.feasible
+
+    def test_rejects_infeasible_seed(self):
+        graph = chain_graph(6)
+        with pytest.raises(ValueError):
+            local_search(graph, [0] * graph.num_vertices, 3)
+
+    def test_result_still_satisfies_constraints(self):
+        graph = chain_graph(8)
+        seed_assignment, _ = scan_partition(graph, 5, max_subcircuits=3)
+        _, cost = local_search(graph, seed_assignment, 5, max_subcircuits=3)
+        assert all(d <= 5 for d in cost.d)
+
+
+class TestHeuristicSearch:
+    def test_near_optimal_on_small_instances(self):
+        """Heuristic objective within 16x of exact B&B (one extra cut)."""
+        for seed in range(4):
+            circuit = random_connected_circuit(4, 6, seed, with_1q=False)
+            graph = build_circuit_graph(circuit)
+            try:
+                _, exact = branch_and_bound_search(graph, 3, 3, 10)
+            except CutSearchError:
+                continue
+            try:
+                _, approx = heuristic_search(graph, 3, max_subcircuits=3)
+            except CutSearchError:
+                continue
+            assert approx.objective <= 16 * exact.objective
+
+    def test_exact_on_simple_chain(self):
+        graph = chain_graph(6)
+        _, exact = branch_and_bound_search(graph, 4, 3, 10)
+        _, approx = heuristic_search(graph, 4, max_subcircuits=3)
+        assert approx.objective == pytest.approx(exact.objective)
+
+    def test_raises_when_infeasible(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 2)
+        graph = build_circuit_graph(circuit)
+        with pytest.raises(CutSearchError):
+            heuristic_search(graph, 2, max_subcircuits=2, max_cuts=1)
+
+    def test_handles_large_bv(self):
+        graph = build_circuit_graph(bv(20))
+        assignment, cost = heuristic_search(graph, 12)
+        assert cost.feasible
+        assert all(d <= 12 for d in cost.d)
+
+    def test_supremacy_spacetime_cut(self):
+        circuit = supremacy(12, seed=0)
+        graph = build_circuit_graph(circuit)
+        assignment, cost = heuristic_search(graph, 8)
+        assert cost.feasible
+        assert cost.num_cuts <= 10

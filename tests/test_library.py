@@ -1,0 +1,350 @@
+"""Tests for the six benchmark circuit generators (paper §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro import QuantumCircuit, simulate_probabilities
+from repro.library import (
+    BENCHMARKS,
+    adder,
+    adder_register_width,
+    adder_solution,
+    aqft,
+    bv,
+    bv_solution,
+    default_approximation_degree,
+    get_benchmark,
+    grid_shape,
+    grover,
+    grover_data_qubits,
+    hwea,
+    hwea_parameter_count,
+    mcx_vchain,
+    qft,
+    supremacy,
+    supremacy_grid,
+    supremacy_valid_sizes,
+    valid_sizes,
+)
+from repro.utils import bitstring_to_index
+
+
+class TestSupremacy:
+    def test_grid_shape_near_square(self):
+        assert grid_shape(20) in [(4, 5)]
+        assert grid_shape(16) == (4, 4)
+
+    def test_grid_shape_rejects_primes_without_factorization(self):
+        with pytest.raises(ValueError):
+            grid_shape(13)
+
+    def test_valid_sizes_window(self):
+        sizes = supremacy_valid_sizes(4, 26)
+        assert 20 in sizes and 16 in sizes
+        assert 13 not in sizes
+
+    def test_starts_with_hadamard_layer(self):
+        circuit = supremacy_grid(2, 3, depth=8, seed=0)
+        assert all(circuit[q].name == "h" for q in range(6))
+
+    def test_fully_connected_at_default_depth(self):
+        assert supremacy(8, seed=1).is_fully_connected()
+        assert supremacy(12, seed=1).is_fully_connected()
+
+    def test_deterministic_by_seed(self):
+        assert supremacy(8, seed=5) == supremacy(8, seed=5)
+        assert supremacy(8, seed=5) != supremacy(8, seed=6)
+
+    def test_cz_layers_non_overlapping(self):
+        circuit = supremacy_grid(3, 3, depth=16, seed=0)
+        # Within the gates of one cycle, no qubit appears twice: check by
+        # scanning cz gates between single-qubit barriers.
+        busy = set()
+        for gate in circuit:
+            if gate.name == "cz":
+                assert not busy.intersection(gate.qubits)
+                busy.update(gate.qubits)
+            else:
+                busy = set()
+
+    def test_first_random_1q_gate_is_t(self):
+        circuit = supremacy_grid(2, 2, depth=10, seed=3)
+        first_random = {}
+        for gate in circuit:
+            if gate.num_qubits == 1 and gate.name != "h":
+                first_random.setdefault(gate.qubits[0], gate.name)
+        assert set(first_random.values()) <= {"t"}
+
+    def test_no_immediate_1q_repetition(self):
+        circuit = supremacy_grid(2, 3, depth=24, seed=7)
+        last = {}
+        for gate in circuit:
+            if gate.num_qubits == 1 and gate.name != "h":
+                q = gate.qubits[0]
+                assert last.get(q) != gate.name
+                last[q] = gate.name
+
+    def test_dense_output(self):
+        probs = simulate_probabilities(supremacy(8, seed=2))
+        assert np.count_nonzero(probs > 1e-9) > 100
+
+    def test_depth_and_grid_validation(self):
+        with pytest.raises(ValueError):
+            supremacy_grid(1, 1)
+        with pytest.raises(ValueError):
+            supremacy_grid(2, 2, depth=0)
+
+
+class TestAQFT:
+    def test_qft_uniform_on_zero_state(self):
+        probs = simulate_probabilities(qft(4))
+        assert np.allclose(probs, 1 / 16)
+
+    def test_qft_matches_dft_amplitudes(self):
+        # QFT |x> = (1/sqrt(N)) sum_k exp(2 pi i x k / N) |k> with qubit 0
+        # as the most significant bit of x and of k.
+        from repro.sim import simulate_statevector
+
+        n = 3
+        x = 5
+        circuit = QuantumCircuit(n)
+        for bit in range(n):
+            if (x >> (n - 1 - bit)) & 1:
+                circuit.x(bit)
+        circuit.compose(qft(n))
+        amps = simulate_statevector(circuit).amplitudes()
+        # Our QFT omits final swaps: output bit order is reversed.
+        N = 1 << n
+        expected_full = np.array(
+            [np.exp(2j * np.pi * x * k / N) for k in range(N)]
+        ) / np.sqrt(N)
+        reversed_amps = np.zeros(N, dtype=complex)
+        for k in range(N):
+            rev = int(format(k, f"0{n}b")[::-1], 2)
+            reversed_amps[rev] = expected_full[k]
+        # Compare up to global phase.
+        overlap = np.vdot(reversed_amps, amps)
+        assert np.isclose(abs(overlap), 1.0, atol=1e-9)
+
+    def test_default_degree_rule(self):
+        assert default_approximation_degree(16) == 6  # log2(16) + 2
+        assert default_approximation_degree(1) == 1
+
+    def test_degree_limits_gate_count(self):
+        full = qft(8).multiqubit_gate_count()
+        approx = aqft(8, approximation_degree=2).multiqubit_gate_count()
+        assert approx < full
+        assert approx == 7  # only nearest-neighbour rotations survive
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            aqft(4, approximation_degree=0)
+        with pytest.raises(ValueError):
+            aqft(0)
+
+    def test_aqft_close_to_qft_at_high_degree(self):
+        a = simulate_probabilities(aqft(5, approximation_degree=5))
+        b = simulate_probabilities(qft(5))
+        assert np.allclose(a, b)
+
+
+class TestBV:
+    def test_default_solution_all_ones(self):
+        n = 6
+        probs = simulate_probabilities(bv(n))
+        assert np.isclose(probs[bitstring_to_index(bv_solution(n))], 1.0)
+
+    def test_custom_hidden_string(self):
+        probs = simulate_probabilities(bv(5, [1, 0, 1, 1]))
+        assert np.isclose(probs[bitstring_to_index("10111")], 1.0)
+
+    def test_hidden_string_length_checked(self):
+        with pytest.raises(ValueError):
+            bv(4, [1, 1])
+
+    def test_all_zero_string_rejected(self):
+        with pytest.raises(ValueError):
+            bv(4, [0, 0, 0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            bv(4, [1, 2, 0])
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            bv(1)
+
+    def test_fully_connected_with_default_string(self):
+        assert bv(8).is_fully_connected()
+
+    def test_cx_count_matches_string_weight(self):
+        circuit = bv(6, [1, 0, 1, 1, 0])
+        assert circuit.count_ops()["cx"] == 3
+
+
+class TestGrover:
+    def test_odd_sizes_only(self):
+        with pytest.raises(ValueError):
+            grover(4)
+        with pytest.raises(ValueError):
+            grover(1)
+
+    def test_data_qubit_rule(self):
+        assert grover_data_qubits(3) == 3
+        assert grover_data_qubits(5) == 4
+        assert grover_data_qubits(9) == 6
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_amplifies_all_ones(self, n):
+        data = grover_data_qubits(n)
+        probs = simulate_probabilities(grover(n))
+        top = int(np.argmax(probs))
+        bits = format(top, f"0{n}b")
+        assert bits[:data] == "1" * data
+        assert bits[data:] == "0" * (n - data)  # ancillas restored
+        assert probs[top] > 2.0 / (1 << data)  # better than uniform
+
+    def test_two_iterations_amplify_more_when_warranted(self):
+        # 5 data qubits: optimal iterations ~ 4, so 2 beats 1.
+        n = 7
+        one = simulate_probabilities(grover(n, iterations=1))
+        two = simulate_probabilities(grover(n, iterations=2))
+        assert two.max() > one.max()
+
+    def test_iterations_validated(self):
+        with pytest.raises(ValueError):
+            grover(5, iterations=0)
+
+    def test_fully_connected(self):
+        assert grover(5).is_fully_connected()
+        assert grover(7).is_fully_connected()
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_mcx_vchain_truth_table(self, k):
+        # Flip iff all controls are 1; ancillas return to zero.
+        num = k + 1 + (k - 2)
+        for pattern in [0, 1, (1 << k) - 1, (1 << k) - 2]:
+            circuit = QuantumCircuit(num)
+            for bit in range(k):
+                if (pattern >> (k - 1 - bit)) & 1:
+                    circuit.x(bit)
+            mcx_vchain(
+                circuit, list(range(k)), k, list(range(k + 1, num))
+            )
+            probs = simulate_probabilities(circuit)
+            flip = 1 if pattern == (1 << k) - 1 else 0
+            expected = "".join(
+                str((pattern >> (k - 1 - b)) & 1) for b in range(k)
+            ) + str(flip) + "0" * (k - 2)
+            assert np.isclose(probs[bitstring_to_index(expected)], 1.0)
+
+    def test_mcx_vchain_needs_enough_ancillas(self):
+        circuit = QuantumCircuit(6)
+        with pytest.raises(ValueError):
+            mcx_vchain(circuit, [0, 1, 2, 3], 4, [])
+
+
+class TestAdder:
+    def test_even_sizes_only(self):
+        with pytest.raises(ValueError):
+            adder(5)
+        with pytest.raises(ValueError):
+            adder(2)
+
+    def test_register_width(self):
+        assert adder_register_width(6) == 2
+        assert adder_register_width(10) == 4
+
+    @pytest.mark.parametrize("a", [0, 1, 2, 3])
+    @pytest.mark.parametrize("b", [0, 1, 2, 3])
+    def test_exhaustive_2bit_addition(self, a, b):
+        circuit = adder(6, a_value=a, b_value=b)
+        probs = simulate_probabilities(circuit)
+        expected = adder_solution(6, a_value=a, b_value=b)
+        assert np.isclose(probs[bitstring_to_index(expected)], 1.0)
+
+    def test_3bit_addition_with_carry(self):
+        circuit = adder(8, a_value=5, b_value=7)
+        probs = simulate_probabilities(circuit)
+        expected = adder_solution(8, a_value=5, b_value=7)
+        assert np.isclose(probs[bitstring_to_index(expected)], 1.0)
+
+    def test_register_values_validated(self):
+        with pytest.raises(ValueError):
+            adder(6, a_value=4, b_value=0)
+
+    def test_seeded_random_values_deterministic(self):
+        assert adder(6, seed=3) == adder(6, seed=3)
+
+    def test_fully_connected(self):
+        assert adder(8, seed=0).is_fully_connected()
+
+
+class TestHWEA:
+    def test_default_is_ghz(self):
+        probs = simulate_probabilities(hwea(5))
+        assert np.isclose(probs[0], 0.5, atol=1e-9)
+        assert np.isclose(probs[-1], 0.5, atol=1e-9)
+
+    def test_parameter_count(self):
+        assert hwea_parameter_count(4, layers=2) == 24
+
+    def test_explicit_parameters(self):
+        n, layers = 3, 1
+        params = [0.0] * hwea_parameter_count(n, layers)
+        probs = simulate_probabilities(hwea(n, layers, parameters=params))
+        assert np.isclose(probs[0], 1.0)  # all-zero rotations do nothing
+
+    def test_parameter_length_checked(self):
+        with pytest.raises(ValueError):
+            hwea(3, parameters=[0.1, 0.2])
+
+    def test_size_and_layers_validated(self):
+        with pytest.raises(ValueError):
+            hwea(1)
+        with pytest.raises(ValueError):
+            hwea(3, layers=0)
+
+    def test_fully_connected(self):
+        assert hwea(6).is_fully_connected()
+
+
+class TestRegistry:
+    def test_all_benchmarks_listed(self):
+        assert set(BENCHMARKS) == {
+            "supremacy",
+            "aqft",
+            "grover",
+            "bv",
+            "adder",
+            "hwea",
+        }
+
+    def test_get_benchmark_dispatch(self):
+        circuit = get_benchmark("bv", 5)
+        assert isinstance(circuit, QuantumCircuit)
+        assert circuit.num_qubits == 5
+
+    def test_get_benchmark_kwargs_forwarded(self):
+        circuit = get_benchmark("supremacy", 8, depth=8, seed=1)
+        assert circuit == supremacy(8, depth=8, seed=1)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            get_benchmark("shor", 8)
+
+    def test_valid_sizes_constraints(self):
+        assert valid_sizes("grover", 3, 10) == [3, 5, 7, 9]
+        assert valid_sizes("adder", 3, 10) == [4, 6, 8, 10]
+        assert 13 not in valid_sizes("supremacy", 12, 14)
+        assert valid_sizes("bv", 4, 7, even_only=True) == [4, 6]
+
+    def test_valid_sizes_unknown_name(self):
+        with pytest.raises(ValueError):
+            valid_sizes("bogus", 2, 4)
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_every_benchmark_is_fully_connected(self, name):
+        size = valid_sizes(name, 4, 9)[0]
+        kwargs = {"seed": 0} if name in ("supremacy", "adder") else {}
+        assert get_benchmark(name, size, **kwargs).is_fully_connected()

@@ -1,0 +1,125 @@
+"""Tests for output-quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    chi_square_loss,
+    chi_square_reduction,
+    fidelity,
+    hellinger_fidelity,
+    total_variation_distance,
+)
+
+
+def _random_dist(seed, n=8):
+    return np.random.default_rng(seed).dirichlet(np.ones(n))
+
+
+class TestChiSquare:
+    def test_identical_distributions_zero(self):
+        p = _random_dist(0)
+        assert chi_square_loss(p, p) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        # (1-0)^2/1 + (0-1)^2/1 = 2
+        assert chi_square_loss(a, b) == pytest.approx(2.0)
+
+    def test_zero_zero_terms_dropped(self):
+        a = np.array([0.5, 0.5, 0.0])
+        b = np.array([0.5, 0.5, 0.0])
+        assert chi_square_loss(a, b) == 0.0
+
+    def test_symmetry(self):
+        a, b = _random_dist(1), _random_dist(2)
+        assert chi_square_loss(a, b) == pytest.approx(chi_square_loss(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            chi_square_loss(np.zeros(2), np.zeros(4))
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_nonnegative_property(self, s1, s2):
+        assert chi_square_loss(_random_dist(s1), _random_dist(s2)) >= 0.0
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_bounded_by_two(self, s1, s2):
+        # For distributions, chi^2 of Eq. 16 is at most 2.
+        assert chi_square_loss(_random_dist(s1), _random_dist(s2)) <= 2.0 + 1e-12
+
+    def test_noisier_is_larger(self):
+        truth = np.array([1.0, 0.0, 0.0, 0.0])
+        mild = np.array([0.9, 0.1, 0.0, 0.0])
+        severe = np.array([0.4, 0.2, 0.2, 0.2])
+        assert chi_square_loss(mild, truth) < chi_square_loss(severe, truth)
+
+
+class TestChiSquareReduction:
+    def test_positive_when_cutqc_better(self):
+        assert chi_square_reduction(1.0, 0.5) == pytest.approx(50.0)
+
+    def test_negative_when_cutqc_worse(self):
+        assert chi_square_reduction(0.5, 1.0) == pytest.approx(-100.0)
+
+    def test_requires_positive_direct(self):
+        with pytest.raises(ValueError):
+            chi_square_reduction(0.0, 0.5)
+
+
+class TestFidelity:
+    def test_reads_solution_probability(self):
+        assert fidelity(np.array([0.1, 0.9]), 1) == pytest.approx(0.9)
+
+    def test_index_range_checked(self):
+        with pytest.raises(ValueError):
+            fidelity(np.array([1.0]), 5)
+
+
+class TestTotalVariation:
+    def test_identical_zero(self):
+        p = _random_dist(3)
+        assert total_variation_distance(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_triangle_inequality(self, s1, s2):
+        p, q, r = _random_dist(s1), _random_dist(s2), _random_dist(s1 + s2 + 1)
+        assert total_variation_distance(p, r) <= (
+            total_variation_distance(p, q) + total_variation_distance(q, r) + 1e-12
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.zeros(2), np.zeros(4))
+
+
+class TestHellingerFidelity:
+    def test_identical_is_one(self):
+        p = _random_dist(4)
+        assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        assert hellinger_fidelity(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0)
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_in_unit_interval(self, s1, s2):
+        value = hellinger_fidelity(_random_dist(s1), _random_dist(s2))
+        assert -1e-12 <= value <= 1.0 + 1e-12
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hellinger_fidelity(np.zeros(2), np.zeros(4))

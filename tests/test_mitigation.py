@@ -1,0 +1,117 @@
+"""Tests for measurement-error mitigation."""
+
+import numpy as np
+import pytest
+
+from repro import CutQC, QuantumCircuit, make_device, simulate_probabilities
+from repro.devices.mitigation import (
+    MitigatedBackend,
+    calibrate_confusion_matrix,
+    mitigate_distribution,
+)
+from repro.library import bv, bv_solution
+from repro.metrics import chi_square_loss
+from repro.sim import NoiseModel
+from repro.utils import bitstring_to_index
+
+
+def _readout_only_device(flip=0.05, n=4, seed=0):
+    return make_device(
+        "ro-only", n, "line", noise=NoiseModel(readout=flip), seed=seed
+    )
+
+
+class TestCalibration:
+    def test_confusion_columns_are_distributions(self):
+        device = _readout_only_device()
+        confusion = calibrate_confusion_matrix(device, 2, shots=2048, seed=1)
+        assert confusion.shape == (4, 4)
+        assert np.allclose(confusion.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_confusion_close_to_analytic(self):
+        flip = 0.1
+        device = _readout_only_device(flip=flip)
+        confusion = calibrate_confusion_matrix(
+            device, 1, shots=200_000, seed=2
+        )
+        expected = np.array([[1 - flip, flip], [flip, 1 - flip]])
+        assert np.allclose(confusion, expected, atol=0.01)
+
+    def test_width_limits(self):
+        device = _readout_only_device(n=8)
+        with pytest.raises(ValueError):
+            calibrate_confusion_matrix(device, 7)
+        with pytest.raises(ValueError):
+            calibrate_confusion_matrix(_readout_only_device(n=2), 3)
+
+
+class TestMitigateDistribution:
+    def test_exact_inversion_recovers_truth(self):
+        flip = 0.08
+        confusion = np.array([[1 - flip, flip], [flip, 1 - flip]])
+        truth = np.array([0.7, 0.3])
+        observed = confusion @ truth
+        assert np.allclose(
+            mitigate_distribution(observed, confusion), truth, atol=1e-10
+        )
+
+    def test_clipping_keeps_simplex(self):
+        confusion = np.eye(2)
+        out = mitigate_distribution(np.array([1.2, -0.2]), confusion)
+        assert np.all(out >= 0) and np.isclose(out.sum(), 1.0)
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            mitigate_distribution(np.ones(2) / 2, np.eye(4))
+
+
+class TestMitigatedBackend:
+    def test_improves_chi2_on_readout_noise(self):
+        device = _readout_only_device(flip=0.06, seed=3)
+        circuit = QuantumCircuit(3).x(0).cx(0, 1).cx(1, 2)
+        truth = simulate_probabilities(circuit)
+        raw = device.run(circuit, shots=0, trajectories=4)
+        mitigated = MitigatedBackend(
+            device, shots=0, trajectories=4, calibration_shots=100_000, seed=4
+        )(circuit)
+        assert chi_square_loss(mitigated, truth) < chi_square_loss(raw, truth)
+
+    def test_confusion_cache_per_width(self):
+        device = _readout_only_device(seed=5)
+        backend = MitigatedBackend(device, shots=0, trajectories=4, seed=6)
+        backend(QuantumCircuit(2).h(0).cx(0, 1))
+        backend(QuantumCircuit(2).x(0).cx(0, 1))
+        backend(QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2))
+        assert sorted(backend._confusions) == [2, 3]
+
+    def test_cutqc_with_mitigated_backend(self):
+        device = make_device(
+            "noisy", 4, "line",
+            noise=NoiseModel(error_1q=0.0005, error_2q=0.004, readout=0.04),
+            seed=7,
+        )
+        circuit = bv(6)
+        truth = simulate_probabilities(circuit)
+        solution = bitstring_to_index(bv_solution(6))
+
+        plain = CutQC(
+            circuit, 4, backend=device.backend(shots=8192, trajectories=12)
+        )
+        plain_probs = np.clip(plain.fd_query().probabilities, 0, None)
+
+        mitigated = CutQC(
+            circuit,
+            4,
+            backend=MitigatedBackend(
+                device, shots=8192, trajectories=12,
+                calibration_shots=32768, seed=8,
+            ),
+        )
+        mitigated_probs = np.clip(mitigated.fd_query().probabilities, 0, None)
+        mitigated_probs /= mitigated_probs.sum()
+        plain_probs /= plain_probs.sum()
+
+        assert chi_square_loss(mitigated_probs, truth) < chi_square_loss(
+            plain_probs, truth
+        )
+        assert int(np.argmax(mitigated_probs)) == solution

@@ -1,0 +1,96 @@
+"""Tests for the partition cost model (paper Eqs. 4-14)."""
+
+import pytest
+
+from repro import QuantumCircuit, build_circuit_graph
+from repro.cutting import evaluate_partition, objective_from_f
+
+
+@pytest.fixture
+def chain_graph():
+    circuit = QuantumCircuit(4)
+    circuit.cx(0, 1).cx(1, 2).cx(2, 3)
+    return build_circuit_graph(circuit)
+
+
+class TestEvaluatePartition:
+    def test_alpha_counts_original_inputs(self, chain_graph):
+        cost = evaluate_partition(chain_graph, [0, 0, 1], 4)
+        # Vertices: cx01 (w=2), cx12 (w=1), cx23 (w=1).
+        assert cost.alpha == [3, 1]
+
+    def test_rho_and_O_from_cut_edges(self, chain_graph):
+        cost = evaluate_partition(chain_graph, [0, 0, 1], 4)
+        assert cost.num_cuts == 1
+        assert cost.O == [1, 0]
+        assert cost.rho == [0, 1]
+
+    def test_f_and_d_derived(self, chain_graph):
+        cost = evaluate_partition(chain_graph, [0, 0, 1], 4)
+        assert cost.f == [2, 2]  # alpha + rho - O
+        assert cost.d == [3, 2]  # alpha + rho
+
+    def test_feasible_partition(self, chain_graph):
+        cost = evaluate_partition(chain_graph, [0, 0, 1], 4, max_cuts=2)
+        assert cost.feasible and cost.violation is None
+
+    def test_capacity_violation(self, chain_graph):
+        cost = evaluate_partition(chain_graph, [0, 0, 1], 2)
+        assert not cost.feasible
+        assert "qubits" in cost.violation
+        assert cost.objective == float("inf")
+
+    def test_cut_budget_violation(self, chain_graph):
+        cost = evaluate_partition(chain_graph, [0, 1, 0], 4, max_cuts=1)
+        assert not cost.feasible
+        assert "cuts" in cost.violation
+
+    def test_subcircuit_budget_violation(self, chain_graph):
+        cost = evaluate_partition(
+            chain_graph, [0, 1, 2], 4, max_subcircuits=2
+        )
+        assert not cost.feasible
+
+    def test_empty_cluster_detected(self, chain_graph):
+        cost = evaluate_partition(chain_graph, [0, 0, 2], 4)
+        assert not cost.feasible
+        assert "empty" in cost.violation
+
+    def test_assignment_length_checked(self, chain_graph):
+        with pytest.raises(ValueError):
+            evaluate_partition(chain_graph, [0, 1], 4)
+
+    def test_matches_cutter_metadata(self, fig4_circuit):
+        from repro import cut_circuit
+
+        graph = build_circuit_graph(fig4_circuit)
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        cost = evaluate_partition(graph, cut.assignment, 3)
+        for sub in cut.subcircuits:
+            assert cost.d[sub.index] == sub.width
+            assert cost.f[sub.index] == sub.num_effective
+            assert cost.rho[sub.index] == len(sub.init_lines)
+            assert cost.O[sub.index] == len(sub.meas_lines)
+
+
+class TestObjective:
+    def test_single_cluster_costs_nothing(self):
+        assert objective_from_f(0, [5]) == 0.0
+
+    def test_two_cluster_value(self):
+        # L = 4^K * 2^{f1} * 2^{f2} for two clusters.
+        assert objective_from_f(1, [2, 3]) == 4 * (4 * 8)
+
+    def test_three_cluster_prefix_sum(self):
+        # sorted f = [1, 2, 3]: 4^K * (2*4 + 2*4*8).
+        assert objective_from_f(2, [3, 1, 2]) == 16 * (8 + 64)
+
+    def test_uses_greedy_ascending_order(self):
+        # Order independence of the input listing.
+        assert objective_from_f(2, [3, 1, 2]) == objective_from_f(2, [1, 2, 3])
+
+    def test_more_cuts_cost_exponentially_more(self):
+        assert objective_from_f(3, [2, 2]) == 4 * objective_from_f(2, [2, 2])
+
+    def test_empty_or_single_f(self):
+        assert objective_from_f(0, []) == 0.0

@@ -1,0 +1,89 @@
+"""Tests for device pools and the quantum wall-clock model."""
+
+import numpy as np
+import pytest
+
+from repro import CutQC, QuantumCircuit, make_device, simulate_probabilities
+from repro.devices.pool import DevicePool
+from repro.library import bv
+from repro.sim import NoiseModel
+
+
+def _ideal(name, qubits, seed=0):
+    return make_device(name, qubits, "line", noise=NoiseModel(), seed=seed)
+
+
+class TestScheduling:
+    def test_requires_devices(self):
+        with pytest.raises(ValueError):
+            DevicePool([])
+
+    def test_round_robin_balance(self):
+        pool = DevicePool([_ideal("a", 3), _ideal("b", 3)])
+        circuits = [QuantumCircuit(2).h(0).cx(0, 1) for _ in range(6)]
+        schedule = pool.schedule(circuits, shots=1024)
+        device_loads = [0, 0]
+        for job in schedule.jobs:
+            device_loads[job.device_index] += 1
+        assert device_loads == [3, 3]
+
+    def test_makespan_vs_serial(self):
+        pool = DevicePool([_ideal("a", 3), _ideal("b", 3)])
+        circuits = [QuantumCircuit(2).h(0).cx(0, 1) for _ in range(8)]
+        schedule = pool.schedule(circuits, shots=4096)
+        assert schedule.makespan_seconds < schedule.serial_seconds
+        assert schedule.makespan_seconds >= schedule.serial_seconds / 2 - 1e-9
+
+    def test_size_aware_placement(self):
+        pool = DevicePool([_ideal("small", 2), _ideal("big", 4)])
+        big_circuit = QuantumCircuit(4).h(0).cx(0, 1).cx(1, 2).cx(2, 3)
+        schedule = pool.schedule([big_circuit], shots=10)
+        assert schedule.jobs[0].device_index == 1
+
+    def test_unfitting_circuit_rejected(self):
+        pool = DevicePool([_ideal("small", 2)])
+        with pytest.raises(ValueError, match="fits"):
+            pool.schedule([QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)], shots=1)
+
+    def test_job_time_model_monotone(self):
+        pool = DevicePool([_ideal("a", 3)])
+        shallow = QuantumCircuit(2).cx(0, 1)
+        deep = QuantumCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        assert pool.estimate_job_seconds(deep, 1000) > pool.estimate_job_seconds(
+            shallow, 1000
+        )
+        assert pool.estimate_job_seconds(shallow, 2000) > pool.estimate_job_seconds(
+            shallow, 1000
+        )
+
+
+class TestPoolBackend:
+    def test_cutqc_through_pool_exact(self, fig4_circuit):
+        pool = DevicePool([_ideal("a", 3, seed=1), _ideal("b", 3, seed=2)])
+        pipeline = CutQC(fig4_circuit, 3, backend=pool.backend(shots=0))
+        result = pipeline.fd_query()
+        truth = simulate_probabilities(fig4_circuit)
+        assert np.allclose(result.probabilities, truth, atol=1e-9)
+
+    def test_backend_records_schedule(self, fig4_circuit):
+        pool = DevicePool([_ideal("a", 3), _ideal("b", 3)])
+        backend = pool.backend(shots=128)
+        pipeline = CutQC(fig4_circuit, 3, backend=backend)
+        pipeline.evaluate()
+        schedule = backend.schedule
+        assert len(schedule.jobs) == 7  # 3 upstream + 4 downstream variants
+        used = {job.device_index for job in schedule.jobs}
+        assert used == {0, 1}
+        assert schedule.makespan_seconds > 0
+
+    def test_heterogeneous_pool(self):
+        circuit = bv(6)
+        pool = DevicePool([_ideal("tiny", 3, seed=3), _ideal("mid", 5, seed=4)])
+        pipeline = CutQC(circuit, 5, backend=pool.backend(shots=0))
+        result = pipeline.fd_query()
+        truth = simulate_probabilities(circuit)
+        assert np.allclose(result.probabilities, truth, atol=1e-9)
+
+    def test_pool_max_qubits(self):
+        pool = DevicePool([_ideal("a", 3), _ideal("b", 5)])
+        assert pool.max_qubits == 5

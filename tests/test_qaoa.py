@@ -1,0 +1,108 @@
+"""Tests for the QAOA extension workload."""
+
+import numpy as np
+import pytest
+
+from repro import CutQC, simulate_probabilities
+from repro.library.qaoa import (
+    maxcut_cost,
+    qaoa_maxcut,
+    random_regular_graph,
+    ring_graph,
+)
+
+
+class TestGraphs:
+    def test_ring_edges(self):
+        assert ring_graph(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_regular_graph_degree(self):
+        edges = random_regular_graph(8, degree=3, seed=0)
+        degree = {}
+        for a, b in edges:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        assert all(d == 3 for d in degree.values())
+
+    def test_regular_graph_validation(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, degree=4)
+        with pytest.raises(ValueError):
+            random_regular_graph(5, degree=3)
+
+
+class TestCircuit:
+    def test_structure(self):
+        circuit = qaoa_maxcut(5, layers=2, seed=1)
+        ops = circuit.count_ops()
+        assert ops["h"] == 5
+        assert ops["rzz"] == 2 * len(ring_graph(5))
+        assert ops["rx"] == 10
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut(4, layers=2, parameters=[0.1])
+        with pytest.raises(ValueError):
+            qaoa_maxcut(4, edges=[(0, 0)])
+        with pytest.raises(ValueError):
+            qaoa_maxcut(4, layers=0)
+
+    def test_deterministic_by_seed(self):
+        assert qaoa_maxcut(5, seed=3) == qaoa_maxcut(5, seed=3)
+
+    def test_fully_connected(self):
+        assert qaoa_maxcut(6, seed=0).is_fully_connected()
+
+
+class TestCost:
+    def test_known_states(self):
+        edges = ring_graph(4)
+        # |0101> cuts every ring edge.
+        probs = np.zeros(16)
+        probs[0b0101] = 1.0
+        assert maxcut_cost(probs, edges, 4) == 4.0
+        # |0000> cuts nothing.
+        probs = np.zeros(16)
+        probs[0] = 1.0
+        assert maxcut_cost(probs, edges, 4) == 0.0
+
+    def test_size_checked(self):
+        with pytest.raises(ValueError):
+            maxcut_cost(np.ones(8) / 8, ring_graph(4), 4)
+
+    def test_qaoa_beats_random_guessing(self):
+        edges = ring_graph(6)
+        # gamma/beta near the p=1 ring optimum (grid-searched offline).
+        circuit = qaoa_maxcut(6, edges=edges, parameters=[1.2, 0.4])
+        probs = simulate_probabilities(circuit)
+        uniform = np.full(64, 1 / 64)
+        assert maxcut_cost(probs, edges, 6) > maxcut_cost(uniform, edges, 6)
+
+
+class TestCutting:
+    def test_ring_qaoa_cuts_and_reconstructs(self):
+        edges = ring_graph(6)
+        circuit = qaoa_maxcut(6, edges=edges, seed=2)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=5)
+        result = pipeline.fd_query()
+        truth = simulate_probabilities(circuit)
+        assert np.allclose(result.probabilities, truth, atol=1e-8)
+
+    def test_cost_preserved_through_cutting(self):
+        edges = ring_graph(6)
+        circuit = qaoa_maxcut(6, edges=edges, seed=2)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=5)
+        reconstructed = pipeline.fd_query().probabilities
+        truth = simulate_probabilities(circuit)
+        assert maxcut_cost(reconstructed, edges, 6) == pytest.approx(
+            maxcut_cost(truth, edges, 6), abs=1e-8
+        )
+
+    def test_dense_graph_is_harder_to_cut(self):
+        from repro.circuits.analysis import min_bipartition_cuts
+
+        ring = qaoa_maxcut(8, edges=ring_graph(8), seed=0)
+        dense = qaoa_maxcut(8, edges=random_regular_graph(8, 3, seed=0), seed=0)
+        assert min_bipartition_cuts(dense) >= min_bipartition_cuts(ring)

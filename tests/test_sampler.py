@@ -1,0 +1,84 @@
+"""Tests for shot-based sampling."""
+
+import numpy as np
+import pytest
+
+from repro import QuantumCircuit
+from repro.sim import (
+    ShotSampler,
+    counts_to_probabilities,
+    probabilities_to_counts_dict,
+    sample_counts,
+    sample_distribution,
+)
+
+
+class TestSampleCounts:
+    def test_counts_sum_to_shots(self):
+        rng = np.random.default_rng(0)
+        counts = sample_counts(np.array([0.5, 0.5]), 1000, rng)
+        assert counts.sum() == 1000
+
+    def test_deterministic_distribution(self):
+        counts = sample_counts(np.array([0.0, 1.0]), 50)
+        assert counts[1] == 50 and counts[0] == 0
+
+    def test_positive_shots_required(self):
+        with pytest.raises(ValueError):
+            sample_counts(np.array([1.0]), 0)
+
+    def test_zero_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            sample_counts(np.zeros(4), 10)
+
+    def test_negative_entries_clipped(self):
+        # Reconstructed quasi-distributions can have tiny negatives.
+        counts = sample_counts(np.array([-0.01, 1.0]), 100, np.random.default_rng(1))
+        assert counts[0] == 0
+
+    def test_seeded_reproducibility(self):
+        p = np.array([0.3, 0.7])
+        a = sample_counts(p, 500, np.random.default_rng(42))
+        b = sample_counts(p, 500, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+
+class TestConversions:
+    def test_counts_to_probabilities(self):
+        probs = counts_to_probabilities(np.array([25, 75]))
+        assert np.allclose(probs, [0.25, 0.75])
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            counts_to_probabilities(np.zeros(4))
+
+    def test_counts_dict_format(self):
+        counts = probabilities_to_counts_dict(
+            np.array([0.0, 1.0, 0.0, 0.0]), 10, 2, np.random.default_rng(0)
+        )
+        assert counts == {"01": 10}
+
+    def test_sample_distribution_normalized(self):
+        out = sample_distribution(np.array([0.2, 0.8]), 999, np.random.default_rng(3))
+        assert np.isclose(out.sum(), 1.0)
+
+
+class TestShotSampler:
+    def test_converges_to_exact(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        sampler = ShotSampler(shots=200_000, seed=7)
+        empirical = sampler.run(circuit)
+        assert np.allclose(empirical, [0.5, 0, 0, 0.5], atol=0.01)
+
+    def test_shots_positive(self):
+        with pytest.raises(ValueError):
+            ShotSampler(shots=0)
+
+    def test_deterministic_circuit_exact(self):
+        sampler = ShotSampler(shots=100, seed=1)
+        assert np.allclose(sampler.run(QuantumCircuit(1).x(0)), [0.0, 1.0])
+
+    def test_initial_labels_passthrough(self):
+        sampler = ShotSampler(shots=100, seed=1)
+        out = sampler.run(QuantumCircuit(1).i(0), initial_labels=["one"])
+        assert np.allclose(out, [0.0, 1.0])

@@ -1,0 +1,66 @@
+"""Tests for the cut-search front-end."""
+
+import numpy as np
+import pytest
+
+from repro import CutSearchError, QuantumCircuit, find_cuts, supremacy
+from repro.cutting.searcher import cut_positions
+from repro.library import bv
+
+
+class TestFindCuts:
+    def test_auto_uses_mip_for_small_circuits(self, fig4_circuit):
+        solution = find_cuts(fig4_circuit, 3)
+        assert solution.method == "mip"
+        assert solution.num_cuts == 1
+
+    def test_auto_uses_heuristic_for_large_circuits(self):
+        solution = find_cuts(bv(30), 16)
+        assert solution.method == "heuristic"
+
+    def test_forced_methods(self, fig4_circuit):
+        assert find_cuts(fig4_circuit, 3, method="mip").method == "mip"
+        assert (
+            find_cuts(fig4_circuit, 3, method="heuristic").method == "heuristic"
+        )
+
+    def test_unknown_method(self, fig4_circuit):
+        with pytest.raises(ValueError):
+            find_cuts(fig4_circuit, 3, method="quantum")
+
+    def test_infeasible_raises(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 2)
+        with pytest.raises(CutSearchError):
+            find_cuts(circuit, 2, max_subcircuits=2, max_cuts=1)
+
+    def test_solution_apply_respects_budget(self, fig4_circuit):
+        solution = find_cuts(fig4_circuit, 3)
+        cut = solution.apply(fig4_circuit)
+        assert cut.max_subcircuit_width() <= 3
+        assert cut.num_cuts == solution.num_cuts
+
+    def test_objective_positive_for_real_cut(self, fig4_circuit):
+        solution = find_cuts(fig4_circuit, 3)
+        assert solution.objective > 0
+
+    def test_cut_positions_round_trip(self, fig4_circuit):
+        solution = find_cuts(fig4_circuit, 3)
+        positions = cut_positions(solution, fig4_circuit)
+        from repro import cut_circuit
+
+        cut = cut_circuit(fig4_circuit, positions)
+        assert cut.num_cuts == solution.num_cuts
+
+    def test_more_than_double_expansion(self):
+        """Paper contribution 1: circuits > 2x the device size map fine."""
+        circuit = bv(11)
+        solution = find_cuts(circuit, 5)
+        cut = solution.apply(circuit)
+        assert cut.max_subcircuit_width() <= 5
+        assert circuit.num_qubits > 2 * 5
+
+    def test_supremacy_on_quarter_device(self):
+        circuit = supremacy(16, seed=0)
+        solution = find_cuts(circuit, 12)
+        cut = solution.apply(circuit)
+        assert cut.max_subcircuit_width() <= 12

@@ -1,0 +1,116 @@
+"""Tests for shot-level DD evaluation and shot-budget estimation."""
+
+import numpy as np
+import pytest
+
+from repro import cut_circuit
+from repro.library import bv, bv_solution
+from repro.postprocess.dd import DynamicDefinitionQuery
+from repro.postprocess.shots import (
+    ShotBasedTensorProvider,
+    estimate_required_shots,
+)
+from repro.sim import simulate_probabilities
+from repro.utils import marginalize
+
+
+class TestShotBasedProvider:
+    def test_protocol_fields(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        provider = ShotBasedTensorProvider(cut, shots=128, seed=0)
+        assert provider.num_qubits == 5
+        assert provider.num_cuts == 1
+
+    def test_shots_validated(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        with pytest.raises(ValueError):
+            ShotBasedTensorProvider(cut, shots=0)
+
+    def test_converges_to_exact_marginal(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        provider = ShotBasedTensorProvider(cut, shots=200_000, seed=1)
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        recursion = query.step()
+        truth = marginalize(simulate_probabilities(fig4_circuit), [0, 1], 5)
+        assert np.allclose(recursion.probabilities, truth, atol=0.02)
+
+    def test_more_shots_less_error(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        truth = marginalize(simulate_probabilities(fig4_circuit), [0, 1], 5)
+
+        def error(shots):
+            deviations = []
+            for seed in range(4):
+                provider = ShotBasedTensorProvider(cut, shots=shots, seed=seed)
+                query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+                recursion = query.step()
+                deviations.append(np.abs(recursion.probabilities - truth).max())
+            return float(np.mean(deviations))
+
+        assert error(50_000) < error(500)
+
+    def test_locates_bv_solution_with_shots(self):
+        circuit = bv(6)
+        cut = cut_circuit(circuit, [(5, 1)])
+        provider = ShotBasedTensorProvider(cut, shots=4096, seed=3)
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.run(3)
+        states = query.solution_states(threshold=0.5)
+        assert states and states[0][0] == bv_solution(6)
+
+    def test_distribution_cache_reused(self, fig4_circuit):
+        calls = []
+
+        def backend(circuit):
+            calls.append(1)
+            return simulate_probabilities(circuit)
+
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        provider = ShotBasedTensorProvider(cut, shots=64, backend=backend, seed=0)
+        query = DynamicDefinitionQuery(provider, max_active_qubits=1)
+        query.run(2)
+        # 7 physical variants total, simulated once despite 2 recursions.
+        assert sum(calls) == 7
+
+    def test_bins_roughly_normalized(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        provider = ShotBasedTensorProvider(cut, shots=20_000, seed=5)
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        recursion = query.step()
+        assert np.isclose(recursion.probabilities.sum(), 1.0, atol=0.05)
+
+
+class TestShotEstimator:
+    def test_scaling_with_cuts(self, fig4_circuit):
+        one_cut = cut_circuit(fig4_circuit, [(2, 1)])
+        needed_1 = estimate_required_shots(one_cut, target_error=0.01)
+        from repro import QuantumCircuit
+
+        chain = QuantumCircuit(6)
+        for q in range(5):
+            chain.cx(q, q + 1)
+        two_cuts = cut_circuit(chain, [(2, 1), (4, 1)])
+        needed_2 = estimate_required_shots(two_cuts, target_error=0.01)
+        assert needed_2 > needed_1
+
+    def test_scaling_with_target(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        loose = estimate_required_shots(cut, target_error=0.1)
+        tight = estimate_required_shots(cut, target_error=0.01)
+        assert tight == pytest.approx(loose * 100, rel=0.01)
+
+    def test_target_validated(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        with pytest.raises(ValueError):
+            estimate_required_shots(cut, target_error=0.0)
+
+    def test_bound_is_sufficient_in_practice(self, fig4_circuit):
+        """Shots at the bound achieve the target error (it is loose)."""
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        target = 0.05
+        shots = estimate_required_shots(cut, target_error=target)
+        provider = ShotBasedTensorProvider(cut, shots=shots, seed=11)
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        recursion = query.step()
+        truth = marginalize(simulate_probabilities(fig4_circuit), [0, 1], 5)
+        assert np.abs(recursion.probabilities - truth).max() < target

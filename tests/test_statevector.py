@@ -1,0 +1,148 @@
+"""Tests for the exact statevector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QuantumCircuit
+from repro.sim import (
+    INITIAL_STATES,
+    Statevector,
+    initial_state,
+    simulate_probabilities,
+    simulate_statevector,
+)
+from tests.conftest import random_connected_circuit
+
+
+class TestStatevectorBasics:
+    def test_initial_all_zero(self):
+        state = Statevector(3)
+        probs = state.probabilities()
+        assert np.isclose(probs[0], 1.0) and np.isclose(probs.sum(), 1.0)
+
+    def test_from_data_validates_size(self):
+        with pytest.raises(ValueError):
+            Statevector(2, np.zeros(3))
+
+    def test_positive_qubits(self):
+        with pytest.raises(ValueError):
+            Statevector(0)
+
+    def test_amplitudes_round_trip(self):
+        amps = np.array([0.6, 0.0, 0.0, 0.8j])
+        state = Statevector(2, amps)
+        assert np.allclose(state.amplitudes(), amps)
+
+    def test_norm(self):
+        assert np.isclose(Statevector(2).norm(), 1.0)
+
+    def test_from_product_order(self):
+        # qubit 0 = |1>, qubit 1 = |0> -> index 0b10
+        state = Statevector.from_product(
+            [np.array([0, 1]), np.array([1, 0])]
+        )
+        assert np.isclose(state.probabilities()[0b10], 1.0)
+
+    def test_from_labels(self):
+        state = Statevector.from_labels(["plus", "zero"])
+        probs = state.probabilities()
+        assert np.allclose(probs, [0.5, 0.0, 0.5, 0.0])
+
+    def test_initial_state_lookup(self):
+        assert np.allclose(initial_state("one"), [0, 1])
+        with pytest.raises(ValueError):
+            initial_state("bogus")
+
+    def test_initial_states_normalized(self):
+        for label, vector in INITIAL_STATES.items():
+            assert np.isclose(np.linalg.norm(vector), 1.0), label
+
+    def test_probability_of(self):
+        state = simulate_statevector(QuantumCircuit(2).x(0))
+        assert np.isclose(state.probability_of("10"), 1.0)
+
+
+class TestGateApplication:
+    def test_hadamard_uniform(self):
+        probs = simulate_probabilities(QuantumCircuit(1).h(0))
+        assert np.allclose(probs, [0.5, 0.5])
+
+    def test_x_flips(self):
+        probs = simulate_probabilities(QuantumCircuit(2).x(1))
+        assert np.isclose(probs[0b01], 1.0)
+
+    def test_ghz(self):
+        circuit = QuantumCircuit(4).h(0)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        probs = simulate_probabilities(circuit)
+        assert np.isclose(probs[0], 0.5) and np.isclose(probs[-1], 0.5)
+
+    def test_cx_control_qubit_order(self):
+        # control=1 (second qubit): |01> -> |11>
+        circuit = QuantumCircuit(2).x(1).cx(1, 0)
+        probs = simulate_probabilities(circuit)
+        assert np.isclose(probs[0b11], 1.0)
+
+    def test_apply_matrix_validates_shape(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply_matrix(np.eye(2), [0, 1])
+
+    def test_apply_circuit_validates_width(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply_circuit(QuantumCircuit(3).h(0))
+
+    def test_rx_pi_is_x(self):
+        a = simulate_probabilities(QuantumCircuit(1).rx(np.pi, 0))
+        b = simulate_probabilities(QuantumCircuit(1).x(0))
+        assert np.allclose(a, b)
+
+    def test_rz_invisible_on_basis_state(self):
+        probs = simulate_probabilities(QuantumCircuit(1).rz(1.234, 0))
+        assert np.allclose(probs, [1.0, 0.0])
+
+    def test_cz_symmetric(self):
+        a = QuantumCircuit(2).h(0).h(1).cz(0, 1)
+        b = QuantumCircuit(2).h(0).h(1).cz(1, 0)
+        sa = simulate_statevector(a).amplitudes()
+        sb = simulate_statevector(b).amplitudes()
+        assert np.allclose(sa, sb)
+
+    def test_initial_labels_argument(self):
+        probs = simulate_probabilities(QuantumCircuit(2).i(0).i(1), ["one", "zero"])
+        assert np.isclose(probs[0b10], 1.0)
+
+    def test_initial_labels_length_checked(self):
+        with pytest.raises(ValueError):
+            simulate_probabilities(QuantumCircuit(2).h(0), ["zero"])
+
+
+class TestUnitarityProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_circuit_preserves_norm(self, n, seed):
+        circuit = random_connected_circuit(n, 3 * n, seed)
+        probs = simulate_probabilities(circuit)
+        assert np.isclose(probs.sum(), 1.0, atol=1e-9)
+        assert np.all(probs >= -1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_inverse_property(self, n, seed):
+        circuit = random_connected_circuit(n, 2 * n, seed)
+        round_trip = circuit.copy().compose(circuit.inverse())
+        probs = simulate_probabilities(round_trip)
+        assert np.isclose(probs[0], 1.0, atol=1e-9)
+
+    def test_inner_product_of_orthogonal_states(self):
+        zero = Statevector(1)
+        one = simulate_statevector(QuantumCircuit(1).x(0))
+        assert np.isclose(abs(one.inner(zero)), 0.0)

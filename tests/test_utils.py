@@ -1,0 +1,165 @@
+"""Tests for bit/distribution helpers in repro.utils."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import (
+    bitstring_to_index,
+    index_to_bitstring,
+    is_distribution,
+    kron_all,
+    marginalize,
+    normalize_distribution,
+    permute_qubits,
+)
+
+
+class TestBitstringConversions:
+    def test_round_trip_examples(self):
+        assert bitstring_to_index("010") == 2
+        assert bitstring_to_index("101") == 5
+        assert index_to_bitstring(2, 3) == "010"
+        assert index_to_bitstring(0, 4) == "0000"
+
+    def test_qubit_zero_is_msb(self):
+        assert bitstring_to_index("100") == 4
+
+    def test_accepts_integer_sequences(self):
+        assert bitstring_to_index([1, 0, 1]) == 5
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bitstring_to_index("012")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            index_to_bitstring(8, 3)
+        with pytest.raises(ValueError):
+            index_to_bitstring(-1, 3)
+
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_round_trip_property(self, n, data):
+        index = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        assert bitstring_to_index(index_to_bitstring(index, n)) == index
+
+
+class TestPermuteQubits:
+    def test_identity(self):
+        vector = np.arange(8.0)
+        assert np.array_equal(permute_qubits(vector, [0, 1, 2]), vector)
+
+    def test_swap_two_qubits(self):
+        # |01> (index 1) becomes |10> (index 2) when qubits swap.
+        vector = np.zeros(4)
+        vector[1] = 1.0
+        swapped = permute_qubits(vector, [1, 0])
+        assert swapped[2] == 1.0 and swapped.sum() == 1.0
+
+    def test_three_cycle(self):
+        vector = np.zeros(8)
+        vector[0b011] = 1.0  # q0=0, q1=1, q2=1
+        # new qubit i takes old qubit perm[i]: perm = [2, 0, 1]
+        out = permute_qubits(vector, [2, 0, 1])
+        assert out[0b101] == 1.0
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            permute_qubits(np.zeros(8), [0, 1])
+
+    def test_invalid_permutation(self):
+        with pytest.raises(ValueError):
+            permute_qubits(np.zeros(4), [0, 0])
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_permutation_preserves_multiset(self, n, rand):
+        rng = np.random.default_rng(rand.randint(0, 2**31))
+        vector = rng.random(1 << n)
+        perm = list(range(n))
+        rand.shuffle(perm)
+        out = permute_qubits(vector, perm)
+        assert np.allclose(sorted(out), sorted(vector))
+
+    @given(st.integers(min_value=1, max_value=6), st.randoms(use_true_random=False))
+    def test_permutation_inverse_round_trip(self, n, rand):
+        rng = np.random.default_rng(rand.randint(0, 2**31))
+        vector = rng.random(1 << n)
+        perm = list(range(n))
+        rand.shuffle(perm)
+        inverse = [perm.index(i) for i in range(n)]
+        assert np.allclose(
+            permute_qubits(permute_qubits(vector, perm), inverse), vector
+        )
+
+
+class TestMarginalize:
+    def test_keep_all_identity(self):
+        vector = np.arange(8.0)
+        assert np.array_equal(marginalize(vector, [0, 1, 2], 3), vector)
+
+    def test_marginal_of_product(self):
+        p = np.array([0.25, 0.75])
+        q = np.array([0.4, 0.6])
+        joint = np.kron(p, q)
+        assert np.allclose(marginalize(joint, [0], 2), p)
+        assert np.allclose(marginalize(joint, [1], 2), q)
+
+    def test_keep_order_respected(self):
+        p = np.array([0.25, 0.75])
+        q = np.array([0.4, 0.6])
+        joint = np.kron(p, q)
+        assert np.allclose(marginalize(joint, [1, 0], 2), np.kron(q, p))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            marginalize(np.zeros(4), [0, 0], 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            marginalize(np.zeros(4), [2], 2)
+
+    def test_total_probability_preserved(self):
+        rng = np.random.default_rng(0)
+        vector = rng.random(32)
+        out = marginalize(vector, [1, 3], 5)
+        assert np.isclose(out.sum(), vector.sum())
+
+
+class TestKronAll:
+    def test_two_vectors(self):
+        a, b = np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        assert np.array_equal(kron_all([a, b]), np.kron(a, b))
+
+    def test_single_vector_copied(self):
+        a = np.array([1.0, 2.0])
+        out = kron_all([a])
+        out[0] = 99
+        assert a[0] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            kron_all([])
+
+    def test_associativity(self):
+        vs = [np.array([1.0, 2.0]), np.array([0.5, 3.0]), np.array([2.0, 0.0])]
+        left = np.kron(np.kron(vs[0], vs[1]), vs[2])
+        assert np.allclose(kron_all(vs), left)
+
+
+class TestDistributionHelpers:
+    def test_normalize(self):
+        out = normalize_distribution(np.array([1.0, 3.0]))
+        assert np.allclose(out, [0.25, 0.75])
+
+    def test_normalize_zero_vector_passthrough(self):
+        out = normalize_distribution(np.zeros(4))
+        assert np.allclose(out, 0.0)
+
+    def test_is_distribution(self):
+        assert is_distribution(np.array([0.5, 0.5]))
+        assert not is_distribution(np.array([0.5, 0.6]))
+        assert not is_distribution(np.array([-0.1, 1.1]))

@@ -1,0 +1,79 @@
+"""Tests for terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro import CutQC, cut_circuit
+from repro.library import bv
+from repro.viz import compare_histograms, cut_diagram, dd_trace, histogram
+
+
+class TestHistogram:
+    def test_orders_by_probability(self):
+        probs = np.array([0.1, 0.6, 0.3, 0.0])
+        art = histogram(probs, top=3)
+        lines = art.splitlines()
+        assert lines[0].startswith("|01>")
+        assert lines[1].startswith("|10>")
+        assert lines[2].startswith("|00>")
+
+    def test_threshold_hides_tiny(self):
+        probs = np.array([1.0, 1e-9, 0.0, 0.0])
+        art = histogram(probs, top=4)
+        assert len(art.splitlines()) == 1
+
+    def test_all_below_threshold(self):
+        art = histogram(np.zeros(4), top=2)
+        assert "below threshold" in art
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            histogram(np.ones(3) / 3)
+
+    def test_bar_scales_with_probability(self):
+        probs = np.array([0.8, 0.2, 0.0, 0.0])
+        lines = histogram(probs, top=2, width=20).splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+
+class TestCompareHistograms:
+    def test_rows_cover_reference_top(self):
+        a = np.array([0.5, 0.5, 0.0, 0.0])
+        b = np.array([0.0, 0.9, 0.1, 0.0])
+        art = compare_histograms(a, b, top=2, labels=("x", "y"))
+        assert "|01>" in art and "|10>" in art
+        assert "x" in art.splitlines()[0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_histograms(np.ones(2) / 2, np.ones(4) / 4)
+
+
+class TestCutDiagram:
+    def test_marks_cut_on_correct_wire(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        art = cut_diagram(cut)
+        lines = {line.split()[0]: line for line in art.splitlines()[:-1]}
+        assert "X" in lines["q2"]
+        assert "X" not in lines["q0"]
+        assert "2 subcircuits, 1 cut(s)" in art
+
+    def test_every_wire_present(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        art = cut_diagram(cut)
+        for wire in range(5):
+            assert f"q{wire}" in art
+
+
+class TestDDTrace:
+    def test_trace_lines(self):
+        pipeline = CutQC(bv(4), max_subcircuit_qubits=3)
+        query = pipeline.dd_query(max_active_qubits=1, max_recursions=3)
+        art = dd_trace(query)
+        assert len(art.splitlines()) == 3
+        assert art.splitlines()[0].startswith("rec  1: ????")
+
+    def test_max_rows(self):
+        pipeline = CutQC(bv(4), max_subcircuit_qubits=3)
+        query = pipeline.dd_query(max_active_qubits=1, max_recursions=3)
+        assert len(dd_trace(query, max_rows=2).splitlines()) == 2
