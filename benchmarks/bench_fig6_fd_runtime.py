@@ -14,6 +14,7 @@ and some configurations cannot be cut within 10 cuts / 5 subcircuits at
 all ("--" rows, like the paper's early-terminated curves).
 """
 
+import os
 import time
 
 import numpy as np
@@ -30,8 +31,17 @@ from repro.postprocess import (
 
 from conftest import report
 
-_DEVICES = (6, 8, 10)
-_BENCHMARKS = ("supremacy", "aqft", "grover", "bv", "adder", "hwea")
+# CI smoke runs cap the sweep via these env vars (see .github/workflows).
+_DEVICES = tuple(
+    int(d) for d in os.environ.get("REPRO_BENCH_DEVICES", "6,8,10").split(",")
+)
+_BENCHMARKS = tuple(
+    os.environ.get(
+        "REPRO_BENCH_BENCHMARKS", "supremacy,aqft,grover,bv,adder,hwea"
+    ).split(",")
+)
+#: Contraction strategy under test (the engine's auto picks per workload).
+_STRATEGY = os.environ.get("REPRO_BENCH_STRATEGY", "auto")
 #: Skip configs whose Eq. 14 estimate exceeds this many multiplications —
 #: same spirit as the paper capping runs at 10 cuts / 5 subcircuits.
 _FLOP_BUDGET = 2e9
@@ -56,7 +66,9 @@ def _kwargs(name: str):
 def _measure_config(name: str, size: int, device: int):
     circuit = get_benchmark(name, size, **_kwargs(name))
     try:
-        pipeline = CutQC(circuit, max_subcircuit_qubits=device)
+        pipeline = CutQC(
+            circuit, max_subcircuit_qubits=device, strategy=_STRATEGY
+        )
         cut = pipeline.cut()
     except CutSearchError:
         return (name, size, device, "--", "--", "--", "--", "uncuttable")

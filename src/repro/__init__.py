@@ -18,7 +18,7 @@ reproduced tables/figures.
 """
 
 from .circuits import Gate, QuantumCircuit, build_circuit_graph
-from .core import CutQC, evaluate_with_cutqc
+from .core import CutQC, ExecutionReport, VariantExecutor, evaluate_with_cutqc
 from .cutting import (
     CutCircuit,
     CutSearchError,
@@ -42,9 +42,11 @@ from .library import (
 )
 from .metrics import chi_square_loss, chi_square_reduction, fidelity
 from .postprocess import (
+    ContractionEngine,
     DynamicDefinitionQuery,
     PrecomputedTensorProvider,
     Reconstructor,
+    contract_terms,
     reconstruct_full,
 )
 from .sim import (
@@ -62,6 +64,8 @@ __all__ = [
     "QuantumCircuit",
     "build_circuit_graph",
     "CutQC",
+    "ExecutionReport",
+    "VariantExecutor",
     "evaluate_with_cutqc",
     "CutCircuit",
     "CutSearchError",
@@ -87,6 +91,8 @@ __all__ = [
     "chi_square_loss",
     "chi_square_reduction",
     "fidelity",
+    "ContractionEngine",
+    "contract_terms",
     "DynamicDefinitionQuery",
     "PrecomputedTensorProvider",
     "Reconstructor",

@@ -62,14 +62,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="cut-search backend",
         )
 
+    def add_execution_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="processes for variant execution and kron reconstruction",
+        )
+        sub.add_argument(
+            "--strategy", choices=("kron", "tensor_network", "auto"),
+            default="auto", help="contraction strategy (default: auto)",
+        )
+        sub.add_argument(
+            "--pool", metavar="SPEC",
+            help="evaluate variants on a device pool; SPEC is a comma-"
+                 "separated list of preset[:count], e.g. bogota:4,melbourne",
+        )
+
     cut = commands.add_parser("cut", help="find cuts and print the plan")
     add_circuit_options(cut)
 
     run = commands.add_parser("run", help="cut + evaluate + FD query")
     add_circuit_options(run)
+    add_execution_options(run)
     run.add_argument("--top", type=int, default=5,
                      help="print this many highest-probability states")
-    run.add_argument("--workers", type=int, default=1)
     run.add_argument("--device", choices=sorted(DEVICE_PRESETS),
                      help="evaluate subcircuits on this noisy virtual device"
                           " (default: exact statevector)")
@@ -79,9 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     dd = commands.add_parser("dd", help="cut + evaluate + DD query")
     add_circuit_options(dd)
+    add_execution_options(dd)
     dd.add_argument("--active", type=int, default=2,
                     help="active qubits per recursion (memory cap)")
     dd.add_argument("--recursions", type=int, default=8)
+    dd.add_argument("--shots", type=int, default=None,
+                    help="shots per pool job (0 = exact; default: device "
+                         "setting)")
 
     devices = commands.add_parser("devices", help="list device presets")
     del devices  # no extra options
@@ -96,8 +115,33 @@ def _build_circuit(args: argparse.Namespace):
     return get_benchmark(args.benchmark, args.qubits, **kwargs)
 
 
+def _parse_pool(spec: str, seed: int):
+    """Build a DevicePool from ``preset[:count],...`` (e.g. ``bogota:4``)."""
+    from .devices.pool import DevicePool
+
+    devices = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, count = entry.partition(":")
+        copies = int(count) if count else 1
+        if copies < 1:
+            raise ValueError(f"pool entry {entry!r} has a non-positive count")
+        for copy in range(copies):
+            devices.append(get_device(name, seed=seed + copy))
+    if not devices:
+        raise ValueError(f"pool spec {spec!r} names no devices")
+    return DevicePool(devices)
+
+
 def _build_pipeline(args: argparse.Namespace, backend=None) -> CutQC:
     circuit = _build_circuit(args)
+    pool = None
+    pool_shots = None
+    if getattr(args, "pool", None):
+        pool = _parse_pool(args.pool, seed=args.seed)
+        pool_shots = getattr(args, "shots", None)
     return CutQC(
         circuit,
         max_subcircuit_qubits=args.device_size,
@@ -105,6 +149,11 @@ def _build_pipeline(args: argparse.Namespace, backend=None) -> CutQC:
         max_cuts=args.max_cuts,
         method=args.method,
         backend=backend,
+        pool=pool,
+        pool_shots=pool_shots,
+        workers=getattr(args, "workers", 1),
+        strategy=getattr(args, "strategy", "kron"),
+        seed=args.seed,
     )
 
 
@@ -125,6 +174,9 @@ def _command_cut(args: argparse.Namespace) -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     backend = None
+    if args.device and args.pool:
+        print("error: pass either --device or --pool, not both", file=sys.stderr)
+        return 2
     if args.device:
         device = get_device(args.device, seed=args.seed)
         if device.num_qubits < args.device_size:
@@ -135,13 +187,30 @@ def _command_run(args: argparse.Namespace) -> int:
             )
             return 2
         backend = device.backend(shots=args.shots)
-    pipeline = _build_pipeline(args, backend=backend)
+    try:
+        pipeline = _build_pipeline(args, backend=backend)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     cut = pipeline.cut()
     print(cut.summary())
     result = pipeline.fd_query(workers=args.workers)
+    report = pipeline.execution_report
+    if report is not None:
+        line = (
+            f"evaluation: {report.num_variants} variants -> "
+            f"{report.num_unique_circuits} unique circuits "
+            f"(dedup {report.dedup_ratio:.2f}x, {report.mode})"
+        )
+        if report.pool_makespan_seconds is not None:
+            line += (
+                f", quantum makespan {report.pool_makespan_seconds:.3f}s "
+                f"vs {report.pool_serial_seconds:.3f}s serial"
+            )
+        print(line)
     stats = result.stats
     print(
-        f"FD query: {stats.num_terms} Kronecker terms "
+        f"FD query [{stats.strategy}]: {stats.num_terms} Kronecker terms "
         f"({stats.num_skipped} skipped), {stats.elapsed_seconds:.3f}s, "
         f"{stats.workers} worker(s)"
     )
@@ -158,7 +227,11 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_dd(args: argparse.Namespace) -> int:
-    pipeline = _build_pipeline(args)
+    try:
+        pipeline = _build_pipeline(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     cut = pipeline.cut()
     print(cut.summary())
     query = pipeline.dd_query(

@@ -1,5 +1,12 @@
 """The paper's primary contribution: the end-to-end CutQC pipeline."""
 
+from .executor import ExecutionReport, VariantExecutor, circuit_fingerprint
 from .pipeline import CutQC, evaluate_with_cutqc
 
-__all__ = ["CutQC", "evaluate_with_cutqc"]
+__all__ = [
+    "CutQC",
+    "evaluate_with_cutqc",
+    "ExecutionReport",
+    "VariantExecutor",
+    "circuit_fingerprint",
+]

@@ -1,0 +1,229 @@
+"""Batched, deduplicated, parallel execution of subcircuit variants.
+
+The quantum half of CutQC's workload is the ``3^O * 4^rho`` physical
+variants of every subcircuit (Fig. 3).  The seed pipeline ran them one
+subcircuit at a time through a single backend callable; this module
+flattens **all** subcircuits' variants into one batch, executes every
+distinct physical circuit exactly once, and fans the unique batch out —
+serially, across ``multiprocessing`` workers, or over a
+:class:`~repro.devices.pool.DevicePool` (the paper's §5.1 many-small-QPUs
+deployment).
+
+The layering mirrors the circuit-knitting-toolbox's
+``run_subcircuit_instances`` stage: circuit generation, deduplication and
+dispatch are one reusable component, independent of how the results are
+later attributed and contracted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..cutting.cutter import Subcircuit
+from ..cutting.variants import (
+    SubcircuitResult,
+    SubcircuitVariant,
+    circuit_fingerprint,
+    generate_variants,
+    variant_circuit,
+)
+from ..devices.pool import DevicePool
+from ..sim.statevector import simulate_probabilities
+
+__all__ = ["ExecutionReport", "VariantExecutor", "circuit_fingerprint"]
+
+Backend = Callable[[QuantumCircuit], np.ndarray]
+
+#: A process pool is only worth spawning for at least this many circuits.
+_MIN_PARALLEL_CIRCUITS = 4
+
+
+@dataclass
+class ExecutionReport:
+    """What one :meth:`VariantExecutor.run` batch actually executed."""
+
+    num_subcircuits: int
+    num_variants: int
+    num_unique_circuits: int
+    workers: int
+    mode: str  # "serial" | "process" | "pool"
+    elapsed_seconds: float
+    #: Modelled quantum wall-clock when a pool executed the batch.
+    pool_makespan_seconds: Optional[float] = None
+    pool_serial_seconds: Optional[float] = None
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Variants per executed circuit (>= 1; 1.0 means no sharing)."""
+        if self.num_unique_circuits <= 0:
+            return 1.0
+        return self.num_variants / self.num_unique_circuits
+
+
+# -- multiprocessing plumbing -------------------------------------------------
+
+_EXEC_STATE: dict = {}
+
+
+def _exec_init(backend):  # pragma: no cover - runs in worker processes
+    _EXEC_STATE["backend"] = backend
+
+
+def _exec_run(circuit):  # pragma: no cover - runs in worker processes
+    return np.asarray(_EXEC_STATE["backend"](circuit), dtype=float)
+
+
+class VariantExecutor:
+    """Run every physical variant of a set of subcircuits, once each.
+
+    Parameters
+    ----------
+    backend:
+        ``circuit -> probability vector`` callable.  Defaults to the exact
+        statevector simulator.  Mutually exclusive with ``pool``.
+    workers:
+        Process count for fanning the unique batch out with
+        ``multiprocessing``.  ``1`` executes in-process.  Deterministic
+        backends (the default exact simulator) produce bit-identical
+        results at any worker count; a *stochastic* backend closure is
+        duplicated into each forked worker with its RNG state, so its
+        noise streams are correlated across workers — run noisy backends
+        serially or through a seeded ``pool``.
+    pool:
+        A :class:`~repro.devices.pool.DevicePool`; each unique circuit is
+        placed on the least-loaded fitting device and the modelled quantum
+        makespan is recorded in the report.
+    pool_shots:
+        Shots per job when executing on a pool (``None`` = device default,
+        ``0`` = exact, noise-model-only execution).
+    seed:
+        Seed for the pool's per-job trajectory sampling.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[Backend] = None,
+        workers: int = 1,
+        pool: Optional[DevicePool] = None,
+        pool_shots: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        if backend is not None and pool is not None:
+            raise ValueError("pass either a backend or a pool, not both")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.backend = backend
+        self.workers = int(workers)
+        self.pool = pool
+        self.pool_shots = pool_shots
+        self.seed = seed
+        self.last_report: Optional[ExecutionReport] = None
+
+    # ------------------------------------------------------------------
+    def run(self, subcircuits: Sequence[Subcircuit]) -> List[SubcircuitResult]:
+        """Evaluate all variants of ``subcircuits``; one result per piece."""
+        began = time.perf_counter()
+        subcircuits = list(subcircuits)
+        # 1. Flatten: every (subcircuit, variant) pair, deduplicated by
+        #    physical-circuit fingerprint across the whole batch.
+        unique_circuits: List[QuantumCircuit] = []
+        slot_of: Dict[Tuple, int] = {}
+        assignments: List[List[Tuple[SubcircuitVariant, int]]] = []
+        local_unique: List[int] = []
+        for subcircuit in subcircuits:
+            seen_local = set()
+            variant_slots: List[Tuple[SubcircuitVariant, int]] = []
+            for variant in generate_variants(subcircuit):
+                circuit = variant_circuit(subcircuit, variant)
+                key = circuit_fingerprint(circuit)
+                if key not in slot_of:
+                    slot_of[key] = len(unique_circuits)
+                    unique_circuits.append(circuit)
+                seen_local.add(key)
+                variant_slots.append((variant, slot_of[key]))
+            assignments.append(variant_slots)
+            local_unique.append(len(seen_local))
+
+        # 2. Execute the unique batch.
+        vectors, mode, makespan, serial_seconds = self._execute(unique_circuits)
+
+        # 3. Reassemble per-subcircuit results (shared vectors are shared
+        #    objects — no copies).
+        results: List[SubcircuitResult] = []
+        for subcircuit, variant_slots, unique in zip(
+            subcircuits, assignments, local_unique
+        ):
+            probabilities = {}
+            for variant, slot in variant_slots:
+                vector = vectors[slot]
+                if vector.size != 1 << subcircuit.width:
+                    raise ValueError(
+                        f"backend returned vector of size {vector.size} for a "
+                        f"{subcircuit.width}-qubit variant"
+                    )
+                probabilities[(variant.inits, variant.bases)] = vector
+            results.append(
+                SubcircuitResult(
+                    subcircuit=subcircuit,
+                    probabilities=probabilities,
+                    num_variants=len(variant_slots),
+                    num_unique_circuits=unique,
+                )
+            )
+        self.last_report = ExecutionReport(
+            num_subcircuits=len(subcircuits),
+            num_variants=sum(len(slots) for slots in assignments),
+            num_unique_circuits=len(unique_circuits),
+            workers=self.workers,
+            mode=mode,
+            elapsed_seconds=time.perf_counter() - began,
+            pool_makespan_seconds=makespan,
+            pool_serial_seconds=serial_seconds,
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, circuits: Sequence[QuantumCircuit]
+    ) -> Tuple[List[np.ndarray], str, Optional[float], Optional[float]]:
+        if self.pool is not None:
+            run = self.pool.backend(shots=self.pool_shots, seed=self.seed)
+            vectors = [np.asarray(run(c), dtype=float) for c in circuits]
+            schedule = run.schedule  # type: ignore[attr-defined]
+            return (
+                vectors,
+                "pool",
+                schedule.makespan_seconds,
+                schedule.serial_seconds,
+            )
+        backend = self.backend or simulate_probabilities
+        if self.workers > 1 and len(circuits) >= _MIN_PARALLEL_CIRCUITS:
+            vectors = self._execute_parallel(backend, circuits)
+            if vectors is not None:
+                return vectors, "process", None, None
+        vectors = [np.asarray(backend(c), dtype=float) for c in circuits]
+        return vectors, "serial", None, None
+
+    def _execute_parallel(
+        self, backend: Backend, circuits: Sequence[QuantumCircuit]
+    ) -> Optional[List[np.ndarray]]:
+        """Map the batch over a process pool; None if the backend cannot
+        cross a process boundary (falls back to serial)."""
+        import multiprocessing
+        import pickle
+
+        try:
+            with multiprocessing.Pool(
+                processes=self.workers,
+                initializer=_exec_init,
+                initargs=(backend,),
+            ) as pool:
+                chunk = max(1, len(circuits) // (self.workers * 4))
+                return pool.map(_exec_run, list(circuits), chunksize=chunk)
+        except (pickle.PicklingError, AttributeError, TypeError):
+            return None

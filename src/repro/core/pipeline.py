@@ -1,15 +1,15 @@
 """The end-to-end CutQC pipeline (paper Fig. 5).
 
 ``CutQC`` wires the stages together: the MIP cut searcher locates cuts,
-the cutter produces subcircuits, an evaluation backend (exact statevector,
-finite-shot sampler, or a noisy virtual device) runs every physical
-variant, and the postprocessor answers full-definition or
-dynamic-definition queries.
+the cutter produces subcircuits, a :class:`~repro.core.executor.VariantExecutor`
+runs every physical variant (deduplicated, optionally across
+``multiprocessing`` workers or a :class:`~repro.devices.pool.DevicePool`),
+and the postprocessor answers full-definition or dynamic-definition
+queries through the shared contraction engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,17 +20,19 @@ from ..cutting import (
     CutSolution,
     SubcircuitResult,
     cut_circuit,
-    evaluate_subcircuit,
     find_cuts,
 )
 from ..cutting.searcher import DEFAULT_MAX_CUTS, DEFAULT_MAX_SUBCIRCUITS
 from ..devices import VirtualDevice
+from ..devices.pool import DevicePool
 from ..postprocess import (
+    ContractionEngine,
     DynamicDefinitionQuery,
     PrecomputedTensorProvider,
     ReconstructionResult,
     Reconstructor,
 )
+from .executor import ExecutionReport, VariantExecutor
 
 __all__ = ["CutQC", "evaluate_with_cutqc"]
 
@@ -53,6 +55,21 @@ class CutQC:
     cuts:
         Explicit ``(wire, wire_index)`` cut points; when given, the MIP
         search is skipped.
+    workers:
+        Default process count for both variant execution and the ``kron``
+        reconstruction sweep (overridable per query).
+    pool:
+        Evaluate variants on a :class:`~repro.devices.pool.DevicePool`
+        instead of a single backend (the paper's many-small-QPUs model).
+        Mutually exclusive with ``backend``/``device``.
+    pool_shots:
+        Shots per pool job (``None`` = device default, ``0`` = exact).
+    strategy:
+        Default contraction strategy for queries: ``"kron"``,
+        ``"tensor_network"``, or ``"auto"``.
+    seed:
+        Seed for the pool's per-job trajectory sampling, making pooled
+        evaluation reproducible.
     """
 
     def __init__(
@@ -65,24 +82,41 @@ class CutQC:
         backend: Optional[Backend] = None,
         device: Optional[VirtualDevice] = None,
         cuts: Optional[Sequence[Tuple[int, int]]] = None,
+        workers: int = 1,
+        pool: Optional[DevicePool] = None,
+        pool_shots: Optional[int] = None,
+        strategy: str = "kron",
+        seed: Optional[int] = None,
     ):
         if device is not None and backend is not None:
             raise ValueError("pass either a backend or a device, not both")
+        if pool is not None and (backend is not None or device is not None):
+            raise ValueError("pass either a pool or a backend/device, not both")
         self.circuit = circuit
         self.max_subcircuit_qubits = max_subcircuit_qubits
         self.max_subcircuits = max_subcircuits
         self.max_cuts = max_cuts
         self.method = method
         self.backend = device.backend() if device is not None else backend
+        self.pool = pool
+        self.pool_shots = pool_shots
+        self.seed = seed
+        self.workers = int(workers)
+        self.engine = ContractionEngine(strategy=strategy, workers=self.workers)
         self._explicit_cuts = list(cuts) if cuts is not None else None
         self._solution: Optional[CutSolution] = None
         self._cut: Optional[CutCircuit] = None
         self._results: Optional[List[SubcircuitResult]] = None
+        self.execution_report: Optional[ExecutionReport] = None
 
     # ------------------------------------------------------------------
     @property
     def solution(self) -> Optional[CutSolution]:
         return self._solution
+
+    @property
+    def strategy(self) -> str:
+        return self.engine.strategy
 
     def cut(self) -> CutCircuit:
         """Locate cuts (unless given explicitly) and split the circuit."""
@@ -107,25 +141,33 @@ class CutQC:
         return self._cut
 
     def evaluate(self) -> List[SubcircuitResult]:
-        """Run every physical variant of every subcircuit on the backend."""
+        """Run every physical variant of every subcircuit, batched and
+        deduplicated, via the :class:`VariantExecutor`."""
         if self._results is None:
             cut = self.cut()
-            self._results = [
-                evaluate_subcircuit(subcircuit, self.backend)
-                for subcircuit in cut.subcircuits
-            ]
+            executor = VariantExecutor(
+                backend=self.backend,
+                workers=self.workers,
+                pool=self.pool,
+                pool_shots=self.pool_shots,
+                seed=self.seed,
+            )
+            self._results = executor.run(cut.subcircuits)
+            self.execution_report = executor.last_report
         return self._results
 
     # ------------------------------------------------------------------
     def fd_query(
         self,
-        workers: int = 1,
+        workers: Optional[int] = None,
         greedy_order: bool = True,
         early_termination: bool = True,
-        strategy: str = "kron",
+        strategy: Optional[str] = None,
     ) -> ReconstructionResult:
         """Full-definition query: the complete 2**n output distribution."""
-        reconstructor = Reconstructor(self.cut(), results=self.evaluate())
+        reconstructor = Reconstructor(
+            self.cut(), results=self.evaluate(), engine=self.engine
+        )
         return reconstructor.reconstruct(
             workers=workers,
             greedy_order=greedy_order,
@@ -151,11 +193,20 @@ class CutQC:
         if shots_per_variant is not None:
             from ..postprocess import ShotBasedTensorProvider
 
+            backend = self.backend
+            if backend is None and self.pool is not None:
+                # Honor a configured pool in shot-based DD too (fd_query
+                # already executes through it).
+                backend = self.pool.backend(
+                    shots=self.pool_shots,
+                    seed=seed if seed is not None else self.seed,
+                )
             provider = ShotBasedTensorProvider(
                 self.cut(),
                 shots=shots_per_variant,
-                backend=self.backend,
+                backend=backend,
                 seed=seed,
+                workers=self.workers,
             )
         else:
             provider = PrecomputedTensorProvider(
@@ -165,6 +216,7 @@ class CutQC:
             provider,
             max_active_qubits=max_active_qubits,
             active_order=active_order,
+            engine=self.engine,
         )
         query.run(max_recursions)
         return query

@@ -22,6 +22,7 @@ from .variants import (
     MEAS_BASES,
     SubcircuitResult,
     SubcircuitVariant,
+    circuit_fingerprint,
     evaluate_subcircuit,
     generate_variants,
     num_physical_variants,
@@ -52,6 +53,7 @@ __all__ = [
     "MEAS_BASES",
     "SubcircuitResult",
     "SubcircuitVariant",
+    "circuit_fingerprint",
     "evaluate_subcircuit",
     "generate_variants",
     "num_physical_variants",

@@ -26,6 +26,7 @@ __all__ = [
     "SubcircuitVariant",
     "generate_variants",
     "variant_circuit",
+    "circuit_fingerprint",
     "evaluate_subcircuit",
     "SubcircuitResult",
     "num_physical_variants",
@@ -104,6 +105,16 @@ def variant_circuit(
     return circuit
 
 
+def circuit_fingerprint(circuit: QuantumCircuit) -> Tuple:
+    """Hashable identity of a physical circuit (width + exact gate list).
+
+    Two variants with equal fingerprints produce identical output
+    distributions on any backend, so one execution can serve both; every
+    dedup path (per-subcircuit and batched) keys on this one function.
+    """
+    return (circuit.num_qubits, circuit.gates)
+
+
 #: An evaluation backend maps a runnable circuit to a probability vector.
 Backend = Callable[[QuantumCircuit], np.ndarray]
 
@@ -118,10 +129,22 @@ class SubcircuitResult:
 
     ``probabilities[(inits, bases)]`` is the 2**width probability vector
     of the corresponding variant (line 0 is the most significant bit).
+    ``num_variants`` / ``num_unique_circuits`` record how much of the
+    variant space was served by shared physical executions (beyond the
+    I/Z sharing already folded into :data:`MEAS_BASES`).
     """
 
     subcircuit: Subcircuit
     probabilities: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], np.ndarray]
+    num_variants: int = 0
+    num_unique_circuits: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Variants per physical execution (>= 1; 1.0 means no sharing)."""
+        if self.num_unique_circuits <= 0:
+            return 1.0
+        return self.num_variants / self.num_unique_circuits
 
     def vector(self, inits: Sequence[str], bases: Sequence[str]) -> np.ndarray:
         return self.probabilities[(tuple(inits), tuple(bases))]
@@ -135,17 +158,31 @@ def evaluate_subcircuit(
 
     The default backend is the exact statevector simulator (what the paper
     uses for its runtime studies, §5.1); pass a noisy device's ``run`` for
-    hardware emulation.
+    hardware emulation.  Variants whose physical circuits coincide (same
+    width and gate list) are executed once and share the result vector;
+    the achieved ratio is reported on the returned
+    :class:`SubcircuitResult`.
     """
     backend = backend or _statevector_backend
     probabilities = {}
+    executed: Dict[Tuple, np.ndarray] = {}
+    num_variants = 0
     for variant in generate_variants(subcircuit):
         circuit = variant_circuit(subcircuit, variant)
-        vector = np.asarray(backend(circuit), dtype=float)
-        if vector.size != 1 << subcircuit.width:
-            raise ValueError(
-                f"backend returned vector of size {vector.size} for a "
-                f"{subcircuit.width}-qubit variant"
-            )
-        probabilities[(variant.inits, variant.bases)] = vector
-    return SubcircuitResult(subcircuit=subcircuit, probabilities=probabilities)
+        key = circuit_fingerprint(circuit)
+        if key not in executed:
+            vector = np.asarray(backend(circuit), dtype=float)
+            if vector.size != 1 << subcircuit.width:
+                raise ValueError(
+                    f"backend returned vector of size {vector.size} for a "
+                    f"{subcircuit.width}-qubit variant"
+                )
+            executed[key] = vector
+        probabilities[(variant.inits, variant.bases)] = executed[key]
+        num_variants += 1
+    return SubcircuitResult(
+        subcircuit=subcircuit,
+        probabilities=probabilities,
+        num_variants=num_variants,
+        num_unique_circuits=len(executed),
+    )

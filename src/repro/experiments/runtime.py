@@ -36,7 +36,10 @@ class RuntimeExperimentConfig:
     cases: Sequence[Tuple[str, int, int]] = ()
     size_multiplier: float = 2.0
     max_circuit_qubits: int = 15
+    #: processes for variant execution and the kron reconstruction sweep
     workers: int = 1
+    #: contraction strategy: "kron", "tensor_network", or "auto"
+    strategy: str = "kron"
     flop_budget: float = 2e9
     variant_budget: int = 25_000
     verify: bool = True
@@ -70,7 +73,12 @@ def _run_one(
 ) -> RuntimeRecord:
     circuit = _circuit(config, name, size)
     try:
-        pipeline = CutQC(circuit, max_subcircuit_qubits=device)
+        pipeline = CutQC(
+            circuit,
+            max_subcircuit_qubits=device,
+            workers=config.workers,
+            strategy=config.strategy,
+        )
         cut = pipeline.cut()
     except CutSearchError:
         return RuntimeRecord(name, size, device, None, None, None, "uncuttable")

@@ -8,6 +8,13 @@ from .attribution import (
     attributed_vector,
     build_term_tensor,
 )
+from .engine import (
+    STRATEGIES,
+    ContractionEngine,
+    ContractionResult,
+    contract_terms,
+    resolve_strategy,
+)
 from .reconstruct import (
     ReconstructionResult,
     ReconstructionStats,
@@ -36,6 +43,11 @@ __all__ = [
     "TermTensor",
     "attributed_vector",
     "build_term_tensor",
+    "STRATEGIES",
+    "ContractionEngine",
+    "ContractionResult",
+    "contract_terms",
+    "resolve_strategy",
     "ReconstructionResult",
     "ReconstructionStats",
     "Reconstructor",

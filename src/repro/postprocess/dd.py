@@ -20,7 +20,8 @@ from ..cutting.cutter import CutCircuit
 from ..cutting.variants import SubcircuitResult
 from ..utils import permute_qubits
 from .attribution import TermTensor, build_term_tensor
-from .reconstruct import _accumulate_range, binned_tensor
+from .engine import ContractionEngine
+from .reconstruct import binned_tensor
 
 __all__ = [
     "Bin",
@@ -123,10 +124,12 @@ class DynamicDefinitionQuery:
         provider: TensorProvider,
         max_active_qubits: int,
         active_order: Optional[Sequence[int]] = None,
+        engine: Optional[ContractionEngine] = None,
     ):
         if max_active_qubits < 1:
             raise ValueError("max_active_qubits must be positive")
         self.provider = provider
+        self.engine = engine or ContractionEngine(strategy="auto")
         self.max_active_qubits = int(max_active_qubits)
         order = (
             list(range(provider.num_qubits))
@@ -226,10 +229,8 @@ class DynamicDefinitionQuery:
         for index in order:
             kron_wires.extend(collapsed[index][1])
         num_cuts = self.provider.num_cuts
-        vector, _ = _accumulate_range(
-            tensors, order, num_cuts, 0, 4**num_cuts, True
-        )
-        vector = vector * (0.5**num_cuts)
+        contraction = self.engine.contract(tensors, order, num_cuts)
+        vector = contraction.vector * (0.5**num_cuts)
         permutation = [kron_wires.index(w) for w in active]
         return permute_qubits(vector, permutation)
 

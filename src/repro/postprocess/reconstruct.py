@@ -2,7 +2,11 @@
 
 The uncut distribution is the sum over all ``4^K`` cut-term assignments of
 the Kronecker product of the subcircuits' term vectors, scaled by
-``1/2^K``.  This module implements the paper's three optimizations:
+``1/2^K``.  The actual contraction lives in the shared
+:mod:`~repro.postprocess.engine`; this module keeps the FD-specific
+plumbing — greedy subcircuit ordering, wire-order restoration, and the
+stats the benches report — and implements the paper's three
+optimizations through the engine:
 
 * **greedy subcircuit order** — Kronecker products accumulate smallest
   subcircuits first, minimizing carry-over vector sizes;
@@ -12,17 +16,15 @@ the Kronecker product of the subcircuits' term vectors, scaled by
   ``multiprocessing`` pool with no inter-worker communication (the paper's
   compute-node model).
 
-A faithful-but-faster ``tensor_network`` strategy (pairwise contraction of
-the same tensors via ``einsum``) is provided as an ablation — it computes
-the identical output while avoiding the explicit 4^K enumeration.
+The engine's ``tensor_network`` strategy (greedy pairwise contraction of
+the same tensors) computes the identical output without the explicit 4^K
+enumeration, and ``auto`` picks between the two from a cost model.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass
-from functools import reduce
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +33,7 @@ from ..cutting.cutter import CutCircuit, Subcircuit
 from ..cutting.variants import SubcircuitResult
 from ..utils import permute_qubits
 from .attribution import TermTensor, build_term_tensor
+from .engine import STRATEGIES, ContractionEngine, contract_terms
 
 __all__ = [
     "ReconstructionStats",
@@ -39,8 +42,6 @@ __all__ = [
     "reconstruct_full",
     "binned_tensor",
 ]
-
-_CHUNK = 1 << 14  # assignments processed per vectorized row computation
 
 
 @dataclass
@@ -62,67 +63,6 @@ class ReconstructionResult:
     stats: ReconstructionStats
 
 
-def _row_indices(
-    tensor: TermTensor, assignments: np.ndarray, num_cuts: int
-) -> np.ndarray:
-    """Vectorized map from global assignment indices to tensor rows."""
-    rows = np.zeros(assignments.shape, dtype=np.int64)
-    for cut_id in tensor.cut_order:
-        digit = (assignments >> (2 * (num_cuts - 1 - cut_id))) & 3
-        rows = (rows << 2) | digit
-    return rows
-
-
-def _accumulate_range(
-    tensors: Sequence[TermTensor],
-    order: Sequence[int],
-    num_cuts: int,
-    start: int,
-    stop: int,
-    early_termination: bool,
-) -> Tuple[np.ndarray, int]:
-    """Sum the Kronecker terms for assignments in ``[start, stop)``."""
-    ordered = [tensors[i] for i in order]
-    total_qubits = sum(t.num_effective for t in ordered)
-    accumulator = np.zeros(1 << total_qubits)
-    skipped = 0
-    for chunk_start in range(start, stop, _CHUNK):
-        chunk_stop = min(chunk_start + _CHUNK, stop)
-        assignments = np.arange(chunk_start, chunk_stop, dtype=np.int64)
-        rows = [_row_indices(t, assignments, num_cuts) for t in ordered]
-        if early_termination:
-            alive = np.ones(assignments.shape, dtype=bool)
-            for tensor, tensor_rows in zip(ordered, rows):
-                alive &= tensor.nonzero[tensor_rows]
-            skipped += int((~alive).sum())
-            survivors = np.nonzero(alive)[0]
-        else:
-            survivors = np.arange(assignments.size)
-        for position in survivors:
-            vectors = [
-                tensor.data[tensor_rows[position]]
-                for tensor, tensor_rows in zip(ordered, rows)
-            ]
-            accumulator += reduce(np.kron, vectors)
-    return accumulator, skipped
-
-
-# -- multiprocessing plumbing -------------------------------------------------
-
-_WORKER_STATE: dict = {}
-
-
-def _worker_init(tensors, order, num_cuts, early_termination):  # pragma: no cover
-    _WORKER_STATE["args"] = (tensors, order, num_cuts, early_termination)
-
-
-def _worker_run(bounds):  # pragma: no cover - exercised via integration tests
-    tensors, order, num_cuts, early_termination = _WORKER_STATE["args"]
-    return _accumulate_range(
-        tensors, order, num_cuts, bounds[0], bounds[1], early_termination
-    )
-
-
 class Reconstructor:
     """FD reconstruction engine bound to one cut circuit's results."""
 
@@ -131,8 +71,10 @@ class Reconstructor:
         cut_circuit: CutCircuit,
         results: Optional[Sequence[SubcircuitResult]] = None,
         tensors: Optional[Sequence[TermTensor]] = None,
+        engine: Optional[ContractionEngine] = None,
     ):
         self.cut_circuit = cut_circuit
+        self.engine = engine or ContractionEngine(strategy="kron")
         if tensors is None:
             if results is None:
                 raise ValueError("provide subcircuit results or term tensors")
@@ -154,87 +96,47 @@ class Reconstructor:
 
     def reconstruct(
         self,
-        workers: int = 1,
+        workers: Optional[int] = None,
         greedy_order: bool = True,
-        early_termination: bool = True,
-        strategy: str = "kron",
+        early_termination: Optional[bool] = None,
+        strategy: Optional[str] = None,
     ) -> ReconstructionResult:
-        """Compute the full 2**n distribution of the uncut circuit."""
-        if strategy not in ("kron", "tensor_network"):
+        """Compute the full 2**n distribution of the uncut circuit.
+
+        ``workers``, ``early_termination`` and ``strategy`` default to the
+        bound :class:`~repro.postprocess.engine.ContractionEngine`'s
+        settings when not given.
+        """
+        workers = self.engine.workers if workers is None else workers
+        strategy = self.engine.strategy if strategy is None else strategy
+        if early_termination is None:
+            early_termination = self.engine.early_termination
+        if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         began = time.perf_counter()
         num_cuts = self.cut_circuit.num_cuts
         order = self.subcircuit_order(greedy_order)
-        if strategy == "tensor_network":
-            vector = self._contract_tensor_network(order)
-            skipped = 0
-        else:
-            vector, skipped = self._enumerate_kron(
-                order, workers, early_termination
-            )
-        vector = vector * (0.5**num_cuts)
+        contraction = contract_terms(
+            self.tensors,
+            order,
+            num_cuts,
+            strategy=strategy,
+            workers=workers,
+            early_termination=early_termination,
+        )
+        vector = contraction.vector * (0.5**num_cuts)
         probabilities = self._to_original_order(vector, order)
         elapsed = time.perf_counter() - began
         stats = ReconstructionStats(
             num_cuts=num_cuts,
             num_terms=4**num_cuts,
-            num_skipped=skipped,
+            num_skipped=contraction.num_skipped,
             elapsed_seconds=elapsed,
             workers=workers,
-            strategy=strategy,
+            strategy=contraction.strategy,
             subcircuit_order=tuple(order),
         )
         return ReconstructionResult(probabilities=probabilities, stats=stats)
-
-    # ------------------------------------------------------------------
-    def _enumerate_kron(
-        self, order: Sequence[int], workers: int, early_termination: bool
-    ) -> Tuple[np.ndarray, int]:
-        num_cuts = self.cut_circuit.num_cuts
-        total = 4**num_cuts
-        if workers <= 1 or total < 256:
-            return _accumulate_range(
-                self.tensors, order, num_cuts, 0, total, early_termination
-            )
-        bounds = []
-        step = (total + workers - 1) // workers
-        for start in range(0, total, step):
-            bounds.append((start, min(start + step, total)))
-        with multiprocessing.Pool(
-            processes=workers,
-            initializer=_worker_init,
-            initargs=(self.tensors, list(order), num_cuts, early_termination),
-        ) as pool:
-            partials = pool.map(_worker_run, bounds)
-        vector = np.zeros_like(partials[0][0])
-        skipped = 0
-        for partial, partial_skipped in partials:
-            vector += partial
-            skipped += partial_skipped
-        return vector, skipped
-
-    def _contract_tensor_network(self, order: Sequence[int]) -> np.ndarray:
-        import string
-
-        letters = iter(string.ascii_letters)
-        cut_letters = {
-            cut.cut_id: next(letters) for cut in self.cut_circuit.cuts
-        }
-        operands = []
-        subscripts = []
-        output = []
-        for index in order:
-            tensor = self.tensors[index]
-            shape = (4,) * tensor.num_cuts + (1 << tensor.num_effective,)
-            operands.append(tensor.data.reshape(shape))
-            out_letter = next(letters)
-            subscripts.append(
-                "".join(cut_letters[c] for c in tensor.cut_order) + out_letter
-            )
-            output.append(out_letter)
-        expression = ",".join(subscripts) + "->" + "".join(output)
-        contracted = np.einsum(expression, *operands, optimize="greedy")
-        return contracted.reshape(-1)
 
     def _to_original_order(
         self, vector: np.ndarray, order: Sequence[int]

@@ -60,6 +60,11 @@ class ShotBasedTensorProvider:
         exact statevector simulation.  (Devices already add their own
         shot noise — pass ``device.backend(shots=...)`` there and keep
         this provider's ``shots`` for the merging path only.)
+    workers:
+        When > 1, the first recursion evaluates all physical variants as
+        one batch through a
+        :class:`~repro.core.executor.VariantExecutor` fanned over this
+        many processes (instead of lazily, one circuit at a time).
     """
 
     def __init__(
@@ -68,16 +73,19 @@ class ShotBasedTensorProvider:
         shots: int = 8192,
         backend=None,
         seed: Optional[int] = None,
+        workers: int = 1,
     ):
         if shots <= 0:
             raise ValueError("shots must be positive")
         self.cut_circuit = cut_circuit
         self.shots = int(shots)
         self.backend = backend or simulate_probabilities
+        self.workers = int(workers)
         self._rng = np.random.default_rng(seed)
         # Variant distributions are fixed physics: cache them so each
         # recursion redraws *shots*, not re-simulations.
         self._distribution_cache: Dict[Tuple[int, Tuple[str, ...], Tuple[str, ...]], np.ndarray] = {}
+        self._prefilled = False
 
     @property
     def num_qubits(self) -> int:
@@ -89,10 +97,27 @@ class ShotBasedTensorProvider:
 
     # ------------------------------------------------------------------
     def collapsed(self, roles: Dict[int, Role]) -> List[Tuple[TermTensor, List[int]]]:
+        self._prefill()
         out = []
         for subcircuit in self.cut_circuit.subcircuits:
             out.append(self._evaluate_merged(subcircuit, roles))
         return out
+
+    def _prefill(self) -> None:
+        """Populate the distribution cache as one deduplicated parallel
+        batch (only worthwhile when workers > 1)."""
+        if self._prefilled or self.workers <= 1:
+            return
+        # Local import: repro.core imports repro.postprocess at package
+        # initialization time.
+        from ..core.executor import VariantExecutor
+
+        executor = VariantExecutor(backend=self.backend, workers=self.workers)
+        for result in executor.run(self.cut_circuit.subcircuits):
+            index = result.subcircuit.index
+            for (inits, bases), vector in result.probabilities.items():
+                self._distribution_cache[(index, inits, bases)] = vector
+        self._prefilled = True
 
     # ------------------------------------------------------------------
     def _variant_distribution(

@@ -25,6 +25,29 @@ class TestParser:
                  "--device-size", "5"]
             )
 
+    def test_execution_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--workers", "3",
+             "--strategy", "tensor_network", "--pool", "bogota:2"]
+        )
+        assert args.workers == 3
+        assert args.strategy == "tensor_network"
+        assert args.pool == "bogota:2"
+        dd_args = build_parser().parse_args(
+            ["dd", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--workers", "2", "--strategy", "auto"]
+        )
+        assert dd_args.workers == 2
+        assert dd_args.strategy == "auto"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--benchmark", "bv", "--qubits", "6",
+                 "--device-size", "5", "--strategy", "magic"]
+            )
+
 
 class TestCommands:
     def test_cut_prints_plan(self, capsys):
@@ -86,6 +109,55 @@ class TestCommands:
         )
         assert code == 1
         assert "cut search failed" in capsys.readouterr().err
+
+    def test_run_tensor_network_strategy(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--strategy", "tensor_network",
+             "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FD query [tensor_network]" in out
+        assert "|111111>" in out
+
+    def test_run_reports_dedup(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unique circuits" in out
+        assert "dedup" in out
+
+    def test_run_on_pool(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--pool", "bogota:2", "--shots", "2048"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "quantum makespan" in out
+
+    def test_pool_and_device_conflict(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--pool", "bogota",
+             "--device", "bogota"]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_dd_with_workers_and_strategy(self, capsys):
+        code = main(
+            ["dd", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--active", "2", "--recursions", "4",
+             "--workers", "2", "--strategy", "auto"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "|111111>" in out
 
     def test_heuristic_method_flag(self, capsys):
         code = main(

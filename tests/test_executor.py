@@ -1,0 +1,187 @@
+"""The batched variant execution layer (:mod:`repro.core.executor`)."""
+
+import numpy as np
+import pytest
+
+from repro import CutQC, QuantumCircuit, make_device, simulate_probabilities
+from repro.core import VariantExecutor, circuit_fingerprint
+from repro.cutting import evaluate_subcircuit, num_physical_variants
+from repro.devices.pool import DevicePool
+from repro.library import bv
+from repro.sim import NoiseModel
+
+
+def _ideal(name, qubits, seed=0):
+    return make_device(name, qubits, "line", noise=NoiseModel(), seed=seed)
+
+
+@pytest.fixture
+def bv_cut():
+    return CutQC(bv(6), max_subcircuit_qubits=5).cut()
+
+
+class TestVariantExecutor:
+    def test_matches_per_subcircuit_evaluation(self, bv_cut):
+        batched = VariantExecutor().run(bv_cut.subcircuits)
+        for result, subcircuit in zip(batched, bv_cut.subcircuits):
+            direct = evaluate_subcircuit(subcircuit)
+            assert result.probabilities.keys() == direct.probabilities.keys()
+            for key in direct.probabilities:
+                assert np.allclose(
+                    result.probabilities[key], direct.probabilities[key]
+                )
+
+    def test_serial_vs_parallel_bit_identical(self, bv_cut):
+        serial_exec = VariantExecutor(workers=1)
+        parallel_exec = VariantExecutor(workers=2)
+        serial = serial_exec.run(bv_cut.subcircuits)
+        parallel = parallel_exec.run(bv_cut.subcircuits)
+        assert serial_exec.last_report.mode == "serial"
+        assert parallel_exec.last_report.mode == "process"
+        for a, b in zip(serial, parallel):
+            assert a.probabilities.keys() == b.probabilities.keys()
+            for key in a.probabilities:
+                assert np.array_equal(a.probabilities[key], b.probabilities[key])
+
+    def test_pool_mode_exact_and_reported(self, bv_cut):
+        executor = VariantExecutor(
+            pool=DevicePool([_ideal("a", 5, seed=1), _ideal("b", 5, seed=2)]),
+            pool_shots=0,
+        )
+        pooled = executor.run(bv_cut.subcircuits)
+        report = executor.last_report
+        assert report.mode == "pool"
+        assert report.pool_makespan_seconds > 0
+        assert report.pool_makespan_seconds <= report.pool_serial_seconds
+        serial = VariantExecutor().run(bv_cut.subcircuits)
+        for a, b in zip(pooled, serial):
+            for key in a.probabilities:
+                assert np.allclose(
+                    a.probabilities[key], b.probabilities[key], atol=1e-9
+                )
+
+    def test_cross_subcircuit_dedup(self, bv_cut):
+        # The same subcircuit twice: every physical circuit is shared.
+        twin = [bv_cut.subcircuits[0], bv_cut.subcircuits[0]]
+        executor = VariantExecutor()
+        results = executor.run(twin)
+        report = executor.last_report
+        assert report.num_variants == 2 * report.num_unique_circuits
+        assert report.dedup_ratio == pytest.approx(2.0)
+        for key in results[0].probabilities:
+            assert results[0].probabilities[key] is results[1].probabilities[key]
+
+    def test_report_counts(self, bv_cut):
+        executor = VariantExecutor()
+        results = executor.run(bv_cut.subcircuits)
+        report = executor.last_report
+        assert report.num_subcircuits == len(bv_cut.subcircuits)
+        assert report.num_variants == sum(
+            num_physical_variants(s) for s in bv_cut.subcircuits
+        )
+        assert report.num_unique_circuits <= report.num_variants
+        assert report.elapsed_seconds >= 0.0
+        for result in results:
+            assert result.num_variants == num_physical_variants(
+                result.subcircuit
+            )
+            assert result.dedup_ratio >= 1.0
+
+    def test_backend_size_mismatch_detected(self, bv_cut):
+        def bad_backend(circuit):
+            return np.ones(3)
+
+        with pytest.raises(ValueError, match="size"):
+            VariantExecutor(backend=bad_backend).run(bv_cut.subcircuits)
+
+    def test_backend_pool_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            VariantExecutor(
+                backend=simulate_probabilities,
+                pool=DevicePool([_ideal("a", 3)]),
+            )
+        with pytest.raises(ValueError, match="workers"):
+            VariantExecutor(workers=0)
+
+    def test_run_accepts_one_shot_iterable(self, bv_cut):
+        executor = VariantExecutor()
+        results = executor.run(s for s in bv_cut.subcircuits)
+        assert len(results) == len(bv_cut.subcircuits)
+        assert executor.last_report.num_subcircuits == len(bv_cut.subcircuits)
+
+    def test_fingerprint_distinguishes_circuits(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        c = QuantumCircuit(2).h(1).cx(0, 1)
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+        assert circuit_fingerprint(a) != circuit_fingerprint(c)
+
+
+class TestPipelineWiring:
+    def test_cutqc_parallel_evaluation_exact(self):
+        circuit = bv(6)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=5, workers=2)
+        result = pipeline.fd_query()
+        assert pipeline.execution_report is not None
+        assert pipeline.execution_report.mode == "process"
+        truth = simulate_probabilities(circuit)
+        assert np.allclose(result.probabilities, truth, atol=1e-8)
+
+    def test_cutqc_pool_evaluation_exact(self):
+        circuit = bv(6)
+        pool = DevicePool([_ideal("a", 5, seed=1), _ideal("b", 5, seed=2)])
+        pipeline = CutQC(
+            circuit, max_subcircuit_qubits=5, pool=pool, pool_shots=0
+        )
+        result = pipeline.fd_query()
+        assert pipeline.execution_report.mode == "pool"
+        assert pipeline.execution_report.pool_makespan_seconds > 0
+        truth = simulate_probabilities(circuit)
+        assert np.allclose(result.probabilities, truth, atol=1e-8)
+
+    def test_cutqc_pool_honored_in_shot_based_dd(self):
+        pool = DevicePool([_ideal("a", 5, seed=1)])
+        pipeline = CutQC(
+            bv(6), max_subcircuit_qubits=5, pool=pool, pool_shots=0
+        )
+        query = pipeline.dd_query(
+            max_active_qubits=2,
+            max_recursions=3,
+            shots_per_variant=4096,
+            seed=7,
+        )
+        first = query.recursions[0]
+        assert np.isclose(first.probabilities.sum(), 1.0, atol=0.05)
+
+    def test_cutqc_pool_backend_conflict_rejected(self):
+        pool = DevicePool([_ideal("a", 5)])
+        with pytest.raises(ValueError, match="pool"):
+            CutQC(
+                bv(6),
+                max_subcircuit_qubits=5,
+                backend=simulate_probabilities,
+                pool=pool,
+            )
+
+    def test_evaluate_subcircuit_reports_dedup(self):
+        cut = CutQC(bv(6), max_subcircuit_qubits=5).cut()
+        for subcircuit in cut.subcircuits:
+            result = evaluate_subcircuit(subcircuit)
+            assert result.num_variants == num_physical_variants(subcircuit)
+            assert 1 <= result.num_unique_circuits <= result.num_variants
+            assert result.dedup_ratio >= 1.0
+
+    def test_shot_provider_prefill_matches_lazy(self):
+        from repro.postprocess import (
+            DynamicDefinitionQuery,
+            ShotBasedTensorProvider,
+        )
+
+        cut = CutQC(bv(6), max_subcircuit_qubits=5).cut()
+        lazy = ShotBasedTensorProvider(cut, shots=512, seed=13)
+        batched = ShotBasedTensorProvider(cut, shots=512, seed=13, workers=2)
+        lazy_query = DynamicDefinitionQuery(lazy, max_active_qubits=2)
+        batched_query = DynamicDefinitionQuery(batched, max_active_qubits=2)
+        lazy_rec = lazy_query.step()
+        batched_rec = batched_query.step()
+        assert np.array_equal(lazy_rec.probabilities, batched_rec.probabilities)
