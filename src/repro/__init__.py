@@ -45,7 +45,9 @@ from .postprocess import (
     ContractionEngine,
     DynamicDefinitionQuery,
     PrecomputedTensorProvider,
+    QueryPlan,
     Reconstructor,
+    StreamingReconstructor,
     contract_terms,
     reconstruct_full,
 )

@@ -23,6 +23,7 @@ List virtual device presets::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -91,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shots", type=int, default=8192)
     run.add_argument("--verify", action="store_true",
                      help="compare against statevector ground truth")
+    run.add_argument("--stream-shards", type=int, default=None, metavar="S",
+                     help="stream the FD distribution as 2^S shards of "
+                          "2^(n-S) entries each (bounded memory; --top "
+                          "states are retained across shards)")
+    run.add_argument("--json", action="store_true",
+                     help="machine-readable JSON output (states, stats, "
+                          "dedup/cache counters)")
 
     dd = commands.add_parser("dd", help="cut + evaluate + DD query")
     add_circuit_options(dd)
@@ -101,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     dd.add_argument("--shots", type=int, default=None,
                     help="shots per pool job (0 = exact; default: device "
                          "setting)")
+    dd.add_argument("--zoom-width", type=int, default=1, metavar="K",
+                    help="expand the top-K frontier bins per round, "
+                         "contracted in parallel when --workers > 1")
+    dd.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output (recursions, "
+                         "solution states, cache stats)")
 
     devices = commands.add_parser("devices", help="list device presets")
     del devices  # no extra options
@@ -172,6 +186,45 @@ def _command_cut(args: argparse.Namespace) -> int:
     return 0
 
 
+def _execution_report_dict(report) -> Optional[dict]:
+    if report is None:
+        return None
+    return {
+        "num_variants": report.num_variants,
+        "num_unique_circuits": report.num_unique_circuits,
+        "dedup_ratio": report.dedup_ratio,
+        "mode": report.mode,
+        "pool_makespan_seconds": report.pool_makespan_seconds,
+        "pool_serial_seconds": report.pool_serial_seconds,
+    }
+
+
+def _print_execution_report(report) -> None:
+    if report is None:
+        return
+    line = (
+        f"evaluation: {report.num_variants} variants -> "
+        f"{report.num_unique_circuits} unique circuits "
+        f"(dedup {report.dedup_ratio:.2f}x, {report.mode})"
+    )
+    if report.pool_makespan_seconds is not None:
+        line += (
+            f", quantum makespan {report.pool_makespan_seconds:.3f}s "
+            f"vs {report.pool_serial_seconds:.3f}s serial"
+        )
+    print(line)
+
+
+def _top_states(probabilities: np.ndarray, top: int, num_qubits: int):
+    from .utils import index_to_bitstring
+
+    order = np.argsort(probabilities)[::-1][:top]
+    return [
+        (index_to_bitstring(int(index), num_qubits), float(probabilities[index]))
+        for index in order
+    ]
+
+
 def _command_run(args: argparse.Namespace) -> int:
     backend = None
     if args.device and args.pool:
@@ -192,23 +245,111 @@ def _command_run(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    quiet = args.json
     cut = pipeline.cut()
-    print(cut.summary())
+    n = pipeline.circuit.num_qubits
+    if not quiet:
+        print(cut.summary())
+
+    document = {
+        "command": "run",
+        "benchmark": args.benchmark,
+        "qubits": n,
+        "device_size": args.device_size,
+        "num_cuts": cut.num_cuts,
+        "num_subcircuits": cut.num_subcircuits,
+    }
+
+    if args.stream_shards is not None:
+        shard_qubits = args.stream_shards
+        if not 0 <= shard_qubits <= n:
+            print(
+                f"error: --stream-shards must be in [0, {n}]",
+                file=sys.stderr,
+            )
+            return 2
+        from .postprocess.stream import top_k_from_shards
+
+        on_shard = None
+        errors: List[float] = []
+        if args.verify:
+            truth = simulate_probabilities(pipeline.circuit).reshape(
+                1 << shard_qubits, -1
+            )
+
+            def on_shard(shard):
+                errors.append(
+                    float(
+                        np.abs(
+                            shard.probabilities - truth[shard.index]
+                        ).max()
+                    )
+                )
+
+        # One pass over the stream: each shard folds into the running
+        # top-k (and the verification check) before being discarded.
+        states = top_k_from_shards(
+            pipeline.fd_stream(shard_qubits),
+            num_qubits=n,
+            shard_qubits=shard_qubits,
+            k=max(1, args.top),
+            on_shard=on_shard,
+        )
+        max_abs_error = max(errors) if errors else None
+        stream_stats = pipeline.stream_stats
+        report = pipeline.execution_report
+        document["execution"] = _execution_report_dict(report)
+        document["query"] = {"mode": "fd_stream", **stream_stats.as_dict()}
+        document["top_states"] = [
+            {"state": bits, "probability": probability}
+            for bits, probability in states
+        ]
+        if max_abs_error is not None:
+            document["verify_max_abs_error"] = max_abs_error
+        if quiet:
+            print(json.dumps(document, indent=2))
+            return 0
+        _print_execution_report(report)
+        print(
+            f"FD stream: 2^{shard_qubits} shards of 2^{n - shard_qubits} "
+            f"entries ({stream_stats.peak_shard_bytes} B peak/shard), "
+            f"{stream_stats.elapsed_seconds:.3f}s, collapse-cache hit rate "
+            f"{stream_stats.cache_hit_rate:.2f}"
+        )
+        print(f"top {args.top} states:")
+        for bits, probability in states:
+            print(f"  |{bits}>  p = {probability:.6f}")
+        if max_abs_error is not None:
+            print(f"max |shard - truth| error: {max_abs_error:.3e}")
+        return 0
+
     result = pipeline.fd_query(workers=args.workers)
     report = pipeline.execution_report
-    if report is not None:
-        line = (
-            f"evaluation: {report.num_variants} variants -> "
-            f"{report.num_unique_circuits} unique circuits "
-            f"(dedup {report.dedup_ratio:.2f}x, {report.mode})"
-        )
-        if report.pool_makespan_seconds is not None:
-            line += (
-                f", quantum makespan {report.pool_makespan_seconds:.3f}s "
-                f"vs {report.pool_serial_seconds:.3f}s serial"
-            )
-        print(line)
     stats = result.stats
+    probabilities = result.probabilities
+    document["execution"] = _execution_report_dict(report)
+    document["query"] = {
+        "mode": "fd",
+        "strategy": stats.strategy,
+        "num_terms": stats.num_terms,
+        "num_skipped": stats.num_skipped,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "workers": stats.workers,
+        "subcircuit_order": list(stats.subcircuit_order),
+    }
+    document["top_states"] = [
+        {"state": bits, "probability": probability}
+        for bits, probability in _top_states(probabilities, args.top, n)
+    ]
+    verify_loss = None
+    if args.verify:
+        truth = simulate_probabilities(pipeline.circuit)
+        verify_loss = chi_square_loss(np.clip(probabilities, 0, None), truth)
+        document["verify_chi2"] = float(verify_loss)
+    if quiet:
+        print(json.dumps(document, indent=2))
+        return 0
+    _print_execution_report(report)
     print(
         f"FD query [{stats.strategy}]: {stats.num_terms} Kronecker terms "
         f"({stats.num_skipped} skipped), {stats.elapsed_seconds:.3f}s, "
@@ -216,28 +357,63 @@ def _command_run(args: argparse.Namespace) -> int:
     )
     from .viz import histogram
 
-    probabilities = result.probabilities
     print(f"top {args.top} states:")
     print(histogram(probabilities, top=args.top))
-    if args.verify:
-        truth = simulate_probabilities(pipeline.circuit)
-        loss = chi_square_loss(np.clip(probabilities, 0, None), truth)
-        print(f"chi^2 vs statevector ground truth: {loss:.6f}")
+    if verify_loss is not None:
+        print(f"chi^2 vs statevector ground truth: {verify_loss:.6f}")
     return 0
 
 
 def _command_dd(args: argparse.Namespace) -> int:
+    if args.zoom_width < 1:
+        print("error: --zoom-width must be positive", file=sys.stderr)
+        return 2
     try:
         pipeline = _build_pipeline(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    quiet = args.json
     cut = pipeline.cut()
-    print(cut.summary())
+    if not quiet:
+        print(cut.summary())
     query = pipeline.dd_query(
-        max_active_qubits=args.active, max_recursions=args.recursions
+        max_active_qubits=args.active,
+        max_recursions=args.recursions,
+        zoom_width=args.zoom_width,
     )
     n = pipeline.circuit.num_qubits
+    states = query.solution_states(threshold=0.25)
+    stats = query.stats()
+    if quiet:
+        document = {
+            "command": "dd",
+            "benchmark": args.benchmark,
+            "qubits": n,
+            "device_size": args.device_size,
+            "num_cuts": cut.num_cuts,
+            "num_subcircuits": cut.num_subcircuits,
+            "execution": _execution_report_dict(pipeline.execution_report),
+            "recursions": [
+                {
+                    "index": recursion.index,
+                    "fixed": {str(w): b for w, b in recursion.fixed.items()},
+                    "active": list(recursion.active),
+                    "max_bin_probability": float(
+                        recursion.probabilities.max()
+                    ),
+                    "elapsed_seconds": recursion.elapsed_seconds,
+                }
+                for recursion in query.recursions
+            ],
+            "solution_states": [
+                {"state": bits, "probability": probability}
+                for bits, probability in states
+            ],
+            "stats": stats.as_dict(),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
     for recursion in query.recursions:
         zoomed = "".join(
             str(recursion.fixed[w]) if w in recursion.fixed else "?"
@@ -248,7 +424,12 @@ def _command_dd(args: argparse.Namespace) -> int:
             f"active={recursion.active} "
             f"max-bin p={recursion.probabilities.max():.4f}"
         )
-    states = query.solution_states(threshold=0.25)
+    print(
+        f"DD stats: {stats.num_recursions} recursions in "
+        f"{stats.num_rounds} round(s) (zoom width {stats.zoom_width}), "
+        f"collapse-cache hit rate {stats.cache_hit_rate:.2f} "
+        f"({stats.cache_hits} hits / {stats.cache_misses} misses)"
+    )
     if states:
         print("solution states (p >= 0.25):")
         for bits, probability in states[:5]:

@@ -4,8 +4,9 @@
 the cutter produces subcircuits, a :class:`~repro.core.executor.VariantExecutor`
 runs every physical variant (deduplicated, optionally across
 ``multiprocessing`` workers or a :class:`~repro.devices.pool.DevicePool`),
-and the postprocessor answers full-definition or dynamic-definition
-queries through the shared contraction engine.
+and the postprocessor answers full-definition, streaming (sharded) FD,
+or dynamic-definition queries through the shared query-plan layer and
+contraction engine.
 """
 
 from __future__ import annotations
@@ -31,6 +32,8 @@ from ..postprocess import (
     PrecomputedTensorProvider,
     ReconstructionResult,
     Reconstructor,
+    StreamStats,
+    StreamingReconstructor,
 )
 from .executor import ExecutionReport, VariantExecutor
 
@@ -107,6 +110,7 @@ class CutQC:
         self._solution: Optional[CutSolution] = None
         self._cut: Optional[CutCircuit] = None
         self._results: Optional[List[SubcircuitResult]] = None
+        self._streamer: Optional[StreamingReconstructor] = None
         self.execution_report: Optional[ExecutionReport] = None
 
     # ------------------------------------------------------------------
@@ -182,6 +186,8 @@ class CutQC:
         active_order: Optional[Sequence[int]] = None,
         shots_per_variant: Optional[int] = None,
         seed: Optional[int] = None,
+        zoom_width: int = 1,
+        cache: bool = True,
     ) -> DynamicDefinitionQuery:
         """Dynamic-definition query: binned sampling with recursive zoom.
 
@@ -189,6 +195,10 @@ class CutQC:
         subcircuit variants with that many shots and merges at the shot
         level (Algorithm 1's literal execution mode) instead of collapsing
         precomputed exact tensors.
+
+        ``zoom_width`` expands that many frontier bins per round (in
+        parallel when ``workers > 1``); ``cache=False`` disables the
+        incremental collapse cache (the naive per-recursion re-collapse).
         """
         if shots_per_variant is not None:
             from ..postprocess import ShotBasedTensorProvider
@@ -207,19 +217,65 @@ class CutQC:
                 backend=backend,
                 seed=seed,
                 workers=self.workers,
+                cache=cache,
             )
         else:
             provider = PrecomputedTensorProvider(
-                self.cut(), results=self.evaluate()
+                self.cut(), results=self.evaluate(), cache=cache
             )
         query = DynamicDefinitionQuery(
             provider,
             max_active_qubits=max_active_qubits,
             active_order=active_order,
             engine=self.engine,
+            zoom_width=zoom_width,
         )
         query.run(max_recursions)
         return query
+
+    # ------------------------------------------------------------------
+    def _streaming_reconstructor(self) -> StreamingReconstructor:
+        if self._streamer is None:
+            self._streamer = StreamingReconstructor(
+                self.cut(), results=self.evaluate(), engine=self.engine
+            )
+        return self._streamer
+
+    def fd_stream(
+        self,
+        shard_qubits: int,
+        shard_indices: Optional[Sequence[int]] = None,
+    ):
+        """Streaming FD query: the distribution as ``2**shard_qubits``
+        lazy shards of ``2**(n - shard_qubits)`` entries each.
+
+        Shards concatenate (in index order) to exactly
+        :meth:`fd_query`'s distribution, but only one shard is ever
+        resident; :attr:`stream_stats` reports peak shard memory and the
+        collapse-cache hit rate after (or while) the iterator is
+        consumed.
+        """
+        return self._streaming_reconstructor().shards(
+            shard_qubits, shard_indices
+        )
+
+    def fd_top_k(
+        self,
+        shard_qubits: int,
+        k: int,
+        shard_indices: Optional[Sequence[int]] = None,
+    ) -> List[Tuple[str, float]]:
+        """The k highest-probability output states, at streaming memory."""
+        return self._streaming_reconstructor().top_k(
+            shard_qubits, k, shard_indices
+        )
+
+    @property
+    def stream_stats(self) -> Optional[StreamStats]:
+        """Stats of the most recent :meth:`fd_stream`/:meth:`fd_top_k`."""
+        if self._streamer is None:
+            return None
+        return self._streamer.last_stats
 
 
 def evaluate_with_cutqc(

@@ -33,6 +33,7 @@ class _SearchState:
     alpha: List[int]
     rho: List[int]
     outgoing: List[int]
+    members: List[int]  # vertices currently assigned per cluster
     num_cuts: int
     clusters_open: int
 
@@ -87,6 +88,7 @@ class MIPCutSearcher:
             alpha=[0] * self.max_subcircuits,
             rho=[0] * self.max_subcircuits,
             outgoing=[0] * self.max_subcircuits,
+            members=[0] * self.max_subcircuits,
             num_cuts=0,
             clusters_open=0,
         )
@@ -176,6 +178,7 @@ class MIPCutSearcher:
         for source_cluster, delta in outgoing_delta.items():
             state.outgoing[source_cluster] += delta
         state.num_cuts += new_cuts
+        state.members[cluster] += 1
         if cluster == state.clusters_open:
             state.clusters_open += 1
         return True
@@ -184,6 +187,7 @@ class MIPCutSearcher:
         weight = self.graph.vertex_weights[vertex]
         state.assignment[vertex] = -1
         state.alpha[cluster] -= weight
+        state.members[cluster] -= 1
         for source, target in self._edges_of[vertex]:
             source_cluster = state.assignment[source]
             if source_cluster < 0:
@@ -192,12 +196,10 @@ class MIPCutSearcher:
                 state.rho[cluster] -= 1
                 state.outgoing[source_cluster] -= 1
                 state.num_cuts -= 1
-        if cluster == state.clusters_open - 1 and state.alpha[cluster] == 0:
-            # The cluster was opened by this vertex; close it again.
-            if all(
-                state.assignment[v] != cluster for v in range(self.graph.num_vertices)
-            ):
-                state.clusters_open -= 1
+        if cluster == state.clusters_open - 1 and state.members[cluster] == 0:
+            # The cluster was opened by this vertex; close it again
+            # (incremental member count — no rescan of all vertices).
+            state.clusters_open -= 1
 
     def _promising(self, state: _SearchState, best_objective: float) -> bool:
         """Lower bound on Eq. 14 given the committed cuts."""

@@ -40,6 +40,9 @@ class RuntimeExperimentConfig:
     workers: int = 1
     #: contraction strategy: "kron", "tensor_network", or "auto"
     strategy: str = "kron"
+    #: when set, answer the FD query as a shard stream (2^s shards of
+    #: 2^(n-s) entries) instead of materializing the full vector
+    stream_shard_qubits: Optional[int] = None
     flop_budget: float = 2e9
     variant_budget: int = 25_000
     verify: bool = True
@@ -94,11 +97,22 @@ def _run_one(
             name, size, device, cut.num_cuts, None, None, "too many variants"
         )
     pipeline.evaluate()
-    result = pipeline.fd_query(workers=config.workers)
+    if config.stream_shard_qubits is not None:
+        shard_qubits = min(config.stream_shard_qubits, circuit.num_qubits)
+        # Shards are verified concatenated (experiment circuits are small);
+        # production use keeps them independent for bounded memory.
+        probabilities = np.concatenate(
+            [s.probabilities for s in pipeline.fd_stream(shard_qubits)]
+        )
+        postprocess_seconds = pipeline.stream_stats.elapsed_seconds
+    else:
+        result = pipeline.fd_query(workers=config.workers)
+        probabilities = result.probabilities
+        postprocess_seconds = result.stats.elapsed_seconds
     began = time.perf_counter()
     truth = simulate_probabilities(circuit)
     simulation_seconds = time.perf_counter() - began
-    if config.verify and not np.allclose(result.probabilities, truth, atol=1e-6):
+    if config.verify and not np.allclose(probabilities, truth, atol=1e-6):
         return RuntimeRecord(
             name, size, device, cut.num_cuts, None, None, "MISMATCH"
         )
@@ -107,7 +121,7 @@ def _run_one(
         num_qubits=size,
         device_size=device,
         num_cuts=cut.num_cuts,
-        postprocess_seconds=result.stats.elapsed_seconds,
+        postprocess_seconds=postprocess_seconds,
         simulation_seconds=simulation_seconds,
         status="ok",
     )

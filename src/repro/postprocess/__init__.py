@@ -15,6 +15,15 @@ from .engine import (
     contract_terms,
     resolve_strategy,
 )
+from .plan import (
+    CacheStats,
+    CachingTensorProvider,
+    PlanExecution,
+    PreparedPlan,
+    QueryPlan,
+    restricted_signature,
+    generalized_signature,
+)
 from .reconstruct import (
     ReconstructionResult,
     ReconstructionStats,
@@ -22,9 +31,11 @@ from .reconstruct import (
     binned_tensor,
     reconstruct_full,
 )
+from .stream import Shard, StreamStats, StreamingReconstructor
 from .dd import (
     Bin,
     DDRecursion,
+    DDStats,
     DynamicDefinitionQuery,
     PrecomputedTensorProvider,
 )
@@ -53,8 +64,19 @@ __all__ = [
     "Reconstructor",
     "binned_tensor",
     "reconstruct_full",
+    "CacheStats",
+    "CachingTensorProvider",
+    "PlanExecution",
+    "PreparedPlan",
+    "QueryPlan",
+    "restricted_signature",
+    "generalized_signature",
+    "Shard",
+    "StreamStats",
+    "StreamingReconstructor",
     "Bin",
     "DDRecursion",
+    "DDStats",
     "DynamicDefinitionQuery",
     "PrecomputedTensorProvider",
     "classical_simulation_flops",

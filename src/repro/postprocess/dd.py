@@ -6,32 +6,55 @@ of qubits is ``active`` (their states resolved), the rest are ``merged``
 probability bin by fixing its active qubits (``zoomed``) and activating a
 fresh batch of merged qubits, so solution states of sparse circuits are
 located in O(n) recursions and dense distributions can be sampled at any
-definition without ever storing the full 2**n vector.
+definition without ever storing the full ``2**n`` vector.
+
+This implementation is built for scale:
+
+* every recursion is a :class:`~repro.postprocess.plan.QueryPlan` — the
+  same abstraction the FD and streaming-FD paths dispatch through;
+* collapsed subcircuit tensors are cached by their restricted role
+  signature (:class:`~repro.postprocess.plan.CachingTensorProvider`), so
+  sibling bins and successive recursions reuse collapses instead of
+  re-summing full term tensors;
+* the bin frontier is a priority heap — choosing the next bin is
+  O(log bins), not an O(bins) rescan of every bin ever created;
+* ``zoom_width=k`` expands the top-k bins per round, contracting them in
+  parallel through the shared
+  :class:`~repro.postprocess.engine.ContractionEngine` worker pool.
+
+Query products (``solution_states``, ``approximate_distribution``) are
+unchanged from the naive implementation; :meth:`DynamicDefinitionQuery.stats`
+reports recursion latencies, cache hit rates and frontier size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..cutting.cutter import CutCircuit
-from ..cutting.variants import SubcircuitResult
-from ..utils import permute_qubits
-from .attribution import TermTensor, build_term_tensor
 from .engine import ContractionEngine
-from .reconstruct import binned_tensor
+from .plan import (
+    CachingTensorProvider,
+    PrecomputedTensorProvider,
+    QueryPlan,
+    Role,
+    RoleMap,
+    TensorProvider,
+    binned_tensor,
+)
 
 __all__ = [
     "Bin",
     "DDRecursion",
+    "DDStats",
     "TensorProvider",
     "PrecomputedTensorProvider",
     "DynamicDefinitionQuery",
 ]
-
-Role = Tuple  # ("active",) | ("merged",) | ("fixed", bit)
 
 
 @dataclass
@@ -54,6 +77,11 @@ class Bin:
             resolved[wire] = (self.index >> (width - 1 - position)) & 1
         return resolved
 
+    @property
+    def num_resolved(self) -> int:
+        """Resolved-qubit count without building the assignment dict."""
+        return len(self.fixed) + len(self.active)
+
     def merged_wires(self, num_qubits: int) -> List[int]:
         resolved = self.assignment
         return [w for w in range(num_qubits) if w not in resolved]
@@ -71,53 +99,59 @@ class DDRecursion:
     parent_bin: Optional[Bin] = None
 
 
-class TensorProvider(Protocol):
-    """Supplies collapsed term tensors for a DD qubit-role spec."""
+@dataclass
+class DDStats:
+    """Aggregate query statistics (latency, caching, frontier)."""
 
-    @property
-    def num_qubits(self) -> int: ...
+    num_recursions: int
+    num_rounds: int
+    zoom_width: int
+    num_bins: int
+    frontier_size: int
+    total_elapsed_seconds: float
+    collapse_seconds: float
+    contract_seconds: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
 
-    @property
-    def num_cuts(self) -> int: ...
-
-    def collapsed(
-        self, roles: Dict[int, Role]
-    ) -> List[Tuple[TermTensor, List[int]]]: ...
-
-
-class PrecomputedTensorProvider:
-    """Default provider: collapse fully-evaluated subcircuit term tensors."""
-
-    def __init__(
-        self,
-        cut_circuit: CutCircuit,
-        results: Optional[Sequence[SubcircuitResult]] = None,
-        tensors: Optional[Sequence[TermTensor]] = None,
-    ):
-        self.cut_circuit = cut_circuit
-        if tensors is None:
-            if results is None:
-                raise ValueError("provide subcircuit results or term tensors")
-            tensors = [build_term_tensor(result) for result in results]
-        self.tensors = sorted(tensors, key=lambda t: t.subcircuit_index)
-
-    @property
-    def num_qubits(self) -> int:
-        return self.cut_circuit.circuit.num_qubits
-
-    @property
-    def num_cuts(self) -> int:
-        return self.cut_circuit.num_cuts
-
-    def collapsed(self, roles: Dict[int, Role]):
-        return [
-            binned_tensor(tensor, self.cut_circuit.subcircuits[i], roles)
-            for i, tensor in enumerate(self.tensors)
-        ]
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_recursions": self.num_recursions,
+            "num_rounds": self.num_rounds,
+            "zoom_width": self.zoom_width,
+            "num_bins": self.num_bins,
+            "frontier_size": self.frontier_size,
+            "total_elapsed_seconds": self.total_elapsed_seconds,
+            "collapse_seconds": self.collapse_seconds,
+            "contract_seconds": self.contract_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
 
 
 class DynamicDefinitionQuery:
-    """Algorithm 1: recursive zoom-in over probability bins."""
+    """Algorithm 1: recursive zoom-in over probability bins.
+
+    Parameters
+    ----------
+    provider:
+        Supplies collapsed term tensors per role spec (precomputed,
+        shot-based, or synthetic).
+    max_active_qubits:
+        Definition per recursion — each recursion resolves this many new
+        qubits into ``2**max_active_qubits`` bins.
+    active_order:
+        Wire activation order (default: ascending wire index).
+    engine:
+        Shared contraction engine; its ``workers`` setting also drives
+        the parallel zoom when ``zoom_width > 1``.
+    zoom_width:
+        Bins expanded per round by :meth:`run`.  ``1`` reproduces the
+        paper's strictly sequential Algorithm 1; ``k > 1`` zooms into the
+        top-k frontier bins per round and contracts them in parallel.
+    """
 
     def __init__(
         self,
@@ -125,12 +159,16 @@ class DynamicDefinitionQuery:
         max_active_qubits: int,
         active_order: Optional[Sequence[int]] = None,
         engine: Optional[ContractionEngine] = None,
+        zoom_width: int = 1,
     ):
         if max_active_qubits < 1:
             raise ValueError("max_active_qubits must be positive")
+        if zoom_width < 1:
+            raise ValueError("zoom_width must be positive")
         self.provider = provider
         self.engine = engine or ContractionEngine(strategy="auto")
         self.max_active_qubits = int(max_active_qubits)
+        self.zoom_width = int(zoom_width)
         order = (
             list(range(provider.num_qubits))
             if active_order is None
@@ -141,98 +179,155 @@ class DynamicDefinitionQuery:
         self.active_order = order
         self.bins: List[Bin] = []
         self.recursions: List[DDRecursion] = []
+        # Max-heap frontier of expandable bins: (-probability, seq, Bin).
+        # Bins never change probability and are removed when zoomed, so
+        # lazy invalidation keeps every operation O(log bins).
+        self._frontier: List[Tuple[float, int, Bin]] = []
+        self._pushed = 0
+        self._num_rounds = 0
+        self._collapse_seconds = 0.0
+        self._contract_seconds = 0.0
+        # Snapshot the provider's cache counters so stats() reports this
+        # query's hits/misses even when the provider is reused.
+        cache = getattr(provider, "cache_stats", None)
+        self._cache_base_hits = cache.hits if cache is not None else 0
+        self._cache_base_misses = cache.misses if cache is not None else 0
 
     # ------------------------------------------------------------------
     def run(self, max_recursions: int) -> List[DDRecursion]:
-        """Run up to ``max_recursions`` recursions (Algorithm 1 loop)."""
-        for _ in range(max_recursions):
-            if self.recursions and self._choose_bin() is None:
+        """Run up to ``max_recursions`` *further* recursions (Algorithm 1
+        loop) — repeated calls deepen the query progressively.
+
+        Recursions are expanded in rounds of up to ``zoom_width`` bins;
+        the loop stops early when no expandable bin remains.
+        """
+        target = len(self.recursions) + max_recursions
+        while len(self.recursions) < target:
+            if self.recursions and self._peek_bin() is None:
                 break  # nothing left to zoom into
-            self.step()
+            width = min(self.zoom_width, target - len(self.recursions))
+            self._expand_round(width)
         return self.recursions
 
     def step(self) -> DDRecursion:
         """One DD recursion: choose a bin, zoom, reconstruct, re-bin."""
-        import time
+        return self._expand_round(1)[0]
 
+    def _expand_round(self, width: int) -> List[DDRecursion]:
+        """Expand up to ``width`` frontier bins as one batched round."""
+        parents: List[Optional[Bin]] = []
         if not self.recursions:
-            fixed: Dict[int, int] = {}
-            parent: Optional[Bin] = None
+            parents.append(None)  # the root recursion has no parent bin
         else:
-            parent = self._choose_bin()
-            if parent is None:
-                raise RuntimeError("no expandable bin remains")
-            fixed = parent.assignment
-            parent.zoomed = True
-        active = self._next_active(fixed)
-        if not active:
-            raise RuntimeError("no merged qubit remains to activate")
-        roles: Dict[int, Role] = {}
-        for wire in range(self.provider.num_qubits):
-            if wire in fixed:
-                roles[wire] = ("fixed", fixed[wire])
-            elif wire in active:
-                roles[wire] = ("active",)
-            else:
-                roles[wire] = ("merged",)
-        began = time.perf_counter()
-        probabilities = self._reconstruct(roles, active)
-        elapsed = time.perf_counter() - began
-        recursion = DDRecursion(
-            index=len(self.recursions),
-            fixed=fixed,
-            active=tuple(active),
-            probabilities=probabilities,
-            elapsed_seconds=elapsed,
-            parent_bin=parent,
-        )
-        self.recursions.append(recursion)
-        for index, probability in enumerate(probabilities):
-            self.bins.append(
-                Bin(
-                    fixed=dict(fixed),
-                    active=tuple(active),
-                    index=index,
-                    probability=float(probability),
-                    recursion=recursion.index,
-                )
+            for _ in range(width):
+                parent = self._pop_bin()
+                if parent is None:
+                    if not parents:
+                        raise RuntimeError("no expandable bin remains")
+                    break
+                parent.zoomed = True
+                parents.append(parent)
+
+        prepared = []
+        collapse_seconds: List[float] = []
+        for parent in parents:
+            fixed = {} if parent is None else parent.assignment
+            active = self._next_active(fixed)
+            if not active:
+                raise RuntimeError("no merged qubit remains to activate")
+            plan = QueryPlan.binned(
+                self.provider.num_qubits,
+                self.provider.num_cuts,
+                fixed,
+                active,
             )
-        return recursion
+            collapse_began = time.perf_counter()
+            prep = plan.prepared(self.provider)
+            collapse_seconds.append(time.perf_counter() - collapse_began)
+            prepared.append((parent, fixed, tuple(active), prep))
+
+        contract_began = time.perf_counter()
+        if len(prepared) == 1:
+            # Single bin: let the engine parallelize *inside* the sweep.
+            contractions = [
+                prepared[0][3].contract(self.engine).contraction
+            ]
+        else:
+            contractions = self.engine.contract_batch(
+                [prep.payload for _, _, _, prep in prepared]
+            )
+        contract_elapsed = time.perf_counter() - contract_began
+        self._collapse_seconds += sum(collapse_seconds)
+        self._contract_seconds += contract_elapsed
+        self._num_rounds += 1
+
+        recursions: List[DDRecursion] = []
+        share = contract_elapsed / len(prepared)
+        for (parent, fixed, active, prep), contraction, collapsed_s in zip(
+            prepared, contractions, collapse_seconds
+        ):
+            probabilities = prep.finish(contraction).probabilities
+            recursion = DDRecursion(
+                index=len(self.recursions),
+                fixed=fixed,
+                active=active,
+                probabilities=probabilities,
+                elapsed_seconds=collapsed_s + share,
+                parent_bin=parent,
+            )
+            self.recursions.append(recursion)
+            recursions.append(recursion)
+            self._emit_bins(recursion)
+        return recursions
+
+    def _emit_bins(self, recursion: DDRecursion) -> None:
+        expandable = (
+            len(recursion.fixed) + len(recursion.active)
+            < self.provider.num_qubits
+        )
+        for index, probability in enumerate(recursion.probabilities):
+            entry = Bin(
+                fixed=dict(recursion.fixed),
+                active=recursion.active,
+                index=index,
+                probability=float(probability),
+                recursion=recursion.index,
+            )
+            self.bins.append(entry)
+            if expandable:
+                heapq.heappush(
+                    self._frontier,
+                    (-entry.probability, self._pushed, entry),
+                )
+                self._pushed += 1
 
     # ------------------------------------------------------------------
+    def _pop_bin(self) -> Optional[Bin]:
+        """Remove and return the highest-probability expandable bin."""
+        while self._frontier:
+            _, _, candidate = heapq.heappop(self._frontier)
+            if candidate.zoomed:
+                continue  # invalidated lazily
+            return candidate
+        return None
+
+    def _peek_bin(self) -> Optional[Bin]:
+        """The bin :meth:`_pop_bin` would return, without removing it."""
+        while self._frontier:
+            _, _, candidate = self._frontier[0]
+            if candidate.zoomed:
+                heapq.heappop(self._frontier)
+                continue
+            return candidate
+        return None
+
     def _choose_bin(self) -> Optional[Bin]:
         """Highest-probability bin that still has merged qubits to expand."""
-        best: Optional[Bin] = None
-        total = self.provider.num_qubits
-        for candidate in self.bins:
-            if candidate.zoomed:
-                continue
-            if len(candidate.assignment) >= total:
-                continue  # fully resolved, nothing to zoom into
-            if best is None or candidate.probability > best.probability:
-                best = candidate
-        return best
+        return self._peek_bin()
 
     def _next_active(self, fixed: Dict[int, int]) -> List[int]:
         remaining = [w for w in self.active_order if w not in fixed]
         return remaining[: self.max_active_qubits]
-
-    def _reconstruct(
-        self, roles: Dict[int, Role], active: Sequence[int]
-    ) -> np.ndarray:
-        collapsed = self.provider.collapsed(roles)
-        tensors = [item[0] for item in collapsed]
-        kron_wires: List[int] = []
-        order = sorted(
-            range(len(tensors)), key=lambda i: tensors[i].num_effective
-        )
-        for index in order:
-            kron_wires.extend(collapsed[index][1])
-        num_cuts = self.provider.num_cuts
-        contraction = self.engine.contract(tensors, order, num_cuts)
-        vector = contraction.vector * (0.5**num_cuts)
-        permutation = [kron_wires.index(w) for w in active]
-        return permute_qubits(vector, permutation)
 
     # ------------------------------------------------------------------
     # Query products
@@ -247,10 +342,13 @@ class DynamicDefinitionQuery:
         total = self.provider.num_qubits
         states = []
         for candidate in self.bins:
+            if candidate.num_resolved < total:
+                continue
+            if candidate.probability < threshold:
+                continue
             resolved = candidate.assignment
-            if len(resolved) == total and candidate.probability >= threshold:
-                bits = "".join(str(resolved[w]) for w in range(total))
-                states.append((bits, candidate.probability))
+            bits = "".join(str(resolved[w]) for w in range(total))
+            states.append((bits, candidate.probability))
         states.sort(key=lambda item: -item[1])
         return states
 
@@ -271,3 +369,30 @@ class DynamicDefinitionQuery:
             weight = candidate.probability / (2 ** len(merged))
             out[slicer] = weight
         return out.reshape(-1)
+
+    def stats(self) -> DDStats:
+        """Latency, cache and frontier statistics for the query so far."""
+        cache = getattr(self.provider, "cache_stats", None)
+        hits = misses = 0
+        if cache is not None:
+            # Deltas against the construction-time snapshot: the counters
+            # must describe *this query*, not the provider's lifetime.
+            hits = max(0, cache.hits - self._cache_base_hits)
+            misses = max(0, cache.misses - self._cache_base_misses)
+        requests = hits + misses
+        rate = hits / requests if requests else 0.0
+        return DDStats(
+            num_recursions=len(self.recursions),
+            num_rounds=self._num_rounds,
+            zoom_width=self.zoom_width,
+            num_bins=len(self.bins),
+            frontier_size=len(self._frontier),
+            total_elapsed_seconds=sum(
+                r.elapsed_seconds for r in self.recursions
+            ),
+            collapse_seconds=self._collapse_seconds,
+            contract_seconds=self._contract_seconds,
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_rate=rate,
+        )

@@ -342,6 +342,19 @@ def resolve_strategy(
 # Public entry points
 # ----------------------------------------------------------------------
 
+def _contract_payload(payload):
+    """Top-level (picklable) worker for :meth:`ContractionEngine.contract_batch`."""
+    tensors, order, num_cuts, strategy, early_termination = payload
+    return contract_terms(
+        tensors,
+        order,
+        num_cuts,
+        strategy=strategy,
+        workers=1,
+        early_termination=early_termination,
+    )
+
+
 def contract_terms(
     tensors: Sequence[TermTensor],
     order: Sequence[int],
@@ -427,3 +440,34 @@ class ContractionEngine:
                 else early_termination
             ),
         )
+
+    def contract_batch(
+        self,
+        batch: Sequence[Tuple[Sequence[TermTensor], Sequence[int], int]],
+        strategy: Optional[str] = None,
+        early_termination: Optional[bool] = None,
+    ) -> List[ContractionResult]:
+        """Contract many independent term sets, fanned over the worker pool.
+
+        ``batch`` holds ``(tensors, order, num_cuts)`` triples — one per
+        DD zoom bin or FD shard.  With ``workers > 1`` the contractions
+        run in parallel processes (each single-process internally); the
+        per-item parallelism of :meth:`contract` is the right tool for
+        *one* large contraction, this one for *many* small ones.
+        """
+        strategy = self.strategy if strategy is None else strategy
+        early = (
+            self.early_termination
+            if early_termination is None
+            else early_termination
+        )
+        payloads = [
+            (list(tensors), list(order), num_cuts, strategy, early)
+            for tensors, order, num_cuts in batch
+        ]
+        if self.workers <= 1 or len(payloads) <= 1:
+            return [_contract_payload(payload) for payload in payloads]
+        with multiprocessing.Pool(
+            processes=min(self.workers, len(payloads))
+        ) as pool:
+            return pool.map(_contract_payload, payloads)

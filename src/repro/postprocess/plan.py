@@ -1,0 +1,470 @@
+"""Query plans: the shared abstraction FD and DD queries dispatch through.
+
+Every postprocessing query — the full-definition reconstruction, each
+dynamic-definition recursion, and each shard of a streaming FD query —
+evaluates the same object: the ``4^K``-term contraction of per-subcircuit
+term tensors, *collapsed* per a qubit-role spec that marks each original
+wire ``active`` (kept), ``merged`` (summed out) or ``fixed`` (indexed).
+This module owns that shared machinery:
+
+:class:`QueryPlan`
+    A role spec plus the requested output qubit order.  ``FD`` is the
+    plan with every wire active; a DD recursion is a plan with the
+    zoomed wires fixed and the new batch active; a streaming-FD shard is
+    a plan with the shard qubits fixed and the rest active.  Plans are
+    *prepared* (tensors collapsed through a provider) and *contracted*
+    (through the shared :class:`~repro.postprocess.engine.ContractionEngine`),
+    either one at a time or as a parallel batch.
+
+:class:`CachingTensorProvider`
+    The incremental collapse cache.  A subcircuit's collapsed tensor
+    depends only on the roles of *its own* output wires (the restricted
+    role signature), so sibling bins, successive recursions and
+    neighbouring shards can reuse collapses instead of re-summing full
+    tensors.  The cache stores the *generalized* collapse (every fixed
+    wire kept active) and derives fixed variants by cheap axis indexing:
+    all ``2^s`` shards of a streaming query, or all sibling bins of a DD
+    zoom round, share a single full collapse per subcircuit.
+
+:func:`binned_tensor`
+    The primitive collapse of one term tensor per a role spec (formerly
+    in :mod:`.reconstruct`, re-exported there for compatibility).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..cutting.cutter import CutCircuit, Subcircuit
+from ..cutting.variants import SubcircuitResult
+from ..utils import permute_qubits
+from .attribution import TermTensor, build_term_tensor
+from .engine import ContractionEngine, ContractionResult
+
+__all__ = [
+    "Role",
+    "RoleMap",
+    "Signature",
+    "binned_tensor",
+    "restricted_signature",
+    "generalized_signature",
+    "CacheStats",
+    "TensorProvider",
+    "CachingTensorProvider",
+    "PrecomputedTensorProvider",
+    "QueryPlan",
+    "PreparedPlan",
+    "PlanExecution",
+]
+
+#: One wire's role: ``("active",)`` | ``("merged",)`` | ``("fixed", bit)``.
+Role = Tuple
+
+#: Role of every original wire, keyed by wire index.
+RoleMap = Dict[int, Role]
+
+#: A subcircuit's restricted role signature (its output wires only).
+Signature = Tuple[Tuple[int, Role], ...]
+
+
+class TensorProvider(Protocol):
+    """Supplies collapsed term tensors for a qubit-role spec."""
+
+    @property
+    def num_qubits(self) -> int: ...
+
+    @property
+    def num_cuts(self) -> int: ...
+
+    def collapsed(
+        self, roles: RoleMap
+    ) -> List[Tuple[TermTensor, List[int]]]: ...
+
+
+# ----------------------------------------------------------------------
+# The collapse primitive
+# ----------------------------------------------------------------------
+
+def binned_tensor(
+    tensor: TermTensor,
+    subcircuit: Subcircuit,
+    roles: Dict[int, Tuple],
+) -> Tuple[TermTensor, List[int]]:
+    """Collapse a term tensor per a DD qubit-role spec.
+
+    ``roles`` maps each original wire to ``("active",)``, ``("merged",)``
+    or ``("fixed", bit)``.  Output lines of the subcircuit are summed out
+    (merged), indexed (fixed) or kept (active); the returned tensor spans
+    only the active lines, and the second return value lists their wires
+    in axis order.
+    """
+    output_lines = subcircuit.output_lines
+    shape = (tensor.data.shape[0],) + (2,) * len(output_lines)
+    working = tensor.data.reshape(shape)
+    active_wires: List[int] = []
+    # Walk output axes from the last so earlier axis numbers stay valid.
+    for position in reversed(range(len(output_lines))):
+        role = roles[output_lines[position].wire]
+        axis = 1 + position
+        if role[0] == "merged":
+            working = working.sum(axis=axis)
+        elif role[0] == "fixed":
+            working = np.take(working, int(role[1]), axis=axis)
+        elif role[0] == "active":
+            active_wires.insert(0, output_lines[position].wire)
+        else:
+            raise ValueError(f"unknown qubit role {role!r}")
+    data = working.reshape(tensor.data.shape[0], -1)
+    collapsed = TermTensor(
+        subcircuit_index=tensor.subcircuit_index,
+        cut_order=list(tensor.cut_order),
+        num_effective=len(active_wires),
+        data=data,
+        nonzero=np.any(data != 0.0, axis=1),
+    )
+    return collapsed, active_wires
+
+
+# ----------------------------------------------------------------------
+# Role signatures (collapse-cache keys)
+# ----------------------------------------------------------------------
+
+def restricted_signature(subcircuit: Subcircuit, roles: RoleMap) -> Signature:
+    """The roles restricted to this subcircuit's output wires.
+
+    A subcircuit's collapsed tensor depends on nothing else, so this is
+    the collapse-cache key: two role maps that agree on the subcircuit's
+    output wires collapse identically no matter how the rest of the
+    circuit is binned.
+    """
+    return tuple(
+        (line.wire, tuple(roles[line.wire]))
+        for line in subcircuit.output_lines
+    )
+
+
+def generalized_signature(signature: Signature) -> Signature:
+    """The signature with every fixed wire promoted back to active.
+
+    The generalized collapse retains the fixed wires as tensor axes, so
+    any fixed-bit assignment over them can be *derived* by indexing —
+    much cheaper than re-collapsing the full tensor.  All sibling bins
+    of a DD zoom round and all shards of a streaming FD query share one
+    generalized signature per subcircuit.
+    """
+    return tuple(
+        (wire, ("active",) if role[0] == "fixed" else role)
+        for wire, role in signature
+    )
+
+
+@dataclass
+class CacheStats:
+    """Collapse-cache counters (reported by DD/stream query stats)."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachingTensorProvider:
+    """Base tensor provider with the incremental collapse cache.
+
+    Subclasses implement :meth:`_collapse_subcircuit` — the raw collapse
+    of one subcircuit for a role map — and inherit a cache keyed by the
+    *generalized* restricted signature.  On a miss the provider collapses
+    once with fixed wires kept active, stores that, and derives the
+    requested fixed assignment by indexing; subsequent bins/shards that
+    differ only in fixed values (or leave the subcircuit untouched) are
+    cache hits.
+    """
+
+    def __init__(
+        self,
+        cut_circuit: CutCircuit,
+        cache: bool = True,
+        cache_limit: int = 512,
+    ):
+        self.cut_circuit = cut_circuit
+        self.cache_enabled = bool(cache)
+        self.cache_limit = int(cache_limit)
+        self._cache: "OrderedDict[Tuple[int, Signature], Tuple[TermTensor, List[int]]]" = (
+            OrderedDict()
+        )
+        self.cache_stats = CacheStats()
+
+    @property
+    def num_qubits(self) -> int:
+        return self.cut_circuit.circuit.num_qubits
+
+    @property
+    def num_cuts(self) -> int:
+        return self.cut_circuit.num_cuts
+
+    # -- subclass hook --------------------------------------------------
+    def _collapse_subcircuit(
+        self, subcircuit: Subcircuit, roles: RoleMap
+    ) -> Tuple[TermTensor, List[int]]:
+        raise NotImplementedError
+
+    # -- public API -----------------------------------------------------
+    def collapsed(self, roles: RoleMap) -> List[Tuple[TermTensor, List[int]]]:
+        return [
+            self._collapsed_one(subcircuit, roles)
+            for subcircuit in self.cut_circuit.subcircuits
+        ]
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.cache_stats = CacheStats()
+
+    # -- cache machinery ------------------------------------------------
+    def _collapsed_one(
+        self, subcircuit: Subcircuit, roles: RoleMap
+    ) -> Tuple[TermTensor, List[int]]:
+        if not self.cache_enabled:
+            return self._collapse_subcircuit(subcircuit, roles)
+        signature = restricted_signature(subcircuit, roles)
+        generalized = generalized_signature(signature)
+        key = (subcircuit.index, generalized)
+        entry = self._cache.get(key)
+        if entry is None:
+            self.cache_stats.misses += 1
+            if generalized == signature:
+                entry = self._collapse_subcircuit(subcircuit, roles)
+            else:
+                promoted = dict(roles)
+                for wire, role in generalized:
+                    promoted[wire] = role
+                entry = self._collapse_subcircuit(subcircuit, promoted)
+            self._cache[key] = entry
+            if len(self._cache) > self.cache_limit:
+                self._cache.popitem(last=False)
+            self.cache_stats.entries = len(self._cache)
+        else:
+            self.cache_stats.hits += 1
+            self._cache.move_to_end(key)
+        if generalized == signature:
+            return entry
+        return _derive_fixed(entry[0], entry[1], signature)
+
+
+class PrecomputedTensorProvider(CachingTensorProvider):
+    """Default provider: collapse fully-evaluated subcircuit term tensors.
+
+    Collapses are served through the incremental cache: a subcircuit is
+    re-collapsed only when the roles of *its own* output wires change in
+    a way that cannot be derived from a cached generalized collapse.
+    """
+
+    def __init__(
+        self,
+        cut_circuit: CutCircuit,
+        results: Optional[Sequence[SubcircuitResult]] = None,
+        tensors: Optional[Sequence[TermTensor]] = None,
+        cache: bool = True,
+        cache_limit: int = 512,
+    ):
+        super().__init__(cut_circuit, cache=cache, cache_limit=cache_limit)
+        if tensors is None:
+            if results is None:
+                raise ValueError("provide subcircuit results or term tensors")
+            tensors = [build_term_tensor(result) for result in results]
+        self.tensors = sorted(tensors, key=lambda t: t.subcircuit_index)
+
+    def _collapse_subcircuit(
+        self, subcircuit: Subcircuit, roles: RoleMap
+    ) -> Tuple[TermTensor, List[int]]:
+        return binned_tensor(
+            self.tensors[subcircuit.index], subcircuit, roles
+        )
+
+
+def _derive_fixed(
+    tensor: TermTensor, active_wires: List[int], signature: Signature
+) -> Tuple[TermTensor, List[int]]:
+    """Index the fixed wires of ``signature`` out of a generalized tensor.
+
+    Selection commutes bitwise with the merged sums already performed, so
+    the result is identical to collapsing the full tensor directly with
+    the fixed roles (the property tests assert exact equality).
+    """
+    fixed = {
+        wire: int(role[1]) for wire, role in signature if role[0] == "fixed"
+    }
+    position_of = {wire: index for index, wire in enumerate(active_wires)}
+    shape = (tensor.data.shape[0],) + (2,) * len(active_wires)
+    working = tensor.data.reshape(shape)
+    # Index from the highest axis down so earlier axis numbers stay valid.
+    for wire in sorted(fixed, key=lambda w: -position_of[w]):
+        working = np.take(working, fixed[wire], axis=1 + position_of[wire])
+    remaining = [wire for wire in active_wires if wire not in fixed]
+    data = working.reshape(tensor.data.shape[0], -1)
+    derived = TermTensor(
+        subcircuit_index=tensor.subcircuit_index,
+        cut_order=list(tensor.cut_order),
+        num_effective=len(remaining),
+        data=data,
+        nonzero=np.any(data != 0.0, axis=1),
+    )
+    return derived, remaining
+
+
+# ----------------------------------------------------------------------
+# Query plans
+# ----------------------------------------------------------------------
+
+@dataclass
+class PlanExecution:
+    """The outcome of executing one query plan."""
+
+    probabilities: np.ndarray
+    contraction: ContractionResult
+    order: Tuple[int, ...]
+
+
+@dataclass
+class QueryPlan:
+    """A role spec plus the requested output qubit order.
+
+    ``active`` lists the wires whose joint distribution the query wants,
+    in output order; every wire in it must have role ``("active",)``.
+    """
+
+    num_qubits: int
+    num_cuts: int
+    roles: RoleMap
+    active: Tuple[int, ...]
+
+    @classmethod
+    def full(cls, num_qubits: int, num_cuts: int) -> "QueryPlan":
+        """The FD plan: every wire active, original order."""
+        return cls(
+            num_qubits=num_qubits,
+            num_cuts=num_cuts,
+            roles={wire: ("active",) for wire in range(num_qubits)},
+            active=tuple(range(num_qubits)),
+        )
+
+    @classmethod
+    def binned(
+        cls,
+        num_qubits: int,
+        num_cuts: int,
+        fixed: Dict[int, int],
+        active: Sequence[int],
+    ) -> "QueryPlan":
+        """A binned plan: ``fixed`` wires indexed, ``active`` kept,
+        every other wire merged (one DD recursion or one FD shard)."""
+        active_set = set(active)
+        roles: RoleMap = {}
+        for wire in range(num_qubits):
+            if wire in fixed:
+                roles[wire] = ("fixed", int(fixed[wire]))
+            elif wire in active_set:
+                roles[wire] = ("active",)
+            else:
+                roles[wire] = ("merged",)
+        return cls(
+            num_qubits=num_qubits,
+            num_cuts=num_cuts,
+            roles=roles,
+            active=tuple(active),
+        )
+
+    # ------------------------------------------------------------------
+    def prepared(
+        self,
+        provider: TensorProvider,
+        order: Optional[Sequence[int]] = None,
+    ) -> "PreparedPlan":
+        """Collapse the tensors through ``provider`` and fix the
+        contraction order (greedy smallest-first unless given)."""
+        collapsed = provider.collapsed(self.roles)
+        tensors = [item[0] for item in collapsed]
+        if order is None:
+            order = sorted(
+                range(len(tensors)), key=lambda i: tensors[i].num_effective
+            )
+        else:
+            order = list(order)
+        kron_wires: List[int] = []
+        for index in order:
+            kron_wires.extend(collapsed[index][1])
+        # Inverse map instead of repeated list.index() — O(n), not O(n^2).
+        position_of = {wire: pos for pos, wire in enumerate(kron_wires)}
+        permutation = [position_of[wire] for wire in self.active]
+        return PreparedPlan(
+            plan=self,
+            tensors=tensors,
+            order=tuple(order),
+            permutation=permutation,
+        )
+
+    def execute(
+        self,
+        provider: TensorProvider,
+        engine: ContractionEngine,
+        order: Optional[Sequence[int]] = None,
+        strategy: Optional[str] = None,
+        workers: Optional[int] = None,
+        early_termination: Optional[bool] = None,
+    ) -> PlanExecution:
+        """Prepare and contract in one call."""
+        return self.prepared(provider, order=order).contract(
+            engine,
+            strategy=strategy,
+            workers=workers,
+            early_termination=early_termination,
+        )
+
+
+@dataclass
+class PreparedPlan:
+    """A plan with tensors collapsed and contraction order fixed."""
+
+    plan: QueryPlan
+    tensors: List[TermTensor]
+    order: Tuple[int, ...]
+    permutation: List[int]
+
+    @property
+    def payload(self) -> Tuple[List[TermTensor], Tuple[int, ...], int]:
+        """The (tensors, order, num_cuts) triple for batch contraction."""
+        return (self.tensors, self.order, self.plan.num_cuts)
+
+    def contract(
+        self,
+        engine: ContractionEngine,
+        strategy: Optional[str] = None,
+        workers: Optional[int] = None,
+        early_termination: Optional[bool] = None,
+    ) -> PlanExecution:
+        contraction = engine.contract(
+            self.tensors,
+            self.order,
+            self.plan.num_cuts,
+            strategy=strategy,
+            workers=workers,
+            early_termination=early_termination,
+        )
+        return self.finish(contraction)
+
+    def finish(self, contraction: ContractionResult) -> PlanExecution:
+        """Scale and permute a raw contraction into plan output order."""
+        vector = contraction.vector * (0.5 ** self.plan.num_cuts)
+        probabilities = permute_qubits(vector, self.permutation)
+        return PlanExecution(
+            probabilities=probabilities,
+            contraction=contraction,
+            order=self.order,
+        )

@@ -19,21 +19,26 @@ optimizations through the engine:
 The engine's ``tensor_network`` strategy (greedy pairwise contraction of
 the same tensors) computes the identical output without the explicit 4^K
 enumeration, and ``auto`` picks between the two from a cost model.
+
+The FD query materializes the full ``2**n`` vector; for circuits past
+that memory wall use :class:`~repro.postprocess.stream.StreamingReconstructor`
+(sharded streaming FD) or the DD query instead — all three dispatch
+through the same :class:`~repro.postprocess.plan.QueryPlan` abstraction.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..cutting.cutter import CutCircuit, Subcircuit
+from ..cutting.cutter import CutCircuit
 from ..cutting.variants import SubcircuitResult
-from ..utils import permute_qubits
 from .attribution import TermTensor, build_term_tensor
-from .engine import STRATEGIES, ContractionEngine, contract_terms
+from .engine import STRATEGIES, ContractionEngine
+from .plan import PrecomputedTensorProvider, QueryPlan, binned_tensor
 
 __all__ = [
     "ReconstructionStats",
@@ -85,6 +90,11 @@ class Reconstructor:
                 f"{len(self.tensors)} tensors for "
                 f"{cut_circuit.num_subcircuits} subcircuits"
             )
+        # FD dispatches through the same provider/plan layer as DD and
+        # streaming queries; the collapse cache is shared across calls.
+        self.provider = PrecomputedTensorProvider(
+            cut_circuit, tensors=self.tensors
+        )
 
     # ------------------------------------------------------------------
     def subcircuit_order(self, greedy: bool = True) -> List[int]:
@@ -116,34 +126,28 @@ class Reconstructor:
         began = time.perf_counter()
         num_cuts = self.cut_circuit.num_cuts
         order = self.subcircuit_order(greedy_order)
-        contraction = contract_terms(
-            self.tensors,
-            order,
-            num_cuts,
+        plan = QueryPlan.full(self.cut_circuit.circuit.num_qubits, num_cuts)
+        execution = plan.execute(
+            self.provider,
+            self.engine,
+            order=order,
             strategy=strategy,
             workers=workers,
             early_termination=early_termination,
         )
-        vector = contraction.vector * (0.5**num_cuts)
-        probabilities = self._to_original_order(vector, order)
         elapsed = time.perf_counter() - began
         stats = ReconstructionStats(
             num_cuts=num_cuts,
             num_terms=4**num_cuts,
-            num_skipped=contraction.num_skipped,
+            num_skipped=execution.contraction.num_skipped,
             elapsed_seconds=elapsed,
             workers=workers,
-            strategy=contraction.strategy,
+            strategy=execution.contraction.strategy,
             subcircuit_order=tuple(order),
         )
-        return ReconstructionResult(probabilities=probabilities, stats=stats)
-
-    def _to_original_order(
-        self, vector: np.ndarray, order: Sequence[int]
-    ) -> np.ndarray:
-        wires = self.cut_circuit.output_wire_order(order)
-        permutation = [wires.index(w) for w in range(len(wires))]
-        return permute_qubits(vector, permutation)
+        return ReconstructionResult(
+            probabilities=execution.probabilities, stats=stats
+        )
 
 
 def reconstruct_full(
@@ -164,41 +168,6 @@ def reconstruct_full(
     )
 
 
-def binned_tensor(
-    tensor: TermTensor,
-    subcircuit: Subcircuit,
-    roles: Dict[int, Tuple],
-) -> Tuple[TermTensor, List[int]]:
-    """Collapse a term tensor per a DD qubit-role spec.
-
-    ``roles`` maps each original wire to ``("active",)``, ``("merged",)``
-    or ``("fixed", bit)``.  Output lines of the subcircuit are summed out
-    (merged), indexed (fixed) or kept (active); the returned tensor spans
-    only the active lines, and the second return value lists their wires
-    in axis order.
-    """
-    output_lines = subcircuit.output_lines
-    shape = (tensor.data.shape[0],) + (2,) * len(output_lines)
-    working = tensor.data.reshape(shape)
-    active_wires: List[int] = []
-    # Walk output axes from the last so earlier axis numbers stay valid.
-    for position in reversed(range(len(output_lines))):
-        role = roles[output_lines[position].wire]
-        axis = 1 + position
-        if role[0] == "merged":
-            working = working.sum(axis=axis)
-        elif role[0] == "fixed":
-            working = np.take(working, int(role[1]), axis=axis)
-        elif role[0] == "active":
-            active_wires.insert(0, output_lines[position].wire)
-        else:
-            raise ValueError(f"unknown qubit role {role!r}")
-    data = working.reshape(tensor.data.shape[0], -1)
-    collapsed = TermTensor(
-        subcircuit_index=tensor.subcircuit_index,
-        cut_order=list(tensor.cut_order),
-        num_effective=len(active_wires),
-        data=data,
-        nonzero=np.any(data != 0.0, axis=1),
-    )
-    return collapsed, active_wires
+# ``binned_tensor`` moved to :mod:`repro.postprocess.plan` (the collapse
+# primitive belongs with the query-plan layer); re-exported here for
+# backwards compatibility via the import above.

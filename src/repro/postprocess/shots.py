@@ -32,7 +32,7 @@ from ..cutting.variants import INIT_LABELS, MEAS_BASES, SubcircuitVariant, varia
 from ..sim.sampler import sample_counts
 from ..sim.statevector import simulate_probabilities
 from .attribution import ATTRIBUTION_BASES, TermTensor, transform_attributed_to_terms
-from .dd import Role
+from .plan import CachingTensorProvider, Role
 
 __all__ = ["ShotBasedTensorProvider", "estimate_required_shots"]
 
@@ -44,7 +44,7 @@ _SIGNS = {
 }
 
 
-class ShotBasedTensorProvider:
+class ShotBasedTensorProvider(CachingTensorProvider):
     """DD tensor provider that samples shots per recursion (Algorithm 1).
 
     Parameters
@@ -65,6 +65,10 @@ class ShotBasedTensorProvider:
         one batch through a
         :class:`~repro.core.executor.VariantExecutor` fanned over this
         many processes (instead of lazily, one circuit at a time).
+    cache:
+        Reuse merged shot tensors across bins/recursions whose role
+        signature matches (Algorithm 1's "group shots with common merged
+        qubits together").  ``False`` redraws shots on every collapse.
     """
 
     def __init__(
@@ -74,10 +78,12 @@ class ShotBasedTensorProvider:
         backend=None,
         seed: Optional[int] = None,
         workers: int = 1,
+        cache: bool = True,
+        cache_limit: int = 512,
     ):
         if shots <= 0:
             raise ValueError("shots must be positive")
-        self.cut_circuit = cut_circuit
+        super().__init__(cut_circuit, cache=cache, cache_limit=cache_limit)
         self.shots = int(shots)
         self.backend = backend or simulate_probabilities
         self.workers = int(workers)
@@ -87,21 +93,15 @@ class ShotBasedTensorProvider:
         self._distribution_cache: Dict[Tuple[int, Tuple[str, ...], Tuple[str, ...]], np.ndarray] = {}
         self._prefilled = False
 
-    @property
-    def num_qubits(self) -> int:
-        return self.cut_circuit.circuit.num_qubits
-
-    @property
-    def num_cuts(self) -> int:
-        return self.cut_circuit.num_cuts
-
     # ------------------------------------------------------------------
     def collapsed(self, roles: Dict[int, Role]) -> List[Tuple[TermTensor, List[int]]]:
         self._prefill()
-        out = []
-        for subcircuit in self.cut_circuit.subcircuits:
-            out.append(self._evaluate_merged(subcircuit, roles))
-        return out
+        return super().collapsed(roles)
+
+    def _collapse_subcircuit(
+        self, subcircuit: Subcircuit, roles: Dict[int, Role]
+    ) -> Tuple[TermTensor, List[int]]:
+        return self._evaluate_merged(subcircuit, roles)
 
     def _prefill(self) -> None:
         """Populate the distribution cache as one deduplicated parallel

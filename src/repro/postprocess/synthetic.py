@@ -24,7 +24,7 @@ import numpy as np
 
 from ..cutting.cutter import CutCircuit
 from .attribution import ATTRIBUTION_BASES, TermTensor, transform_attributed_to_terms
-from .dd import Role
+from .plan import CachingTensorProvider, Role
 
 __all__ = ["RandomTensorProvider"]
 
@@ -36,7 +36,7 @@ _SIGNS = {
 }
 
 
-class RandomTensorProvider:
+class RandomTensorProvider(CachingTensorProvider):
     """DD tensor provider backed by synthetic subcircuit outputs.
 
     Parameters
@@ -49,6 +49,11 @@ class RandomTensorProvider:
         paper's Fig. 10 protocol.  Uniform outputs make every non-(I, Z)
         attributed term exactly zero, so benchmarks wanting to exercise
         the full 4^K term space should use ``"random"``.
+    cache:
+        Off by default: fresh synthetic draws per collapse match the
+        seed protocol.  Benchmarks studying the collapse cache enable it
+        to make the synthetic provider behave like a real one (the same
+        role signature then always yields the same tensor).
     """
 
     def __init__(
@@ -56,38 +61,29 @@ class RandomTensorProvider:
         cut_circuit: CutCircuit,
         seed: int = 0,
         distribution: str = "random",
+        cache: bool = False,
+        cache_limit: int = 512,
     ):
         if distribution not in ("random", "uniform"):
             raise ValueError(f"unknown distribution {distribution!r}")
-        self.cut_circuit = cut_circuit
+        super().__init__(cut_circuit, cache=cache, cache_limit=cache_limit)
         self.distribution = distribution
         self._rng = np.random.default_rng(seed)
 
-    @property
-    def num_qubits(self) -> int:
-        return self.cut_circuit.circuit.num_qubits
-
-    @property
-    def num_cuts(self) -> int:
-        return self.cut_circuit.num_cuts
-
     # ------------------------------------------------------------------
-    def collapsed(self, roles: Dict[int, Role]) -> List[Tuple[TermTensor, List[int]]]:
-        out = []
-        for subcircuit in self.cut_circuit.subcircuits:
-            active_wires = [
-                line.wire
-                for line in subcircuit.output_lines
-                if roles[line.wire][0] == "active"
-            ]
-            fixed_count = sum(
-                1
-                for line in subcircuit.output_lines
-                if roles[line.wire][0] == "fixed"
-            )
-            tensor = self._synthesize(subcircuit, len(active_wires), fixed_count)
-            out.append((tensor, active_wires))
-        return out
+    def _collapse_subcircuit(self, subcircuit, roles: Dict[int, Role]):
+        active_wires = [
+            line.wire
+            for line in subcircuit.output_lines
+            if roles[line.wire][0] == "active"
+        ]
+        fixed_count = sum(
+            1
+            for line in subcircuit.output_lines
+            if roles[line.wire][0] == "fixed"
+        )
+        tensor = self._synthesize(subcircuit, len(active_wires), fixed_count)
+        return tensor, active_wires
 
     # ------------------------------------------------------------------
     def _synthesize(self, subcircuit, num_active: int, num_fixed: int) -> TermTensor:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -166,3 +168,86 @@ class TestCommands:
         )
         assert code == 0
         assert "heuristic" in capsys.readouterr().out
+
+
+class TestStreamingRun:
+    def test_stream_shards_prints_top_states(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--stream-shards", "2", "--top", "3",
+             "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FD stream: 2^2 shards" in out
+        assert "|111111>" in out
+        assert "max |shard - truth| error" in out
+
+    def test_stream_shards_out_of_range(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--stream-shards", "9"]
+        )
+        assert code == 2
+        assert "--stream-shards" in capsys.readouterr().err
+
+    def test_zoom_width_validated(self, capsys):
+        code = main(
+            ["dd", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--zoom-width", "0"]
+        )
+        assert code == 2
+        assert "--zoom-width" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--top", "2", "--verify", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "run"
+        assert document["query"]["mode"] == "fd"
+        assert document["execution"]["num_variants"] > 0
+        assert document["top_states"][0]["state"] == "111111"
+        assert document["verify_chi2"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_run_stream_json(self, capsys):
+        code = main(
+            ["run", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--stream-shards", "2", "--top", "2",
+             "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["query"]["mode"] == "fd_stream"
+        assert document["query"]["num_shards_emitted"] == 4
+        assert document["query"]["peak_shard_bytes"] == (1 << 4) * 8
+        assert document["top_states"][0]["state"] == "111111"
+
+    def test_dd_json(self, capsys):
+        code = main(
+            ["dd", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--active", "2", "--recursions", "4",
+             "--zoom-width", "2", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "dd"
+        assert document["stats"]["zoom_width"] == 2
+        assert document["stats"]["cache_hits"] + document["stats"][
+            "cache_misses"
+        ] > 0
+        assert document["solution_states"][0]["state"] == "111111"
+        assert len(document["recursions"]) >= 1
+
+    def test_dd_human_output_reports_cache(self, capsys):
+        code = main(
+            ["dd", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--active", "2", "--recursions", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collapse-cache hit rate" in out

@@ -188,3 +188,116 @@ class TestBinSemantics:
         bin_10 = next(b for b in query.bins if b.index == 0b10)
         assert bin_10.assignment == {0: 1, 1: 0}
         assert bin_10.merged_wires(5) == [2, 3, 4]
+
+    def test_num_resolved_matches_assignment(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.run(2)
+        for candidate in query.bins:
+            assert candidate.num_resolved == len(candidate.assignment)
+
+
+class TestBatchedZoom:
+    def test_zoom_width_locates_bv_solution(self):
+        circuit = bv(6)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=4)
+        query = pipeline.dd_query(
+            max_active_qubits=2, max_recursions=8, zoom_width=3
+        )
+        states = query.solution_states(threshold=0.9)
+        assert states and states[0][0] == bv_solution(6)
+
+    def test_rounds_fewer_than_recursions(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(
+            provider, max_active_qubits=1, zoom_width=4
+        )
+        query.run(9)
+        stats = query.stats()
+        assert stats.num_recursions == len(query.recursions)
+        # Root round is width 1, then each round expands up to 4 bins.
+        assert stats.num_rounds < stats.num_recursions
+
+    def test_round_bins_sum_to_parent_mass(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(
+            provider, max_active_qubits=2, zoom_width=2
+        )
+        query.run(3)
+        for recursion in query.recursions[1:]:
+            parent = recursion.parent_bin
+            assert parent is not None and parent.zoomed
+            assert np.isclose(
+                recursion.probabilities.sum(), parent.probability, atol=1e-9
+            )
+
+    def test_parallel_zoom_matches_serial(self, fig4_circuit):
+        _, provider_a = _provider(fig4_circuit, [(2, 1)])
+        _, provider_b = _provider(fig4_circuit, [(2, 1)])
+        from repro.postprocess import ContractionEngine
+
+        serial = DynamicDefinitionQuery(
+            provider_a,
+            max_active_qubits=1,
+            zoom_width=2,
+            engine=ContractionEngine(strategy="kron", workers=1),
+        )
+        parallel = DynamicDefinitionQuery(
+            provider_b,
+            max_active_qubits=1,
+            zoom_width=2,
+            engine=ContractionEngine(strategy="kron", workers=2),
+        )
+        serial.run(5)
+        parallel.run(5)
+        assert len(serial.recursions) == len(parallel.recursions)
+        for got, want in zip(parallel.recursions, serial.recursions):
+            assert got.fixed == want.fixed
+            assert np.allclose(got.probabilities, want.probabilities, atol=1e-12)
+
+
+class TestDDStats:
+    def test_stats_fields(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.run(3)
+        stats = query.stats()
+        assert stats.num_recursions == 3
+        assert stats.num_bins == len(query.bins)
+        assert stats.total_elapsed_seconds >= 0.0
+        assert stats.cache_hits + stats.cache_misses == 3 * 2  # 2 subcircuits
+        assert 0.0 <= stats.cache_hit_rate <= 1.0
+        document = stats.as_dict()
+        assert document["num_recursions"] == 3
+        assert "cache_hit_rate" in document
+
+    def test_cache_disabled_reports_zero(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        provider = PrecomputedTensorProvider(cut, results=results, cache=False)
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.run(3)
+        stats = query.stats()
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 0
+
+    def test_stats_snapshot_on_reused_provider(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        first = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        first.run(3)
+        second = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        second.run(3)
+        stats = second.stats()
+        # The second query's counters cover only its own collapses, not
+        # the provider's lifetime (2 subcircuits x 3 recursions).
+        assert stats.cache_hits + stats.cache_misses == 3 * 2
+
+
+class TestProgressiveRun:
+    def test_repeated_run_deepens(self, fig4_circuit):
+        _, provider = _provider(fig4_circuit, [(2, 1)])
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.run(2)
+        assert len(query.recursions) == 2
+        query.run(1)  # run() adds *further* recursions on repeat calls
+        assert len(query.recursions) == 3

@@ -50,6 +50,15 @@ class TestRuntimeExperiment:
         assert row[0] == "hwea" and row[7] == "ok"
         assert row[6].endswith("x")
 
+    def test_streamed_fd_verifies(self):
+        config = RuntimeExperimentConfig(
+            cases=[("bv", 8, 6), ("bv", 10, 6)], stream_shard_qubits=3
+        )
+        records = run_runtime_experiment(config)
+        # Streamed shards must concatenate to the verified distribution.
+        assert all(r.status == "ok" for r in records)
+        assert all(r.postprocess_seconds is not None for r in records)
+
 
 class TestFidelityExperiment:
     @pytest.fixture

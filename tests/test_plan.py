@@ -1,0 +1,284 @@
+"""Tests for the query-plan layer and the incremental collapse cache.
+
+The headline property: the cached/incremental DD path (generalized
+collapse + fixed-axis derivation) *bit-matches* the naive per-recursion
+collapse on random cut circuits — not just within tolerance, exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    cut_circuit,
+    cut_circuit_from_assignment,
+    evaluate_subcircuit,
+    simulate_probabilities,
+)
+from repro.circuits import build_circuit_graph
+from repro.postprocess import (
+    DynamicDefinitionQuery,
+    PrecomputedTensorProvider,
+    QueryPlan,
+    generalized_signature,
+    reconstruct_full,
+    restricted_signature,
+)
+from repro.postprocess.engine import ContractionEngine
+from repro.utils import marginalize
+from tests.conftest import random_connected_circuit
+
+
+def _cut_and_provider(circuit, cuts, **kwargs):
+    cut = cut_circuit(circuit, cuts)
+    results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+    return cut, PrecomputedTensorProvider(cut, results=results, **kwargs)
+
+
+class TestSignatures:
+    def test_restricted_to_output_wires(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        roles = {w: ("merged",) for w in range(5)}
+        roles[0] = ("active",)
+        for sub in cut.subcircuits:
+            signature = restricted_signature(sub, roles)
+            wires = [wire for wire, _ in signature]
+            assert wires == [line.wire for line in sub.output_lines]
+
+    def test_generalized_promotes_fixed(self):
+        signature = (
+            (0, ("fixed", 1)),
+            (1, ("active",)),
+            (2, ("merged",)),
+        )
+        assert generalized_signature(signature) == (
+            (0, ("active",)),
+            (1, ("active",)),
+            (2, ("merged",)),
+        )
+
+    def test_signature_independent_of_other_wires(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        sub = cut.subcircuits[0]
+        own = {line.wire for line in sub.output_lines}
+        roles_a = {w: ("active",) if w in own else ("merged",) for w in range(5)}
+        roles_b = {w: ("active",) if w in own else ("fixed", 1) for w in range(5)}
+        assert restricted_signature(sub, roles_a) == restricted_signature(
+            sub, roles_b
+        )
+
+
+class TestCollapseCache:
+    def test_repeat_collapse_hits(self, fig4_circuit):
+        cut, provider = _cut_and_provider(fig4_circuit, [(2, 1)])
+        roles = {w: ("merged",) for w in range(5)}
+        roles[0] = ("active",)
+        provider.collapsed(roles)
+        assert provider.cache_stats.misses == cut.num_subcircuits
+        assert provider.cache_stats.hits == 0
+        provider.collapsed(roles)
+        assert provider.cache_stats.hits == cut.num_subcircuits
+
+    def test_fixed_variants_share_generalized_entry(self, fig4_circuit):
+        cut, provider = _cut_and_provider(fig4_circuit, [(2, 1)])
+        for bit in (0, 1):
+            roles = {w: ("merged",) for w in range(5)}
+            roles[0] = ("fixed", bit)
+            roles[1] = ("active",)
+            provider.collapsed(roles)
+        # The two fixed-bit variants differ only in a derived index, so
+        # the second pass is all hits.
+        assert provider.cache_stats.misses == cut.num_subcircuits
+        assert provider.cache_stats.hits == cut.num_subcircuits
+
+    def test_derived_bitmatches_naive(self, fig4_circuit):
+        _, cached = _cut_and_provider(fig4_circuit, [(2, 1)])
+        _, naive = _cut_and_provider(fig4_circuit, [(2, 1)], cache=False)
+        roles = {
+            0: ("fixed", 1),
+            1: ("active",),
+            2: ("merged",),
+            3: ("fixed", 0),
+            4: ("active",),
+        }
+        # Warm the generalized entries first, then derive.
+        cached.collapsed({w: ("active",) if r[0] == "fixed" else r
+                          for w, r in roles.items()})
+        for (got, got_wires), (want, want_wires) in zip(
+            cached.collapsed(roles), naive.collapsed(roles)
+        ):
+            assert got_wires == want_wires
+            assert got.num_effective == want.num_effective
+            assert np.array_equal(got.data, want.data)
+            assert np.array_equal(got.nonzero, want.nonzero)
+
+    def test_cache_limit_evicts(self, fig4_circuit):
+        cut, provider = _cut_and_provider(fig4_circuit, [(2, 1)])
+        provider.cache_limit = cut.num_subcircuits  # room for one role map
+        roles_a = {w: ("merged",) for w in range(5)}
+        roles_a[0] = ("active",)
+        roles_b = {w: ("active",) for w in range(5)}
+        provider.collapsed(roles_a)
+        provider.collapsed(roles_b)  # evicts roles_a's entries
+        provider.collapsed(roles_a)
+        assert provider.cache_stats.misses == 3 * cut.num_subcircuits
+
+    def test_clear_cache_resets(self, fig4_circuit):
+        cut, provider = _cut_and_provider(fig4_circuit, [(2, 1)])
+        roles = {w: ("active",) for w in range(5)}
+        provider.collapsed(roles)
+        provider.clear_cache()
+        assert provider.cache_stats.hits == 0
+        assert provider.cache_stats.misses == 0
+        provider.collapsed(roles)
+        assert provider.cache_stats.misses == cut.num_subcircuits
+
+    def test_cache_disabled_never_counts(self, fig4_circuit):
+        _, provider = _cut_and_provider(fig4_circuit, [(2, 1)], cache=False)
+        roles = {w: ("active",) for w in range(5)}
+        provider.collapsed(roles)
+        provider.collapsed(roles)
+        assert provider.cache_stats.hits == 0
+        assert provider.cache_stats.misses == 0
+
+
+class TestQueryPlan:
+    def test_full_plan_matches_reconstruct(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        provider = PrecomputedTensorProvider(cut, results=results)
+        plan = QueryPlan.full(5, cut.num_cuts)
+        execution = plan.execute(provider, ContractionEngine(strategy="kron"))
+        want = reconstruct_full(cut, results).probabilities
+        assert np.allclose(execution.probabilities, want, atol=1e-12)
+
+    def test_binned_plan_matches_marginal(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        provider = PrecomputedTensorProvider(cut, results=results)
+        plan = QueryPlan.binned(5, cut.num_cuts, fixed={}, active=[1, 3])
+        execution = plan.execute(provider, ContractionEngine(strategy="kron"))
+        truth = marginalize(simulate_probabilities(fig4_circuit), [1, 3], 5)
+        assert np.allclose(execution.probabilities, truth, atol=1e-9)
+
+    def test_active_order_respected(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        provider = PrecomputedTensorProvider(cut, results=results)
+        engine = ContractionEngine(strategy="kron")
+        forward = QueryPlan.binned(5, cut.num_cuts, {}, [0, 1]).execute(
+            provider, engine
+        )
+        reverse = QueryPlan.binned(5, cut.num_cuts, {}, [1, 0]).execute(
+            provider, engine
+        )
+        assert np.allclose(
+            forward.probabilities.reshape(2, 2),
+            reverse.probabilities.reshape(2, 2).T,
+            atol=1e-12,
+        )
+
+
+class TestCachedDDBitMatchesNaive:
+    """The ISSUE's property: cached/incremental DD == naive DD, bitwise."""
+
+    def _compare(self, circuit, assignment, max_active, zoom_width=1):
+        cut = cut_circuit_from_assignment(circuit, assignment)
+        if cut.num_cuts > 6:
+            return  # keep runtime bounded
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        engine = ContractionEngine(strategy="kron")
+        cached = DynamicDefinitionQuery(
+            PrecomputedTensorProvider(cut, results=results, cache=True),
+            max_active_qubits=max_active,
+            engine=engine,
+            zoom_width=zoom_width,
+        )
+        naive = DynamicDefinitionQuery(
+            PrecomputedTensorProvider(cut, results=results, cache=False),
+            max_active_qubits=max_active,
+            engine=engine,
+            zoom_width=zoom_width,
+        )
+        cached.run(6)
+        naive.run(6)
+        assert len(cached.recursions) == len(naive.recursions)
+        for got, want in zip(cached.recursions, naive.recursions):
+            assert got.fixed == want.fixed
+            assert got.active == want.active
+            assert np.array_equal(got.probabilities, want.probabilities)
+        # The cached path must never collapse more than the naive one
+        # (misses + hits together cover the same requests).
+        stats = cached.provider.cache_stats
+        assert stats.hits + stats.misses == len(cached.recursions) * len(
+            cut.subcircuits
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_random_circuits_random_cuts(self, n, seed, max_active):
+        circuit = random_connected_circuit(n, 2 * n, seed)
+        graph = build_circuit_graph(circuit)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(20):
+            assignment = rng.integers(0, 2, size=graph.num_vertices)
+            if 0 < assignment.sum() < graph.num_vertices:
+                break
+        self._compare(circuit, list(assignment), max_active)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_batched_zoom_bitmatches_too(self, n, seed):
+        circuit = random_connected_circuit(n, 2 * n, seed)
+        graph = build_circuit_graph(circuit)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(20):
+            assignment = rng.integers(0, 2, size=graph.num_vertices)
+            if 0 < assignment.sum() < graph.num_vertices:
+                break
+        self._compare(circuit, list(assignment), 1, zoom_width=2)
+
+
+class TestHeapFrontierParity:
+    """The heap frontier must choose exactly what the old linear scan did."""
+
+    def _linear_scan_choice(self, query):
+        best = None
+        total = query.provider.num_qubits
+        for candidate in query.bins:
+            if candidate.zoomed:
+                continue
+            if len(candidate.assignment) >= total:
+                continue
+            if best is None or candidate.probability > best.probability:
+                best = candidate
+        return best
+
+    def test_choice_matches_linear_scan(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        provider = PrecomputedTensorProvider(cut, results=results)
+        query = DynamicDefinitionQuery(provider, max_active_qubits=2)
+        query.step()
+        for _ in range(2):
+            want = self._linear_scan_choice(query)
+            got = query._choose_bin()
+            assert got is want
+            query.step()
+
+
+class TestZoomWidthValidation:
+    def test_zoom_width_positive(self, fig4_circuit):
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        provider = PrecomputedTensorProvider(cut, results=results)
+        with pytest.raises(ValueError):
+            DynamicDefinitionQuery(provider, 2, zoom_width=0)
