@@ -1,0 +1,157 @@
+"""Job-service throughput: warm-vs-cold latency and queries/sec.
+
+The serving claim (Tangram, applied to CutQC): reusing warm artifacts —
+the cut solution and the evaluated subcircuit tensors — dominates
+end-to-end job latency.  This bench measures it through the real HTTP
+stack:
+
+* **cold**: first submission of a circuit; the service runs cut search,
+  variant evaluation and the query, checkpointing each stage;
+* **warm**: identical resubmission; cut and evaluation restore from the
+  content-addressed store and only the query executes;
+* **throughput**: a stream of warm jobs, measured as queries/sec.
+
+Results land in ``results/BENCH_service.json`` (uploaded by CI) with the
+measured speedup asserted against a conservative floor.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.service import JobServer, request_json
+
+from conftest import RESULTS_DIR, report
+
+#: supremacy-9 on a 6-qubit budget: the cut search (branch and bound over
+#: a 3x3 grid) and the 6-cut variant evaluation give the cold path real
+#: work to skip — reference machine measures >10x warm-vs-cold.
+_BENCHMARK = os.environ.get("REPRO_BENCH_SERVICE_BENCHMARK", "supremacy")
+_QUBITS = int(os.environ.get("REPRO_BENCH_SERVICE_QUBITS", "9"))
+_DEVICE = int(os.environ.get("REPRO_BENCH_SERVICE_DEVICE", "6"))
+_WARM_QUERIES = int(os.environ.get("REPRO_BENCH_SERVICE_WARM_QUERIES", "20"))
+#: Assertion floor for warm-vs-cold (reference machine measures far more);
+#: loaded CI runners measure timing noise, not regressions.
+_MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SERVICE_MIN_SPEEDUP", "2.0"))
+
+_JOB = {
+    "circuit": {"benchmark": _BENCHMARK, "qubits": _QUBITS, "seed": 0},
+    "device_size": _DEVICE,
+    "query": {"type": "fd", "top": 3},
+}
+
+
+def _run_job(server, payload, timeout=300.0):
+    """Submit, poll to completion, return (status document, wall seconds)."""
+    began = time.perf_counter()
+    created = request_json("POST", f"{server.url}/jobs", payload=payload)
+    deadline = time.monotonic() + timeout
+    while True:
+        document = request_json("GET", f"{server.url}/jobs/{created['job_id']}")
+        if document["state"] in ("done", "failed", "cancelled"):
+            break
+        assert time.monotonic() < deadline, "job stuck"
+        time.sleep(0.005)
+    wall = time.perf_counter() - began
+    assert document["state"] == "done", document.get("error")
+    return document, wall
+
+
+def test_service_warm_vs_cold_throughput():
+    with JobServer(
+        store_dir=tempfile.mkdtemp(prefix="cutqc-bench-store-"),
+        port=0,
+        workers=2,
+    ).start() as server:
+        cold, cold_wall = _run_job(server, _JOB)
+        assert cold["cache_hits"] == {"cut": False, "evaluate": False}
+
+        warm, warm_wall = _run_job(server, _JOB)
+        # The warm path must actually be warm: both expensive stages
+        # served by the artifact store.
+        assert warm["cache_hits"] == {"cut": True, "evaluate": True}
+
+        cold_result = request_json(
+            "GET", f"{server.url}/jobs/{cold['job_id']}/result"
+        )
+        warm_result = request_json(
+            "GET", f"{server.url}/jobs/{warm['job_id']}/result"
+        )
+        assert (
+            warm_result["result"]["top_states"]
+            == cold_result["result"]["top_states"]
+        )
+
+        # Stage-level accounting: warm jobs skip cut + evaluate compute.
+        cold_stage = cold["timings"]
+        warm_stage = warm["timings"]
+        speedup = cold_wall / warm_wall
+
+        # Throughput: a stream of warm queries through the HTTP stack.
+        began = time.perf_counter()
+        for _ in range(_WARM_QUERIES):
+            document, _ = _run_job(server, _JOB)
+            assert document["cache_hits"]["evaluate"] is True
+        stream_seconds = time.perf_counter() - began
+        queries_per_second = _WARM_QUERIES / stream_seconds
+
+        stats = request_json("GET", f"{server.url}/stats")
+
+    assert speedup >= _MIN_SPEEDUP, (
+        f"warm speedup {speedup:.2f}x below floor {_MIN_SPEEDUP}x "
+        f"(cold {cold_wall:.3f}s, warm {warm_wall:.3f}s)"
+    )
+
+    document = {
+        "generated_by": "bench_service_throughput.py",
+        "benchmark": _BENCHMARK,
+        "qubits": _QUBITS,
+        "device_size": _DEVICE,
+        "cold": {
+            "wall_seconds": cold_wall,
+            "cut_seconds": cold_stage.get("cut"),
+            "evaluate_seconds": cold_stage.get("evaluate"),
+            "query_seconds": cold_stage.get("query"),
+            "cache_hits": cold["cache_hits"],
+        },
+        "warm": {
+            "wall_seconds": warm_wall,
+            "cut_seconds": warm_stage.get("cut"),
+            "evaluate_seconds": warm_stage.get("evaluate"),
+            "query_seconds": warm_stage.get("query"),
+            "cache_hits": warm["cache_hits"],
+        },
+        "speedup": speedup,
+        "warm_queries": _WARM_QUERIES,
+        "queries_per_second": queries_per_second,
+        "stage_cache": stats["cache"],
+        "store": {
+            "hits": stats["store"]["hits"],
+            "misses": stats["store"]["misses"],
+            "corrupt": stats["store"]["corrupt"],
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_service.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+    report(
+        "bench_service",
+        f"Job service — {_BENCHMARK}-{_QUBITS} on {_DEVICE}-qubit budget, "
+        f"FD query over HTTP",
+        ["path", "wall s", "cut s", "evaluate s", "query s"],
+        [
+            ("cold (first submission)", f"{cold_wall:.3f}",
+             f"{cold_stage.get('cut', 0):.3f}",
+             f"{cold_stage.get('evaluate', 0):.3f}",
+             f"{cold_stage.get('query', 0):.3f}"),
+            ("warm (artifact store)", f"{warm_wall:.3f}",
+             f"{warm_stage.get('cut', 0):.3f}",
+             f"{warm_stage.get('evaluate', 0):.3f}",
+             f"{warm_stage.get('query', 0):.3f}"),
+            ("speedup", f"{speedup:.1f}x", "--", "--", "--"),
+            (f"warm throughput ({_WARM_QUERIES} jobs)",
+             f"{queries_per_second:.1f} q/s", "--", "--", "--"),
+        ],
+    )

@@ -18,6 +18,12 @@ Dynamic-definition query::
 List virtual device presets::
 
     python -m repro devices
+
+Run the job service and submit work to it::
+
+    python -m repro serve --store /tmp/cutqc-store --port 8000
+    python -m repro submit --url http://127.0.0.1:8000 \
+        --benchmark bv --qubits 11 --device-size 5 --wait
 """
 
 from __future__ import annotations
@@ -80,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     cut = commands.add_parser("cut", help="find cuts and print the plan")
     add_circuit_options(cut)
+    cut.add_argument("--json", action="store_true",
+                     help="machine-readable JSON output (plan, objective, "
+                          "cut positions)")
 
     run = commands.add_parser("run", help="cut + evaluate + FD query")
     add_circuit_options(run)
@@ -117,7 +126,72 @@ def build_parser() -> argparse.ArgumentParser:
                          "solution states, cache stats)")
 
     devices = commands.add_parser("devices", help="list device presets")
-    del devices  # no extra options
+    devices.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output (preset specs)")
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP job service (artifact-store backed)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--store", default=".cutqc-store", metavar="DIR",
+                       help="artifact-store directory (default: .cutqc-store)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="scheduler worker threads")
+    serve.add_argument("--json", action="store_true",
+                       help="print the startup banner as JSON")
+
+    def add_client_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--url", default="http://127.0.0.1:8000",
+                         help="job-service base URL")
+        sub.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output")
+
+    submit = commands.add_parser(
+        "submit", help="submit a job to a running service"
+    )
+    add_client_options(submit)
+    submit.add_argument("--benchmark", choices=sorted(BENCHMARKS))
+    submit.add_argument("--qubits", type=int)
+    submit.add_argument("--qasm-file", metavar="PATH",
+                        help="submit this OpenQASM 2.0 file instead of a "
+                             "library benchmark")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--device-size", type=int, required=True)
+    submit.add_argument("--max-subcircuits", type=int, default=5)
+    submit.add_argument("--max-cuts", type=int, default=10)
+    submit.add_argument("--method",
+                        choices=("auto", "mip", "heuristic"), default="auto")
+    submit.add_argument("--query", choices=("fd", "dd", "top_k"),
+                        default="fd")
+    submit.add_argument("--top", type=int, default=5)
+    submit.add_argument("--active", type=int, default=2,
+                        help="dd: active qubits per recursion")
+    submit.add_argument("--recursions", type=int, default=8)
+    submit.add_argument("--zoom-width", type=int, default=1)
+    submit.add_argument("--shard-qubits", type=int, default=None,
+                        help="top_k: stream the FD distribution as 2^S shards")
+    submit.add_argument("--strategy",
+                        choices=("kron", "tensor_network", "auto"),
+                        default="auto")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print the result")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait polling timeout in seconds")
+
+    status = commands.add_parser(
+        "status", help="show one job's state, stage timings and cache hits"
+    )
+    add_client_options(status)
+    status.add_argument("--job", required=True, metavar="JOB_ID")
+    status.add_argument("--result", action="store_true",
+                        help="fetch the query result instead of the status")
+
+    jobs = commands.add_parser(
+        "jobs", help="list the service's jobs and serving statistics"
+    )
+    add_client_options(jobs)
 
     return parser
 
@@ -176,6 +250,32 @@ def _command_cut(args: argparse.Namespace) -> int:
 
     pipeline = _build_pipeline(args)
     cut = pipeline.cut()
+    if args.json:
+        document = {
+            "command": "cut",
+            "benchmark": args.benchmark,
+            "qubits": pipeline.circuit.num_qubits,
+            "device_size": args.device_size,
+            "num_cuts": cut.num_cuts,
+            "num_subcircuits": cut.num_subcircuits,
+            "cut_positions": [[c.wire, c.wire_index] for c in cut.cuts],
+            "subcircuits": [
+                {
+                    "index": sub.index,
+                    "width": sub.width,
+                    "init_lines": len(sub.init_lines),
+                    "meas_lines": len(sub.meas_lines),
+                    "output_lines": sub.num_effective,
+                    "num_gates": len(sub.circuit),
+                }
+                for sub in cut.subcircuits
+            ],
+        }
+        if pipeline.solution is not None:
+            document["search_method"] = pipeline.solution.method
+            document["objective"] = pipeline.solution.objective
+        print(json.dumps(document, indent=2))
+        return 0
     print(cut.summary())
     if pipeline.solution is not None:
         print(f"search method: {pipeline.solution.method}")
@@ -216,13 +316,9 @@ def _print_execution_report(report) -> None:
 
 
 def _top_states(probabilities: np.ndarray, top: int, num_qubits: int):
-    from .utils import index_to_bitstring
+    from .utils import top_states
 
-    order = np.argsort(probabilities)[::-1][:top]
-    return [
-        (index_to_bitstring(int(index), num_qubits), float(probabilities[index]))
-        for index in order
-    ]
+    return top_states(probabilities, top, num_qubits)
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -440,9 +536,216 @@ def _command_dd(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_devices(_: argparse.Namespace) -> int:
+def _command_devices(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        document = {
+            "command": "devices",
+            "presets": [
+                {
+                    "preset": name,
+                    "name": device.name,
+                    "num_qubits": device.num_qubits,
+                    "shots": device.shots,
+                    "coupling_map": [list(pair) for pair in device.coupling_map],
+                }
+                for name, device in (
+                    (preset, get_device(preset))
+                    for preset in sorted(DEVICE_PRESETS)
+                )
+            ],
+        }
+        print(json.dumps(document, indent=2))
+        return 0
     for name in sorted(DEVICE_PRESETS):
         print(get_device(name).describe())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Job-service verbs
+# ----------------------------------------------------------------------
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import JobServer
+
+    server = JobServer(
+        store_dir=args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+    )
+    banner = {
+        "command": "serve",
+        "url": server.url,
+        "store": str(server.store.root),
+        "workers": server.scheduler.num_workers,
+    }
+    if args.json:
+        print(json.dumps(banner, indent=2), flush=True)
+    else:
+        print(
+            f"job service listening on {server.url} "
+            f"(store {server.store.root}, "
+            f"{server.scheduler.num_workers} workers)",
+            flush=True,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    circuit: dict = {}
+    if args.qasm_file:
+        with open(args.qasm_file) as stream:
+            circuit["qasm"] = stream.read()
+    else:
+        circuit = {
+            "benchmark": args.benchmark,
+            "qubits": args.qubits,
+            "seed": args.seed,
+        }
+    query: dict = {"type": args.query, "top": args.top}
+    if args.query == "dd":
+        query.update(
+            active=args.active,
+            recursions=args.recursions,
+            zoom_width=args.zoom_width,
+        )
+    if args.query == "top_k" and args.shard_qubits is not None:
+        query["shard_qubits"] = args.shard_qubits
+    return {
+        "circuit": circuit,
+        "device_size": args.device_size,
+        "max_subcircuits": args.max_subcircuits,
+        "max_cuts": args.max_cuts,
+        "method": args.method,
+        "strategy": args.strategy,
+        "query": query,
+    }
+
+
+def _print_job_document(document: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(document, indent=2))
+        return
+    state = document.get("state")
+    print(f"job {document.get('job_id')}: {state}")
+    timings = document.get("timings") or {}
+    cache_hits = document.get("cache_hits") or {}
+    for stage in ("cut", "evaluate", "query", "total"):
+        if stage in timings:
+            suffix = ""
+            if stage in cache_hits:
+                suffix = " (cache hit)" if cache_hits[stage] else " (computed)"
+            print(f"  {stage}: {timings[stage]:.3f}s{suffix}")
+    if document.get("error"):
+        print(f"  error: {document['error']}")
+    result = document.get("result")
+    if result:
+        states = result.get("top_states") or result.get("solution_states") or []
+        if states:
+            print(f"  top states ({result.get('mode')}):")
+            for entry in states:
+                print(f"    |{entry['state']}>  p = {entry['probability']:.6f}")
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClientError, request_json
+
+    if bool(args.qasm_file) == bool(args.benchmark):
+        print("error: pass either --benchmark/--qubits or --qasm-file",
+              file=sys.stderr)
+        return 2
+    if args.benchmark and args.qubits is None:
+        print("error: --benchmark needs --qubits", file=sys.stderr)
+        return 2
+    try:
+        created = request_json(
+            "POST", f"{args.url}/jobs", payload=_submit_payload(args)
+        )
+    except ServiceClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    job_id = created["job_id"]
+    if not args.wait:
+        if args.json:
+            print(json.dumps(created, indent=2))
+        else:
+            print(f"job {job_id}: {created['state']}")
+        return 0
+
+    import time as _time
+
+    deadline = _time.monotonic() + args.timeout
+    try:
+        while True:
+            document = request_json("GET", f"{args.url}/jobs/{job_id}")
+            if document["state"] in ("done", "failed", "cancelled"):
+                break
+            if _time.monotonic() > deadline:
+                print(f"error: job {job_id} still {document['state']!r} "
+                      f"after {args.timeout}s", file=sys.stderr)
+                return 1
+            _time.sleep(0.05)
+        if document["state"] != "done":
+            _print_job_document(document, args.json)
+            return 1
+        result = request_json("GET", f"{args.url}/jobs/{job_id}/result")
+    except ServiceClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _print_job_document(result, args.json)
+    return 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    from .service import ServiceClientError, request_json
+
+    path = f"{args.url}/jobs/{args.job}"
+    if args.result:
+        path += "/result"
+    try:
+        document = request_json("GET", path)
+    except ServiceClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _print_job_document(document, args.json)
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    from .service import ServiceClientError, request_json
+
+    try:
+        listing = request_json("GET", f"{args.url}/jobs")
+        stats = request_json("GET", f"{args.url}/stats")
+    except ServiceClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"jobs": listing["jobs"], "stats": stats}, indent=2))
+        return 0
+    for job in listing["jobs"]:
+        spec = job.get("spec") or {}
+        label = spec.get("benchmark") or "qasm"
+        print(
+            f"{job['job_id']}  {job['state']:<10} {label} "
+            f"q={spec.get('qubits')} query={spec.get('query')}"
+        )
+    by_state = stats["jobs"]["by_state"]
+    cache = stats["cache"]
+    print(
+        f"{stats['jobs']['submitted']} jobs "
+        f"({by_state.get('done', 0)} done, "
+        f"{by_state.get('failed', 0)} failed); "
+        f"cache hits cut={cache['stage_hits'].get('cut', 0)} "
+        f"evaluate={cache['stage_hits'].get('evaluate', 0)}"
+    )
     return 0
 
 
@@ -454,6 +757,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _command_run,
         "dd": _command_dd,
         "devices": _command_devices,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "status": _command_status,
+        "jobs": _command_jobs,
     }
     try:
         return handlers[args.command](args)

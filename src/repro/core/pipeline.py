@@ -122,6 +122,90 @@ class CutQC:
     def strategy(self) -> str:
         return self.engine.strategy
 
+    # -- resumable-stage hooks (service checkpointing) ------------------
+    def cut_options(self) -> dict:
+        """The canonical cut-search option dict this pipeline would use.
+
+        This is the identity of the :meth:`cut` stage: two pipelines with
+        equal circuits and equal ``cut_options()`` produce the same cut,
+        so the pair is the artifact-store key for cut checkpoints.
+        """
+        return {
+            "max_subcircuit_qubits": self.max_subcircuit_qubits,
+            "max_subcircuits": self.max_subcircuits,
+            "max_cuts": self.max_cuts,
+            "method": self.method,
+            "cuts": self._explicit_cuts,
+        }
+
+    def cut_fingerprint(self) -> str:
+        """Content fingerprint of the cut stage — ``(circuit, options)``."""
+        from ..service.store import cut_fingerprint
+
+        return cut_fingerprint(self.circuit, self.cut_options())
+
+    def evaluation_fingerprint(
+        self,
+        backend: str = "statevector",
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> str:
+        """Content fingerprint of the evaluate stage.
+
+        ``backend`` is a config *tag* describing how variants are
+        executed (e.g. ``"statevector"``, ``"device:bogota"``) — the
+        callable itself cannot be hashed.
+        """
+        from ..service.store import evaluation_fingerprint
+
+        return evaluation_fingerprint(
+            self.cut_fingerprint(), backend=backend, shots=shots, seed=seed
+        )
+
+    def load_cut(
+        self,
+        cut: CutCircuit,
+        solution: Optional[CutSolution] = None,
+    ) -> "CutQC":
+        """Adopt a previously computed cut, skipping the search stage.
+
+        The cut must respect this pipeline's qubit budget and describe
+        this pipeline's circuit; loading resets any downstream state
+        (evaluation results, streamers).
+        """
+        width = cut.max_subcircuit_width()
+        if width > self.max_subcircuit_qubits:
+            raise ValueError(
+                f"loaded cut has a {width}-qubit subcircuit, exceeding the "
+                f"{self.max_subcircuit_qubits}-qubit budget"
+            )
+        if cut.circuit.num_qubits != self.circuit.num_qubits:
+            raise ValueError(
+                f"loaded cut is for a {cut.circuit.num_qubits}-qubit "
+                f"circuit, pipeline has {self.circuit.num_qubits}"
+            )
+        self._cut = cut
+        self._solution = solution
+        self._results = None
+        self._streamer = None
+        self.execution_report = None
+        return self
+
+    def load_results(self, results: Sequence[SubcircuitResult]) -> "CutQC":
+        """Adopt previously evaluated subcircuit tensors, skipping variant
+        execution (the service's warm-cache path)."""
+        cut = self.cut()
+        results = list(results)
+        if len(results) != cut.num_subcircuits:
+            raise ValueError(
+                f"{len(results)} results for {cut.num_subcircuits} "
+                "subcircuits"
+            )
+        self._results = results
+        self._streamer = None
+        self.execution_report = None
+        return self
+
     def cut(self) -> CutCircuit:
         """Locate cuts (unless given explicitly) and split the circuit."""
         if self._cut is None:

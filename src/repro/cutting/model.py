@@ -18,7 +18,7 @@ directly comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..circuits import CircuitGraph
 
@@ -49,6 +49,35 @@ class PartitionCost:
     @property
     def d(self) -> List[int]:
         return [a + r for a, r in zip(self.alpha, self.rho)]
+
+    # -- serialization (artifact store) ---------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-able form, restored bit-identically by :meth:`from_dict`."""
+        return {
+            "num_clusters": self.num_clusters,
+            "num_cuts": self.num_cuts,
+            "alpha": list(self.alpha),
+            "rho": list(self.rho),
+            "O": list(self.O),
+            "feasible": self.feasible,
+            "violation": self.violation,
+            # inf is not valid JSON; encode infeasible costs as None.
+            "objective": None if self.objective == float("inf") else self.objective,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PartitionCost":
+        objective = payload["objective"]
+        return cls(
+            num_clusters=int(payload["num_clusters"]),
+            num_cuts=int(payload["num_cuts"]),
+            alpha=[int(a) for a in payload["alpha"]],
+            rho=[int(r) for r in payload["rho"]],
+            O=[int(o) for o in payload["O"]],
+            feasible=bool(payload["feasible"]),
+            violation=payload["violation"],
+            objective=float("inf") if objective is None else float(objective),
+        )
 
 
 def objective_from_f(num_cuts: int, f_values: Sequence[int]) -> float:

@@ -11,7 +11,7 @@ back to the scan + local-search heuristics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from ..circuits import QuantumCircuit, build_circuit_graph
 from .cutter import CutCircuit, cut_circuit_from_assignment
@@ -48,6 +48,23 @@ class CutSolution:
     def apply(self, circuit: QuantumCircuit) -> CutCircuit:
         """Cut ``circuit`` according to this solution."""
         return cut_circuit_from_assignment(circuit, self.assignment)
+
+    # -- serialization (artifact store) ---------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-able form, restored bit-identically by :meth:`from_dict`."""
+        return {
+            "assignment": list(self.assignment),
+            "cost": self.cost.to_dict(),
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CutSolution":
+        return cls(
+            assignment=[int(a) for a in payload["assignment"]],
+            cost=PartitionCost.from_dict(payload["cost"]),
+            method=str(payload["method"]),
+        )
 
 
 def find_cuts(

@@ -80,30 +80,46 @@ class DevicePool:
     def schedule(
         self, circuits: Sequence[QuantumCircuit], shots: int
     ) -> PoolSchedule:
-        """Greedily place each circuit on the least-loaded fitting device."""
+        """Place each circuit on the least-loaded fitting device, in LPT
+        (longest-processing-time-first) order.
+
+        Placing the longest jobs first before the greedy least-loaded
+        assignment is the classic makespan heuristic (4/3-approximate vs
+        the 2-approximate arbitrary-order greedy): short jobs fill in the
+        load gaps the long ones leave behind.  ``jobs`` is returned in the
+        *input* circuit order regardless of placement order.
+        """
+        circuits = list(circuits)
         loads = [0.0] * len(self.devices)
         schedule = PoolSchedule(per_device_seconds=loads)
-        for circuit in circuits:
+        seconds = [
+            self.estimate_job_seconds(circuit, shots) for circuit in circuits
+        ]
+        # LPT: sort stably by descending runtime, place greedily.
+        placement_order = sorted(
+            range(len(circuits)), key=lambda index: -seconds[index]
+        )
+        jobs: List[Optional[DeviceJob]] = [None] * len(circuits)
+        for index in placement_order:
+            circuit = circuits[index]
             candidates = [
-                index
-                for index, device in enumerate(self.devices)
+                device_index
+                for device_index, device in enumerate(self.devices)
                 if device.num_qubits >= circuit.num_qubits
             ]
             if not candidates:
                 raise ValueError(
                     f"no pool device fits a {circuit.num_qubits}-qubit variant"
                 )
-            chosen = min(candidates, key=lambda index: loads[index])
-            seconds = self.estimate_job_seconds(circuit, shots)
-            loads[chosen] += seconds
-            schedule.jobs.append(
-                DeviceJob(
-                    device_index=chosen,
-                    circuit=circuit,
-                    shots=shots,
-                    estimated_seconds=seconds,
-                )
+            chosen = min(candidates, key=lambda device_index: loads[device_index])
+            loads[chosen] += seconds[index]
+            jobs[index] = DeviceJob(
+                device_index=chosen,
+                circuit=circuit,
+                shots=shots,
+                estimated_seconds=seconds[index],
             )
+        schedule.jobs.extend(jobs)
         return schedule
 
     # ------------------------------------------------------------------

@@ -1,0 +1,65 @@
+"""Job service: serve CutQC queries as jobs with cross-job artifact reuse.
+
+The in-process pipeline recomputes everything on every invocation; this
+subsystem turns it into a *serving* system, following the serving-side
+reuse lesson of Tangram (warm artifact state dominates end-to-end
+latency) applied to CutQC's two expensive stages:
+
+==================  ====================================================
+Layer               Responsibility
+==================  ====================================================
+:mod:`.store`       Content-addressed on-disk artifact store.  Cut
+                    solutions are keyed by ``(circuit, cut options)``
+                    fingerprints, evaluated subcircuit tensors by
+                    ``(cut, backend config, shots, seed)``; artifacts
+                    carry checksums and corrupted ones are detected and
+                    recomputed, never served.
+:mod:`.scheduler`   Async job queue: ``JobSpec``/``JobRecord`` with
+                    states queued -> cutting -> evaluating -> querying
+                    -> done/failed/cancelled, a thread worker pool,
+                    per-stage timing + cache-hit stats, cancellation.
+                    Every stage checkpoints through the store, so
+                    repeat jobs skip cut search and variant execution
+                    and sibling jobs share warm tensors.
+:mod:`.api`         Transport-independent JSON handlers (dict in/out).
+:mod:`.server`      Stdlib ``ThreadingHTTPServer`` front-end
+                    (``POST /jobs``, ``GET /jobs/<id>[/result]``,
+                    ``GET /stats``) plus the JSON client the CLI verbs
+                    ``serve`` / ``submit`` / ``status`` / ``jobs`` use.
+==================  ====================================================
+
+The pipeline side of the contract lives in
+:class:`repro.core.CutQC`: ``cut_fingerprint()`` /
+``evaluation_fingerprint()`` name the stages' content, and
+``load_cut()`` / ``load_results()`` resume a pipeline from restored
+checkpoints.
+"""
+
+from .api import ApiError, JobServiceAPI
+from .scheduler import JOB_STATES, QUERY_TYPES, JobRecord, JobScheduler, JobSpec
+from .server import JobServer, ServiceClientError, request_json
+from .store import (
+    ArtifactStore,
+    StoreStats,
+    circuit_digest,
+    cut_fingerprint,
+    evaluation_fingerprint,
+)
+
+__all__ = [
+    "ApiError",
+    "JobServiceAPI",
+    "JOB_STATES",
+    "QUERY_TYPES",
+    "JobRecord",
+    "JobScheduler",
+    "JobSpec",
+    "JobServer",
+    "ServiceClientError",
+    "request_json",
+    "ArtifactStore",
+    "StoreStats",
+    "circuit_digest",
+    "cut_fingerprint",
+    "evaluation_fingerprint",
+]

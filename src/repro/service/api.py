@@ -1,0 +1,120 @@
+"""JSON API surface of the job service, independent of transport.
+
+:class:`JobServiceAPI` maps request payloads (plain dicts) onto the
+scheduler and back — the HTTP server, the CLI client and in-process
+tests all speak through this one layer, so the protocol is defined once.
+
+Request shape for job creation (``POST /jobs``)::
+
+    {
+      "circuit": {"benchmark": "bv", "qubits": 11, "seed": 0},   # by name
+      # or      {"qasm": "OPENQASM 2.0; ..."}                    # inline
+      "device_size": 5,
+      "query": {"type": "fd", "top": 5},        # or "dd" / "top_k" params
+      "method": "auto", "strategy": "auto", "workers": 1, ...
+    }
+
+``circuit`` and ``query`` may also be given flat (``benchmark=...``,
+``query="fd"``); the nested form is sugar.  Errors raise
+:class:`ApiError` carrying the HTTP status the transport should emit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .scheduler import JobScheduler, JobSpec
+
+__all__ = ["ApiError", "JobServiceAPI"]
+
+
+class ApiError(Exception):
+    """A client-visible error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+    def as_dict(self) -> Dict:
+        return {"error": self.message, "status": self.status}
+
+
+def _flatten_payload(payload: Dict) -> Dict:
+    """Fold the nested ``circuit`` / ``query`` sugar into JobSpec fields."""
+    if not isinstance(payload, dict):
+        raise ApiError(400, "job payload must be a JSON object")
+    flat = dict(payload)
+    circuit = flat.pop("circuit", None)
+    if circuit is not None:
+        if not isinstance(circuit, dict):
+            raise ApiError(400, "circuit must be an object")
+        flat.update(circuit)
+    query = flat.pop("query", None)
+    if isinstance(query, dict):
+        query = dict(query)
+        flat["query"] = query.pop("type", "fd")
+        flat.update(query)
+    elif query is not None:
+        flat["query"] = query
+    return flat
+
+
+class JobServiceAPI:
+    """Dict-in / dict-out handlers over one :class:`JobScheduler`."""
+
+    def __init__(self, scheduler: JobScheduler):
+        self.scheduler = scheduler
+
+    # ------------------------------------------------------------------
+    def create_job(self, payload: Dict) -> Dict:
+        try:
+            spec = JobSpec.from_dict(_flatten_payload(payload))
+            job_id = self.scheduler.submit(spec)
+        except ApiError:
+            raise
+        except (TypeError, ValueError) as error:
+            raise ApiError(400, str(error)) from None
+        record = self.scheduler.get(job_id)
+        return {"job_id": job_id, "state": record.state}
+
+    def _record(self, job_id: str):
+        try:
+            return self.scheduler.get(job_id)
+        except KeyError:
+            raise ApiError(404, f"unknown job {job_id!r}") from None
+
+    def job_status(self, job_id: str) -> Dict:
+        return self._record(job_id).as_dict()
+
+    def job_result(self, job_id: str) -> Dict:
+        record = self._record(job_id)
+        if record.state == "failed":
+            raise ApiError(500, f"job failed: {record.error}")
+        if record.state == "cancelled":
+            raise ApiError(410, "job was cancelled")
+        if record.state != "done":
+            raise ApiError(
+                409, f"job is {record.state!r}; result not ready"
+            )
+        document = record.as_dict(include_result=True)
+        return document
+
+    def cancel_job(self, job_id: str) -> Dict:
+        record = self._record(job_id)
+        accepted = self.scheduler.cancel(job_id)
+        return {
+            "job_id": job_id,
+            "cancelled": accepted,
+            "state": record.state,
+        }
+
+    def list_jobs(self) -> Dict:
+        return {
+            "jobs": [
+                record.as_dict() for record in self.scheduler.records()
+            ]
+        }
+
+    def stats(self) -> Dict:
+        return self.scheduler.stats()

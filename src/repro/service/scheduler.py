@@ -1,0 +1,491 @@
+"""Async job scheduler: queued CutQC jobs over a shared artifact store.
+
+A *job* is one end-to-end CutQC evaluation — cut search, variant
+execution, and a query (FD, DD or streamed top-k) — described by a
+:class:`JobSpec` and tracked by a :class:`JobRecord` through the states::
+
+    queued -> cutting -> evaluating -> querying -> done
+                                   \\-> failed | cancelled
+
+The :class:`JobScheduler` runs jobs on a pool of worker threads.  Each
+stage is *resumable*: before computing, the worker consults the
+content-addressed :class:`~repro.service.store.ArtifactStore` under the
+stage's fingerprint and, on a hit, restores the checkpoint instead —
+repeat jobs skip cut search and variant evaluation entirely, and sibling
+jobs (same circuit+cut, different query) skip straight to the query
+stage.  Per-stage wall-clock and cache-hit flags are recorded on the
+record, and :meth:`JobScheduler.stats` aggregates them across the job
+history — the serving-side observability the HTTP ``/stats`` endpoint
+exposes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuits import QuantumCircuit
+from ..circuits.qasm import from_qasm
+from ..core import CutQC
+from ..cutting.searcher import DEFAULT_MAX_CUTS, DEFAULT_MAX_SUBCIRCUITS
+from ..library import BENCHMARKS, get_benchmark
+from .store import ArtifactStore
+
+__all__ = ["JobSpec", "JobRecord", "JobScheduler", "JOB_STATES", "QUERY_TYPES"]
+
+JOB_STATES = (
+    "queued", "cutting", "evaluating", "querying", "done", "failed",
+    "cancelled",
+)
+QUERY_TYPES = ("fd", "dd", "top_k")
+
+#: States a job can never leave.
+_TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class JobSpec:
+    """Everything that defines one job: circuit, cut budget, query.
+
+    The circuit is addressed either by library name (``benchmark`` +
+    ``qubits`` [+ ``seed``]) or as inline OpenQASM (``qasm``).
+    """
+
+    device_size: int
+    benchmark: Optional[str] = None
+    qubits: Optional[int] = None
+    qasm: Optional[str] = None
+    seed: int = 0
+    max_subcircuits: int = DEFAULT_MAX_SUBCIRCUITS
+    max_cuts: int = DEFAULT_MAX_CUTS
+    method: str = "auto"
+    # query --------------------------------------------------------------
+    query: str = "fd"
+    top: int = 5
+    active: int = 2
+    recursions: int = 8
+    zoom_width: int = 1
+    threshold: float = 0.25
+    shard_qubits: Optional[int] = None
+    # execution ----------------------------------------------------------
+    device: Optional[str] = None
+    shots: Optional[int] = None
+    strategy: str = "auto"
+    workers: int = 1
+
+    def validate(self) -> None:
+        if (self.benchmark is None) == (self.qasm is None):
+            raise ValueError(
+                "address the circuit by benchmark name or inline qasm "
+                "(exactly one)"
+            )
+        if self.benchmark is not None:
+            if self.benchmark not in BENCHMARKS:
+                raise ValueError(
+                    f"unknown benchmark {self.benchmark!r}; "
+                    f"expected one of {BENCHMARKS}"
+                )
+            if self.qubits is None or self.qubits < 2:
+                raise ValueError("library circuits need qubits >= 2")
+        if self.device_size < 2:
+            raise ValueError("device_size must be >= 2")
+        if self.query not in QUERY_TYPES:
+            raise ValueError(
+                f"unknown query type {self.query!r}; "
+                f"expected one of {QUERY_TYPES}"
+            )
+        if self.query == "dd" and (self.active < 1 or self.recursions < 1):
+            raise ValueError("dd queries need active >= 1, recursions >= 1")
+        if self.zoom_width < 1:
+            raise ValueError("zoom_width must be positive")
+        if self.top < 1:
+            raise ValueError("top must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+
+    # ------------------------------------------------------------------
+    def build_circuit(self) -> QuantumCircuit:
+        if self.qasm is not None:
+            return from_qasm(self.qasm)
+        kwargs = {}
+        if self.benchmark in ("supremacy", "adder"):
+            kwargs["seed"] = self.seed
+        return get_benchmark(self.benchmark, self.qubits, **kwargs)
+
+    def backend_tag(self) -> str:
+        """The evaluation-fingerprint backend config tag."""
+        return "statevector" if self.device is None else f"device:{self.device}"
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "JobSpec":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C401
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown job fields: {sorted(unknown)}")
+        if "device_size" not in payload:
+            raise ValueError("device_size is required")
+        return cls(**payload)
+
+
+@dataclass
+class JobRecord:
+    """One job's lifecycle: state, per-stage timing, cache hits, result."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+    cache_hits: Dict[str, bool] = field(default_factory=dict)
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    cancel_requested: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.state in _TERMINAL_STATES
+
+    def as_dict(self, include_result: bool = False) -> Dict:
+        document = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "timings": dict(self.timings),
+            "cache_hits": dict(self.cache_hits),
+            "fingerprints": dict(self.fingerprints),
+            "error": self.error,
+        }
+        if include_result:
+            document["result"] = self.result
+        return document
+
+
+class JobScheduler:
+    """Thread-pool scheduler executing jobs against a shared store."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        workers: int = 2,
+        autostart: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.store = store
+        self.num_workers = int(workers)
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._records: Dict[str, JobRecord] = {}
+        self._order: List[str] = []
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._shutdown = False
+        self.started_at = time.time()
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"cutqc-job-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30)
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> str:
+        """Validate and enqueue a job; returns its id immediately."""
+        if self._shutdown:
+            raise RuntimeError("scheduler is shut down")
+        spec.validate()
+        job_id = f"job-{uuid.uuid4().hex[:12]}"
+        record = JobRecord(job_id=job_id, spec=spec)
+        with self._lock:
+            self._records[job_id] = record
+            self._order.append(job_id)
+        self._queue.put(job_id)
+        return job_id
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            try:
+                return self._records[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def records(self) -> List[JobRecord]:
+        with self._lock:
+            return [self._records[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; returns False if already terminal.
+
+        Queued jobs are dropped before they start; a running job stops at
+        its next stage boundary.
+        """
+        record = self.get(job_id)
+        if record.done:
+            return False
+        record.cancel_requested = True
+        if record.state == "queued":
+            record.state = "cancelled"
+            record.finished_at = time.time()
+        return True
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.01
+    ) -> JobRecord:
+        """Block until the job reaches a terminal state (or timeout)."""
+        deadline = time.monotonic() + timeout
+        record = self.get(job_id)
+        while not record.done:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.state!r} after {timeout}s"
+                )
+            time.sleep(poll)
+        return record
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Aggregate serving stats: states, cache hits, stage latencies."""
+        with self._lock:
+            records = [self._records[job_id] for job_id in self._order]
+        by_state = {state: 0 for state in JOB_STATES}
+        stage_seconds: Dict[str, List[float]] = {}
+        stage_hits: Dict[str, int] = {"cut": 0, "evaluate": 0}
+        stage_misses: Dict[str, int] = {"cut": 0, "evaluate": 0}
+        total_seconds = 0.0
+        for record in records:
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+            # Snapshot: workers insert keys at stage boundaries while we
+            # iterate (dict(d) is atomic under the GIL, iteration is not).
+            for stage, seconds in dict(record.timings).items():
+                stage_seconds.setdefault(stage, []).append(seconds)
+                if stage != "total":
+                    total_seconds += seconds
+            for stage, hit in dict(record.cache_hits).items():
+                table = stage_hits if hit else stage_misses
+                table[stage] = table.get(stage, 0) + 1
+        uptime = time.time() - self.started_at
+        done = by_state.get("done", 0)
+        return {
+            "jobs": {
+                "submitted": len(records),
+                "by_state": by_state,
+            },
+            "cache": {
+                "stage_hits": stage_hits,
+                "stage_misses": stage_misses,
+            },
+            "stage_seconds_mean": {
+                stage: sum(values) / len(values)
+                for stage, values in stage_seconds.items()
+            },
+            "uptime_seconds": uptime,
+            "jobs_per_second": done / uptime if uptime > 0 else 0.0,
+            "busy_seconds": total_seconds,
+            "workers": self.num_workers,
+            "store": self.store.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            try:
+                record = self.get(job_id)
+            except KeyError:  # pragma: no cover - defensive
+                continue
+            if record.state != "queued":
+                continue  # cancelled while queued
+            record.started_at = time.time()
+            try:
+                self._execute(record)
+            except Exception as error:  # noqa: BLE001 - job isolation
+                record.state = "failed"
+                record.error = f"{type(error).__name__}: {error}"
+            finally:
+                if not record.done:  # pragma: no cover - defensive
+                    record.state = "failed"
+                    record.error = record.error or "worker exited mid-job"
+                record.finished_at = time.time()
+                record.timings["total"] = (
+                    record.finished_at - record.started_at
+                )
+
+    def _cancelled(self, record: JobRecord) -> bool:
+        if record.cancel_requested:
+            record.state = "cancelled"
+            return True
+        return False
+
+    def _execute(self, record: JobRecord) -> None:
+        spec = record.spec
+        circuit = spec.build_circuit()
+        backend = None
+        if spec.device is not None:
+            from ..devices import get_device
+
+            preset = get_device(spec.device, seed=spec.seed)
+            backend = preset.backend(shots=spec.shots)
+        pipeline = CutQC(
+            circuit,
+            max_subcircuit_qubits=spec.device_size,
+            max_subcircuits=spec.max_subcircuits,
+            max_cuts=spec.max_cuts,
+            method=spec.method,
+            backend=backend,
+            workers=spec.workers,
+            strategy=spec.strategy,
+            seed=spec.seed,
+        )
+
+        # -- stage 1: cut (checkpointed) --------------------------------
+        if self._cancelled(record):
+            return
+        record.state = "cutting"
+        began = time.perf_counter()
+        cut_key = pipeline.cut_fingerprint()
+        record.fingerprints["cut"] = cut_key
+        restored = self.store.get_cut(cut_key, circuit)
+        if restored is not None:
+            pipeline.load_cut(*restored)
+            record.cache_hits["cut"] = True
+        else:
+            cut = pipeline.cut()
+            self.store.put_cut(cut_key, circuit, cut, pipeline.solution)
+            record.cache_hits["cut"] = False
+        record.timings["cut"] = time.perf_counter() - began
+
+        # -- stage 2: evaluate (checkpointed) ---------------------------
+        if self._cancelled(record):
+            return
+        record.state = "evaluating"
+        began = time.perf_counter()
+        # shots/seed only shape the tensors when a sampling backend is
+        # configured; for the deterministic statevector backend they are
+        # inert and would only fragment the warm cache.
+        sampling = spec.device is not None
+        evaluation_key = pipeline.evaluation_fingerprint(
+            backend=spec.backend_tag(),
+            shots=spec.shots if sampling else None,
+            seed=spec.seed if sampling else None,
+        )
+        record.fingerprints["evaluate"] = evaluation_key
+        results = self.store.get_evaluation(evaluation_key, pipeline.cut())
+        if results is not None:
+            pipeline.load_results(results)
+            record.cache_hits["evaluate"] = True
+        else:
+            results = pipeline.evaluate()
+            self.store.put_evaluation(evaluation_key, results)
+            record.cache_hits["evaluate"] = False
+        record.timings["evaluate"] = time.perf_counter() - began
+
+        # -- stage 3: query ---------------------------------------------
+        if self._cancelled(record):
+            return
+        record.state = "querying"
+        began = time.perf_counter()
+        record.result = self._run_query(pipeline, spec)
+        record.timings["query"] = time.perf_counter() - began
+        record.state = "done"
+
+    def _run_query(self, pipeline: CutQC, spec: JobSpec) -> Dict:
+        num_qubits = pipeline.circuit.num_qubits
+        base = {
+            "num_qubits": num_qubits,
+            "num_cuts": pipeline.cut().num_cuts,
+            "num_subcircuits": pipeline.cut().num_subcircuits,
+        }
+        if spec.query == "fd":
+            from ..utils import top_states
+
+            result = pipeline.fd_query()
+            stats = result.stats
+            return {
+                **base,
+                "mode": "fd",
+                "strategy": stats.strategy,
+                "num_terms": stats.num_terms,
+                "num_skipped": stats.num_skipped,
+                "elapsed_seconds": stats.elapsed_seconds,
+                "top_states": [
+                    {"state": bits, "probability": probability}
+                    for bits, probability in top_states(
+                        result.probabilities, spec.top, num_qubits
+                    )
+                ],
+            }
+        if spec.query == "dd":
+            query = pipeline.dd_query(
+                max_active_qubits=spec.active,
+                max_recursions=spec.recursions,
+                zoom_width=spec.zoom_width,
+            )
+            states = query.solution_states(threshold=spec.threshold)
+            return {
+                **base,
+                "mode": "dd",
+                "stats": query.stats().as_dict(),
+                "solution_states": [
+                    {"state": bits, "probability": probability}
+                    for bits, probability in states[: spec.top]
+                ],
+            }
+        # top_k: streamed, bounded-memory
+        shard_qubits = spec.shard_qubits
+        if shard_qubits is None:
+            shard_qubits = max(1, min(num_qubits - 1, num_qubits // 2))
+        if not 0 <= shard_qubits <= num_qubits:
+            raise ValueError(
+                f"shard_qubits must be in [0, {num_qubits}]"
+            )
+        states = pipeline.fd_top_k(shard_qubits, spec.top)
+        stream_stats = pipeline.stream_stats
+        return {
+            **base,
+            "mode": "top_k",
+            "shard_qubits": shard_qubits,
+            "stream": stream_stats.as_dict() if stream_stats else None,
+            "top_states": [
+                {"state": bits, "probability": probability}
+                for bits, probability in states
+            ],
+        }

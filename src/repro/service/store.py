@@ -1,0 +1,448 @@
+"""Content-addressed on-disk artifact store for the job service.
+
+Every expensive pipeline stage checkpoints its output here under a
+*fingerprint* — a stable SHA-256 digest of everything that determines the
+artifact's content:
+
+* **cut artifacts** are keyed by ``(circuit, cut options)``
+  (:func:`cut_fingerprint`): a repeat job with the same circuit and
+  search budgets restores the :class:`~repro.cutting.CutSolution` /
+  assignment and skips the MIP/heuristic cut search entirely;
+* **evaluation artifacts** are keyed by ``(cut fingerprint, backend
+  config, shots, seed)`` (:func:`evaluation_fingerprint`): a sibling job
+  that shares the cut and backend restores every
+  :class:`~repro.cutting.SubcircuitResult` tensor and skips variant
+  execution.
+
+Artifacts are a JSON metadata file plus (for evaluations) an ``.npz``
+tensor payload.  Both carry SHA-256 checksums; a corrupted or truncated
+artifact is *detected on load*, counted, deleted, and reported as a miss
+so the scheduler transparently recomputes it rather than serving garbage.
+
+Fingerprints are order-insensitive where identity is order-insensitive:
+option dictionaries hash the same regardless of key order, and explicit
+cut-point lists hash as a sorted set.  Gate order naturally *does*
+matter — it changes the circuit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+import threading
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..cutting import CutCircuit, CutSolution, SubcircuitResult
+from ..cutting.cutter import cut_circuit_from_assignment
+
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "circuit_digest",
+    "cut_fingerprint",
+    "evaluation_fingerprint",
+]
+
+#: Bump when the on-disk layout changes; mismatched artifacts are misses.
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+def _canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload) -> str:
+    return hashlib.sha256(_canonical_json(payload).encode()).hexdigest()
+
+
+def circuit_digest(circuit: QuantumCircuit) -> str:
+    """Stable content hash of a circuit (width + exact gate list).
+
+    Parameters are hashed at full double precision (``float.hex``), so
+    two circuits digest equal iff they are gate-for-gate bit-identical.
+    """
+    return _digest(
+        {
+            "num_qubits": circuit.num_qubits,
+            "gates": [
+                [gate.name, list(gate.qubits),
+                 [float(p).hex() for p in gate.params]]
+                for gate in circuit
+            ],
+        }
+    )
+
+
+def _canonical_options(options: Dict) -> Dict:
+    """Normalize a cut-option dict: drop Nones, sort explicit cut sets."""
+    canonical = {}
+    for key, value in options.items():
+        if value is None:
+            continue
+        if key == "cuts":
+            # Explicit cut points are a *set* of (wire, index) pairs —
+            # submission order does not change the cut.
+            canonical[key] = sorted([int(w), int(i)] for w, i in value)
+        else:
+            canonical[key] = value
+    return canonical
+
+
+def cut_fingerprint(circuit: QuantumCircuit, options: Dict) -> str:
+    """Fingerprint of ``(circuit, cut options)`` — the cut-artifact key.
+
+    ``options`` is the canonical cut-search option dict (device budget,
+    subcircuit/cut limits, method, optional explicit cuts).  Key order is
+    irrelevant; ``None`` values are treated as absent.
+    """
+    return _digest(
+        {
+            "kind": "cut",
+            "circuit": circuit_digest(circuit),
+            "options": _canonical_options(options),
+        }
+    )
+
+
+def evaluation_fingerprint(
+    cut_key: str,
+    backend: str = "statevector",
+    shots: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Fingerprint of ``(cut, backend config, shots, seed)`` — the
+    evaluation-artifact key.  ``backend`` is a config *tag* (e.g.
+    ``"statevector"`` or ``"device:bogota"``), not a callable."""
+    return _digest(
+        {
+            "kind": "evaluation",
+            "cut": cut_key,
+            "backend": backend,
+            "shots": shots,
+            "seed": seed,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+@dataclass
+class StoreStats:
+    """Hit/miss/corruption counters, reported via ``/stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+    hits_by_kind: Dict[str, int] = field(default_factory=dict)
+    misses_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def _count(self, table: Dict[str, int], kind: str) -> None:
+        table[kind] = table.get(kind, 0) + 1
+
+    def as_dict(self) -> Dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "writes": self.writes,
+            "hits_by_kind": dict(self.hits_by_kind),
+            "misses_by_kind": dict(self.misses_by_kind),
+        }
+
+
+class ArtifactStore:
+    """Content-addressed store of cut solutions and evaluated tensors.
+
+    Layout (under ``root``)::
+
+        cuts/<fingerprint>.json          assignment + priced solution
+        evaluations/<fingerprint>.json   variant key map + checksums
+        evaluations/<fingerprint>.npz    unique variant tensors
+
+    Thread-safety: writes go through an atomic rename, and loads verify
+    checksums, so concurrent scheduler workers can share one store —
+    the worst case for a racing write is recomputing one artifact.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self._cuts = self.root / "cuts"
+        self._evaluations = self.root / "evaluations"
+        self._cuts.mkdir(parents=True, exist_ok=True)
+        self._evaluations.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+        self._stats_lock = threading.Lock()
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def _record_hit(self, kind: str) -> None:
+        with self._stats_lock:
+            self.stats.hits += 1
+            self.stats._count(self.stats.hits_by_kind, kind)
+
+    def _record_miss(self, kind: str, corrupt: bool = False) -> None:
+        with self._stats_lock:
+            self.stats.misses += 1
+            self.stats._count(self.stats.misses_by_kind, kind)
+            if corrupt:
+                self.stats.corrupt += 1
+
+    def _record_write(self) -> None:
+        with self._stats_lock:
+            self.stats.writes += 1
+
+    @staticmethod
+    def _discard(*paths: Path) -> None:
+        """Remove corrupt artifact files so the slot self-heals."""
+        for path in paths:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- cut artifacts --------------------------------------------------
+    def cut_path(self, key: str) -> Path:
+        return self._cuts / f"{key}.json"
+
+    def has_cut(self, key: str) -> bool:
+        return self.cut_path(key).exists()
+
+    def put_cut(
+        self,
+        key: str,
+        circuit: QuantumCircuit,
+        cut_circuit: CutCircuit,
+        solution: Optional[CutSolution] = None,
+    ) -> Path:
+        """Persist a cut: the assignment (enough to re-derive every
+        subcircuit deterministically) plus the priced solution if the
+        search produced one."""
+        payload = {
+            "assignment": list(cut_circuit.assignment),
+            "num_cuts": cut_circuit.num_cuts,
+            "circuit": circuit_digest(circuit),
+            "solution": solution.to_dict() if solution is not None else None,
+        }
+        document = {
+            "version": _FORMAT_VERSION,
+            "kind": "cut",
+            "fingerprint": key,
+            "payload": payload,
+            "checksum": _digest(payload),
+        }
+        path = self.cut_path(key)
+        self._write_atomic(path, (json.dumps(document, indent=2) + "\n").encode())
+        self._record_write()
+        return path
+
+    def get_cut(
+        self, key: str, circuit: QuantumCircuit
+    ) -> Optional[Tuple[CutCircuit, Optional[CutSolution]]]:
+        """Restore a cut for ``circuit``; ``None`` on miss or corruption."""
+        path = self.cut_path(key)
+        if not path.exists():
+            self._record_miss("cut")
+            return None
+        try:
+            document = json.loads(path.read_text())
+            payload = document["payload"]
+            if (
+                document.get("version") != _FORMAT_VERSION
+                or document.get("checksum") != _digest(payload)
+                or payload.get("circuit") != circuit_digest(circuit)
+            ):
+                raise ValueError("cut artifact failed verification")
+            assignment = [int(a) for a in payload["assignment"]]
+            restored = cut_circuit_from_assignment(circuit, assignment)
+            if restored.num_cuts != int(payload["num_cuts"]):
+                raise ValueError("restored cut disagrees with metadata")
+            solution = (
+                CutSolution.from_dict(payload["solution"])
+                if payload.get("solution") is not None
+                else None
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+            self._record_miss("cut", corrupt=True)
+            self._discard(path)
+            return None
+        self._record_hit("cut")
+        return restored, solution
+
+    # -- evaluation artifacts -------------------------------------------
+    def evaluation_path(self, key: str) -> Tuple[Path, Path]:
+        return (
+            self._evaluations / f"{key}.json",
+            self._evaluations / f"{key}.npz",
+        )
+
+    def has_evaluation(self, key: str) -> bool:
+        meta, tensors = self.evaluation_path(key)
+        return meta.exists() and tensors.exists()
+
+    def put_evaluation(
+        self, key: str, results: Sequence[SubcircuitResult]
+    ) -> Path:
+        """Persist evaluated variant tensors, deduplicated.
+
+        Variants that shared one physical execution share one stored row:
+        each subcircuit stores its unique vectors as a 2-D array plus a
+        variant-key -> row map, so the artifact is as compact as the
+        execution itself was.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        meta_subcircuits: List[Dict] = []
+        for position, result in enumerate(results):
+            rows: List[np.ndarray] = []
+            row_of: Dict[int, int] = {}
+            variants: List[List] = []
+            for (inits, bases), vector in result.probabilities.items():
+                slot = row_of.get(id(vector))
+                if slot is None:
+                    slot = len(rows)
+                    row_of[id(vector)] = slot
+                    rows.append(np.asarray(vector, dtype=float))
+                variants.append([list(inits), list(bases), slot])
+            arrays[f"sub{position}"] = (
+                np.stack(rows) if rows else np.zeros((0, 0))
+            )
+            meta_subcircuits.append(
+                {
+                    "index": result.subcircuit.index,
+                    "width": result.subcircuit.width,
+                    "num_variants": result.num_variants,
+                    "num_unique_circuits": result.num_unique_circuits,
+                    "variants": variants,
+                }
+            )
+
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        tensor_bytes = buffer.getvalue()
+        payload = {
+            "subcircuits": meta_subcircuits,
+            "tensors_sha256": hashlib.sha256(tensor_bytes).hexdigest(),
+        }
+        document = {
+            "version": _FORMAT_VERSION,
+            "kind": "evaluation",
+            "fingerprint": key,
+            "payload": payload,
+            "checksum": _digest(payload),
+        }
+        meta_path, tensor_path = self.evaluation_path(key)
+        self._write_atomic(tensor_path, tensor_bytes)
+        self._write_atomic(
+            meta_path, (json.dumps(document, indent=2) + "\n").encode()
+        )
+        self._record_write()
+        return meta_path
+
+    def get_evaluation(
+        self, key: str, cut_circuit: CutCircuit
+    ) -> Optional[List[SubcircuitResult]]:
+        """Restore the evaluated tensors of ``cut_circuit``'s subcircuits,
+        bit-identical to what was stored; ``None`` on miss or corruption."""
+        meta_path, tensor_path = self.evaluation_path(key)
+        if not (meta_path.exists() and tensor_path.exists()):
+            self._record_miss("evaluation")
+            return None
+        try:
+            document = json.loads(meta_path.read_text())
+            payload = document["payload"]
+            if (
+                document.get("version") != _FORMAT_VERSION
+                or document.get("checksum") != _digest(payload)
+            ):
+                raise ValueError("evaluation metadata failed verification")
+            tensor_bytes = tensor_path.read_bytes()
+            if (
+                hashlib.sha256(tensor_bytes).hexdigest()
+                != payload["tensors_sha256"]
+            ):
+                raise ValueError("evaluation tensors failed checksum")
+            meta_subcircuits = payload["subcircuits"]
+            if len(meta_subcircuits) != cut_circuit.num_subcircuits:
+                raise ValueError("artifact does not match the cut")
+            with np.load(io.BytesIO(tensor_bytes)) as archive:
+                results: List[SubcircuitResult] = []
+                for position, meta in enumerate(meta_subcircuits):
+                    subcircuit = cut_circuit.subcircuits[position]
+                    if (
+                        int(meta["index"]) != subcircuit.index
+                        or int(meta["width"]) != subcircuit.width
+                    ):
+                        raise ValueError("artifact does not match the cut")
+                    matrix = archive[f"sub{position}"]
+                    # One shared array object per stored row, so the
+                    # restored results dedup exactly like the originals.
+                    shared = [np.array(matrix[row]) for row in
+                              range(matrix.shape[0])]
+                    probabilities = {}
+                    for inits, bases, slot in meta["variants"]:
+                        vector = shared[int(slot)]
+                        if vector.size != 1 << subcircuit.width:
+                            raise ValueError("tensor width mismatch")
+                        probabilities[(tuple(inits), tuple(bases))] = vector
+                    results.append(
+                        SubcircuitResult(
+                            subcircuit=subcircuit,
+                            probabilities=probabilities,
+                            num_variants=int(meta["num_variants"]),
+                            num_unique_circuits=int(
+                                meta["num_unique_circuits"]
+                            ),
+                        )
+                    )
+        except (KeyError, TypeError, ValueError, IndexError,
+                json.JSONDecodeError, OSError, zipfile.BadZipFile):
+            self._record_miss("evaluation", corrupt=True)
+            self._discard(meta_path, tensor_path)
+            return None
+        self._record_hit("evaluation")
+        return results
+
+    # -- reporting ------------------------------------------------------
+    def artifact_counts(self) -> Dict[str, int]:
+        return {
+            "cuts": len(list(self._cuts.glob("*.json"))),
+            "evaluations": len(list(self._evaluations.glob("*.json"))),
+        }
+
+    def as_dict(self) -> Dict:
+        return {
+            "root": str(self.root),
+            "artifacts": self.artifact_counts(),
+            **self.stats.as_dict(),
+        }

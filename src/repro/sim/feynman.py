@@ -161,7 +161,9 @@ class FeynmanPathSimulator:
         from ..utils import permute_qubits
 
         kron_wires = left_qubits + right_qubits
-        permutation = [kron_wires.index(w) for w in range(circuit.num_qubits)]
+        # Inverse map instead of repeated list.index() — O(n), not O(n^2).
+        position_of = {wire: pos for pos, wire in enumerate(kron_wires)}
+        permutation = [position_of[w] for w in range(circuit.num_qubits)]
         return permute_qubits(amplitudes, permutation)
 
     def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:

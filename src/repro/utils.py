@@ -17,6 +17,7 @@ import numpy as np
 __all__ = [
     "bitstring_to_index",
     "index_to_bitstring",
+    "top_states",
     "permute_qubits",
     "marginalize",
     "kron_all",
@@ -51,6 +52,17 @@ def index_to_bitstring(index: int, num_qubits: int) -> str:
     return format(index, f"0{num_qubits}b")
 
 
+def top_states(
+    probabilities: np.ndarray, top: int, num_qubits: int
+) -> list[tuple[str, float]]:
+    """The ``top`` highest-probability ``(bitstring, probability)`` pairs."""
+    order = np.argsort(probabilities)[::-1][:top]
+    return [
+        (index_to_bitstring(int(index), num_qubits), float(probabilities[index]))
+        for index in order
+    ]
+
+
 def permute_qubits(vector: np.ndarray, permutation: Sequence[int]) -> np.ndarray:
     """Reorder the qubits of a length-``2**n`` vector.
 
@@ -79,9 +91,10 @@ def marginalize(vector: np.ndarray, keep: Sequence[int], num_qubits: int) -> np.
     drop = tuple(q for q in range(num_qubits) if q not in keep)
     summed = tensor.sum(axis=drop) if drop else tensor
     # ``summed`` axes are the kept qubits in ascending order; reorder to match
-    # the requested ``keep`` order.
-    ascending = sorted(keep)
-    axes = [ascending.index(q) for q in keep]
+    # the requested ``keep`` order.  Inverse map instead of repeated
+    # list.index() — O(n), not O(n^2).
+    position_of = {q: axis for axis, q in enumerate(sorted(keep))}
+    axes = [position_of[q] for q in keep]
     return np.transpose(summed, axes=axes).reshape(-1)
 
 

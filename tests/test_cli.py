@@ -251,3 +251,28 @@ class TestJsonOutput:
         out = capsys.readouterr().out
         assert code == 0
         assert "collapse-cache hit rate" in out
+
+    def test_cut_json(self, capsys):
+        code = main(
+            ["cut", "--benchmark", "bv", "--qubits", "6",
+             "--device-size", "5", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "cut"
+        assert document["num_subcircuits"] == len(document["subcircuits"])
+        assert all(
+            sub["width"] <= 5 for sub in document["subcircuits"]
+        )
+        assert document["cut_positions"]
+        assert document["search_method"] in ("mip", "heuristic")
+        assert document["objective"] >= 0.0
+
+    def test_devices_json(self, capsys):
+        code = main(["devices", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        presets = {entry["preset"]: entry for entry in document["presets"]}
+        assert "bogota" in presets
+        assert presets["bogota"]["num_qubits"] == 5
+        assert presets["bogota"]["coupling_map"]

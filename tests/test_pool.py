@@ -45,6 +45,43 @@ class TestScheduling:
         with pytest.raises(ValueError, match="fits"):
             pool.schedule([QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)], shots=1)
 
+    def test_lpt_beats_unsorted_greedy(self):
+        """LPT placement must not regress vs the arbitrary-order greedy
+        baseline on a heterogeneous pool, and strictly wins the classic
+        short-jobs-first adversarial workload."""
+        pool = DevicePool([_ideal("small", 3), _ideal("big", 5)])
+        shots = 100_000
+        shallow = QuantumCircuit(2).cx(0, 1)
+        deep = QuantumCircuit(2)
+        for _ in range(3):
+            deep.cx(0, 1)
+        # Short jobs first: unsorted greedy splits the shorts evenly and
+        # then appends the long job on top of one of them; LPT places the
+        # long job first and packs the shorts around it.
+        circuits = [shallow, shallow, shallow, deep]
+
+        def unsorted_greedy_makespan(batch):
+            loads = [0.0] * len(pool.devices)
+            for circuit in batch:
+                chosen = min(range(len(loads)), key=lambda i: loads[i])
+                loads[chosen] += pool.estimate_job_seconds(circuit, shots)
+            return max(loads)
+
+        schedule = pool.schedule(circuits, shots=shots)
+        baseline = unsorted_greedy_makespan(circuits)
+        assert schedule.makespan_seconds < baseline
+        # Jobs come back in input order even though placement is LPT.
+        assert [job.circuit for job in schedule.jobs] == circuits
+        # Never a regression, for any submission order of the same batch.
+        import itertools
+
+        for permutation in itertools.permutations(circuits):
+            permuted = pool.schedule(list(permutation), shots=shots)
+            assert (
+                permuted.makespan_seconds
+                <= unsorted_greedy_makespan(permutation) + 1e-12
+            )
+
     def test_job_time_model_monotone(self):
         pool = DevicePool([_ideal("a", 3)])
         shallow = QuantumCircuit(2).cx(0, 1)

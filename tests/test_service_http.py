@@ -1,0 +1,203 @@
+"""HTTP job service smoke: ephemeral-port server, warm-cache proof, CLI.
+
+This module is also the CI "service smoke" job: it starts the real
+``ThreadingHTTPServer`` on an ephemeral port, submits a small BV job over
+HTTP, polls it to completion, and asserts the second identical
+submission reports stage-level cache hits with an identical result — the
+end-to-end warm-cache acceptance proof.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.service import JobServer, ServiceClientError, request_json
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    instance = JobServer(
+        store_dir=tmp_path_factory.mktemp("store"), port=0, workers=2
+    ).start()
+    yield instance
+    instance.close()
+
+
+_BV_JOB = {
+    "circuit": {"benchmark": "bv", "qubits": 6, "seed": 0},
+    "device_size": 5,
+    "query": {"type": "fd", "top": 3},
+}
+
+
+def _poll(server, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        document = request_json("GET", f"{server.url}/jobs/{job_id}")
+        if document["state"] in ("done", "failed", "cancelled"):
+            return document
+        assert time.monotonic() < deadline, f"job stuck: {document}"
+        time.sleep(0.01)
+
+
+class TestHttpApi:
+    def test_healthz(self, server):
+        assert request_json("GET", f"{server.url}/healthz") == {"status": "ok"}
+
+    def test_submit_poll_result_then_warm_resubmit(self, server):
+        created = request_json("POST", f"{server.url}/jobs", payload=_BV_JOB)
+        assert created["state"] == "queued"
+        status = _poll(server, created["job_id"])
+        assert status["state"] == "done", status.get("error")
+        assert status["cache_hits"] == {"cut": False, "evaluate": False}
+        cold = request_json(
+            "GET", f"{server.url}/jobs/{created['job_id']}/result"
+        )
+        assert cold["result"]["top_states"][0]["state"] == "111111"
+
+        # The acceptance proof: an identical second submission runs warm —
+        # cut search and variant evaluation are both served by the store.
+        resubmitted = request_json("POST", f"{server.url}/jobs",
+                                   payload=_BV_JOB)
+        assert resubmitted["job_id"] != created["job_id"]
+        warm_status = _poll(server, resubmitted["job_id"])
+        assert warm_status["state"] == "done"
+        assert warm_status["cache_hits"] == {"cut": True, "evaluate": True}
+        warm = request_json(
+            "GET", f"{server.url}/jobs/{resubmitted['job_id']}/result"
+        )
+        assert warm["result"]["top_states"] == cold["result"]["top_states"]
+
+        stats = request_json("GET", f"{server.url}/stats")
+        assert stats["cache"]["stage_hits"]["cut"] >= 1
+        assert stats["cache"]["stage_hits"]["evaluate"] >= 1
+        assert stats["store"]["artifacts"]["cuts"] >= 1
+
+    def test_result_conflict_before_done(self, server):
+        # A queued/running job's result is a 409, not garbage.
+        created = request_json("POST", f"{server.url}/jobs", payload={
+            **_BV_JOB, "circuit": {"benchmark": "bv", "qubits": 8, "seed": 0},
+            "device_size": 7,
+        })
+        try:
+            request_json(
+                "GET", f"{server.url}/jobs/{created['job_id']}/result"
+            )
+        except ServiceClientError as error:
+            assert error.status == 409
+        else:
+            # Scheduler may legitimately have finished already.
+            assert _poll(server, created["job_id"])["state"] == "done"
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            request_json("GET", f"{server.url}/jobs/job-nope")
+        assert excinfo.value.status == 404
+
+    def test_bad_payload_is_400(self, server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            request_json("POST", f"{server.url}/jobs",
+                         payload={"circuit": {"benchmark": "bv", "qubits": 6}})
+        assert excinfo.value.status == 400
+        assert "device_size" in excinfo.value.document["error"]
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            request_json("GET", f"{server.url}/nope")
+        assert excinfo.value.status == 404
+
+    def test_method_not_allowed_is_405(self, server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            request_json("POST", f"{server.url}/jobs/whatever/result",
+                         payload={})
+        assert excinfo.value.status == 405
+
+    def test_jobs_listing(self, server):
+        listing = request_json("GET", f"{server.url}/jobs")
+        assert isinstance(listing["jobs"], list)
+        assert all("job_id" in job for job in listing["jobs"])
+
+
+class TestServiceCli:
+    def test_submit_wait_json(self, server, capsys):
+        code = main([
+            "submit", "--url", server.url, "--benchmark", "bv",
+            "--qubits", "6", "--device-size", "5", "--wait", "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["state"] == "done"
+        assert document["result"]["top_states"][0]["state"] == "111111"
+        # Warm by now: earlier tests ran the same job through this store.
+        assert document["cache_hits"] == {"cut": True, "evaluate": True}
+
+    def test_submit_then_status(self, server, capsys):
+        code = main([
+            "submit", "--url", server.url, "--benchmark", "bv",
+            "--qubits", "6", "--device-size", "5",
+        ])
+        assert code == 0
+        job_id = capsys.readouterr().out.split()[1].rstrip(":")
+        for _ in range(500):
+            code = main(["status", "--url", server.url, "--job", job_id,
+                         "--json"])
+            assert code == 0
+            document = json.loads(capsys.readouterr().out)
+            if document["state"] == "done":
+                break
+            time.sleep(0.01)
+        assert document["state"] == "done"
+        code = main(["status", "--url", server.url, "--job", job_id,
+                     "--result"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "|111111>" in out
+
+    def test_jobs_listing_cli(self, server, capsys):
+        assert main(["jobs", "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "cache hits" in out
+        assert main(["jobs", "--url", server.url, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["stats"]["jobs"]["submitted"] >= 1
+
+    def test_unreachable_server_is_a_clean_error(self, capsys):
+        """Connection refused must exit 1 with an error line, never a
+        traceback (URLError is wrapped like HTTPError)."""
+        dead = "http://127.0.0.1:9"  # discard port; nothing listens
+        assert main(["status", "--url", dead, "--job", "job-x"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["jobs", "--url", dead]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+        assert main(["submit", "--url", dead, "--benchmark", "bv",
+                     "--qubits", "6", "--device-size", "5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_validates_circuit_source(self, server, capsys):
+        code = main(["submit", "--url", server.url, "--device-size", "5"])
+        assert code == 2
+        assert "either" in capsys.readouterr().err
+
+    def test_submit_dd_query(self, server, capsys):
+        code = main([
+            "submit", "--url", server.url, "--benchmark", "bv",
+            "--qubits", "6", "--device-size", "5", "--query", "dd",
+            "--active", "2", "--recursions", "4", "--wait", "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["result"]["mode"] == "dd"
+        assert document["result"]["solution_states"][0]["state"] == "111111"
+
+    def test_cancel_endpoint(self, server):
+        created = request_json("POST", f"{server.url}/jobs", payload=_BV_JOB)
+        response = request_json(
+            "POST", f"{server.url}/jobs/{created['job_id']}/cancel",
+            payload={},
+        )
+        assert response["job_id"] == created["job_id"]
+        final = _poll(server, created["job_id"])
+        assert final["state"] in ("done", "cancelled")

@@ -1,0 +1,199 @@
+"""Artifact store: fingerprints, bit-identical round trips, corruption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import CutQC, evaluate_subcircuit, find_cuts
+from repro.library import bv, supremacy
+from repro.service.store import (
+    ArtifactStore,
+    circuit_digest,
+    cut_fingerprint,
+    evaluation_fingerprint,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def _cut_bv(qubits=6, device=5):
+    circuit = bv(qubits)
+    solution = find_cuts(circuit, device)
+    return circuit, solution, solution.apply(circuit)
+
+
+class TestFingerprints:
+    def test_circuit_digest_stable_and_content_sensitive(self):
+        assert circuit_digest(bv(6)) == circuit_digest(bv(6))
+        assert circuit_digest(bv(6)) != circuit_digest(bv(7))
+        assert circuit_digest(supremacy(8, seed=0)) != circuit_digest(
+            supremacy(8, seed=1)
+        )
+
+    def test_option_key_order_is_irrelevant(self):
+        circuit = bv(6)
+        a = cut_fingerprint(circuit, {"max_cuts": 10, "method": "auto",
+                                      "max_subcircuit_qubits": 5})
+        b = cut_fingerprint(circuit, {"max_subcircuit_qubits": 5,
+                                      "method": "auto", "max_cuts": 10})
+        assert a == b
+
+    def test_none_options_treated_as_absent(self):
+        circuit = bv(6)
+        assert cut_fingerprint(circuit, {"max_cuts": 10, "cuts": None}) == (
+            cut_fingerprint(circuit, {"max_cuts": 10})
+        )
+
+    def test_explicit_cut_order_is_irrelevant(self):
+        circuit = bv(8)
+        a = cut_fingerprint(circuit, {"cuts": [(2, 1), (4, 1)]})
+        b = cut_fingerprint(circuit, {"cuts": [(4, 1), (2, 1)]})
+        assert a == b
+
+    def test_option_values_change_the_fingerprint(self):
+        circuit = bv(6)
+        base = cut_fingerprint(circuit, {"max_subcircuit_qubits": 5})
+        assert base != cut_fingerprint(circuit, {"max_subcircuit_qubits": 4})
+        assert base != cut_fingerprint(bv(8), {"max_subcircuit_qubits": 5})
+
+    def test_evaluation_fingerprint_covers_backend_config(self):
+        base = evaluation_fingerprint("cutkey")
+        assert base == evaluation_fingerprint("cutkey", "statevector")
+        assert base != evaluation_fingerprint("cutkey", "device:bogota")
+        assert base != evaluation_fingerprint("cutkey", shots=1024)
+        assert base != evaluation_fingerprint("cutkey", seed=7)
+        assert base != evaluation_fingerprint("otherkey")
+
+    def test_pipeline_fingerprint_hooks(self):
+        pipeline = CutQC(bv(6), 5)
+        again = CutQC(bv(6), 5)
+        assert pipeline.cut_fingerprint() == again.cut_fingerprint()
+        assert pipeline.cut_fingerprint() != CutQC(bv(6), 4).cut_fingerprint()
+        assert (
+            pipeline.evaluation_fingerprint()
+            != pipeline.evaluation_fingerprint(backend="device:bogota")
+        )
+
+
+class TestCutRoundTrip:
+    def test_solution_restored_bit_identically(self, store):
+        circuit, solution, cut = _cut_bv()
+        key = cut_fingerprint(circuit, {"max_subcircuit_qubits": 5})
+        store.put_cut(key, circuit, cut, solution)
+        restored_cut, restored_solution = store.get_cut(key, circuit)
+        assert restored_cut.assignment == cut.assignment
+        assert restored_cut.num_cuts == cut.num_cuts
+        assert [s.circuit for s in restored_cut.subcircuits] == [
+            s.circuit for s in cut.subcircuits
+        ]
+        assert restored_solution.assignment == solution.assignment
+        assert restored_solution.method == solution.method
+        assert restored_solution.objective == solution.objective
+        assert restored_solution.cost.to_dict() == solution.cost.to_dict()
+        assert store.stats.hits == 1
+
+    def test_missing_cut_is_a_miss(self, store):
+        assert store.get_cut("deadbeef", bv(6)) is None
+        assert store.stats.misses == 1
+        assert store.stats.corrupt == 0
+
+    def test_cut_for_wrong_circuit_is_rejected(self, store):
+        circuit, solution, cut = _cut_bv()
+        key = "samekey"
+        store.put_cut(key, circuit, cut, solution)
+        # Same key, different circuit (fingerprint collision / tampering):
+        # the embedded circuit digest catches it.
+        assert store.get_cut(key, bv(8)) is None
+        assert store.stats.corrupt == 1
+
+    def test_tampered_cut_detected(self, store):
+        circuit, solution, cut = _cut_bv()
+        key = cut_fingerprint(circuit, {})
+        path = store.put_cut(key, circuit, cut, solution)
+        document = json.loads(path.read_text())
+        document["payload"]["assignment"][0] ^= 1
+        path.write_text(json.dumps(document))
+        assert store.get_cut(key, circuit) is None
+        assert store.stats.corrupt == 1
+        # The corrupt file is removed so the slot self-heals.
+        assert not path.exists()
+
+
+class TestEvaluationRoundTrip:
+    def test_results_restored_bit_identically(self, store):
+        circuit, solution, cut = _cut_bv()
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        key = evaluation_fingerprint("cutkey")
+        store.put_evaluation(key, results)
+        restored = store.get_evaluation(key, cut)
+        assert restored is not None
+        assert len(restored) == len(results)
+        for original, loaded in zip(results, restored):
+            assert loaded.subcircuit is cut.subcircuits[original.subcircuit.index]
+            assert loaded.num_variants == original.num_variants
+            assert loaded.num_unique_circuits == original.num_unique_circuits
+            assert set(loaded.probabilities) == set(original.probabilities)
+            for variant_key, vector in original.probabilities.items():
+                loaded_vector = loaded.probabilities[variant_key]
+                assert loaded_vector.dtype == vector.dtype
+                # Bit-identical, not merely close.
+                assert np.array_equal(loaded_vector, vector)
+
+    def test_restored_results_preserve_dedup_sharing(self, store):
+        circuit, solution, cut = _cut_bv()
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        key = "dedupkey"
+        store.put_evaluation(key, results)
+        restored = store.get_evaluation(key, cut)
+        for original, loaded in zip(results, restored):
+            original_unique = len({id(v) for v in original.probabilities.values()})
+            loaded_unique = len({id(v) for v in loaded.probabilities.values()})
+            assert loaded_unique == original_unique
+
+    def test_restored_results_reconstruct_identically(self, store):
+        circuit, solution, cut = _cut_bv()
+        pipeline = CutQC(circuit, 5)
+        pipeline.load_cut(cut, solution)
+        truth = pipeline.fd_query().probabilities
+        key = "reconkey"
+        store.put_evaluation(key, pipeline.evaluate())
+        warm = CutQC(circuit, 5)
+        warm.load_cut(cut, solution)
+        warm.load_results(store.get_evaluation(key, warm.cut()))
+        assert np.array_equal(warm.fd_query().probabilities, truth)
+
+    def test_corrupted_tensor_payload_detected(self, store):
+        circuit, solution, cut = _cut_bv()
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        key = "corruptkey"
+        store.put_evaluation(key, results)
+        _, tensor_path = store.evaluation_path(key)
+        raw = bytearray(tensor_path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        tensor_path.write_bytes(bytes(raw))
+        assert store.get_evaluation(key, cut) is None
+        assert store.stats.corrupt == 1
+        assert not tensor_path.exists()  # self-healed
+
+    def test_truncated_tensor_payload_detected(self, store):
+        circuit, solution, cut = _cut_bv()
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        key = "shortkey"
+        store.put_evaluation(key, results)
+        _, tensor_path = store.evaluation_path(key)
+        tensor_path.write_bytes(tensor_path.read_bytes()[:16])
+        assert store.get_evaluation(key, cut) is None
+        assert store.stats.corrupt == 1
+
+    def test_artifact_counts(self, store):
+        circuit, solution, cut = _cut_bv()
+        store.put_cut("c1", circuit, cut, solution)
+        store.put_evaluation(
+            "e1", [evaluate_subcircuit(s) for s in cut.subcircuits]
+        )
+        assert store.artifact_counts() == {"cuts": 1, "evaluations": 1}
+        assert store.as_dict()["writes"] == 2
