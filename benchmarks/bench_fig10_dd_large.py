@@ -20,7 +20,6 @@ import json
 import os
 import time
 
-import numpy as np
 
 from repro import evaluate_subcircuit
 from repro.cutting import CutSearchError, find_cuts

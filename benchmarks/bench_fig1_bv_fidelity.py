@@ -7,7 +7,6 @@ ladder (error rates grow with size, routing adds depth); the largest
 53-qubit point is out of laptop-simulation reach (see DESIGN.md).
 """
 
-import numpy as np
 
 from repro.devices import fig1_device_suite
 from repro.library import bv, bv_solution

@@ -18,7 +18,6 @@ import os
 import time
 
 import numpy as np
-import pytest
 
 from repro import CutQC, simulate_probabilities
 from repro.cutting import CutSearchError, find_cuts

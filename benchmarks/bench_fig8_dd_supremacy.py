@@ -6,7 +6,6 @@ approaches the ground-truth landscape (chi^2 decreases monotonically-ish
 with recursions).
 """
 
-import numpy as np
 
 from repro import CutQC, simulate_probabilities
 from repro.library import supremacy

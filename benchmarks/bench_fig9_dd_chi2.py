@@ -10,7 +10,6 @@ runtime stays far below full classical simulation of the same circuit.
 
 import time
 
-import numpy as np
 
 from repro import CutQC, simulate_probabilities
 from repro.library import get_benchmark

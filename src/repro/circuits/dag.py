@@ -14,7 +14,7 @@ Eq. (4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import networkx as nx
 

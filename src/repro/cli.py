@@ -83,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="evaluate variants on a device pool; SPEC is a comma-"
                  "separated list of preset[:count], e.g. bogota:4,melbourne",
         )
+        sub.add_argument(
+            "--pool-workers", type=int, default=0, metavar="N",
+            help="run the query pipeline on a persistent N-process worker "
+                 "pool (shared-memory tensor transport; 0 = no pool)",
+        )
 
     cut = commands.add_parser("cut", help="find cuts and print the plan")
     add_circuit_options(cut)
@@ -139,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact-store directory (default: .cutqc-store)")
     serve.add_argument("--workers", type=int, default=2,
                        help="scheduler worker threads")
+    serve.add_argument("--pool-workers", type=int, default=0, metavar="N",
+                       help="share one persistent N-process worker pool "
+                            "across all jobs (0 = no pool)")
     serve.add_argument("--json", action="store_true",
                        help="print the startup banner as JSON")
 
@@ -230,6 +238,14 @@ def _build_pipeline(args: argparse.Namespace, backend=None) -> CutQC:
     if getattr(args, "pool", None):
         pool = _parse_pool(args.pool, seed=args.seed)
         pool_shots = getattr(args, "shots", None)
+    worker_pool = None
+    pool_workers = getattr(args, "pool_workers", 0) or 0
+    if pool_workers < 0:
+        raise ValueError("--pool-workers must be >= 0")
+    if pool_workers:
+        from .postprocess.parallel import WorkerPool
+
+        worker_pool = WorkerPool(pool_workers)
     return CutQC(
         circuit,
         max_subcircuit_qubits=args.device_size,
@@ -242,7 +258,14 @@ def _build_pipeline(args: argparse.Namespace, backend=None) -> CutQC:
         workers=getattr(args, "workers", 1),
         strategy=getattr(args, "strategy", "kron"),
         seed=args.seed,
+        worker_pool=worker_pool,
     )
+
+
+def _close_worker_pool(pipeline: Optional[CutQC]) -> None:
+    """The CLI owns the pool it created in :func:`_build_pipeline`."""
+    if pipeline is not None and pipeline.worker_pool is not None:
+        pipeline.worker_pool.close()
 
 
 def _command_cut(args: argparse.Namespace) -> int:
@@ -341,6 +364,13 @@ def _command_run(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    try:
+        return _command_run_body(args, pipeline)
+    finally:
+        _close_worker_pool(pipeline)
+
+
+def _command_run_body(args: argparse.Namespace, pipeline: CutQC) -> int:
     quiet = args.json
     cut = pipeline.cut()
     n = pipeline.circuit.num_qubits
@@ -395,6 +425,8 @@ def _command_run(args: argparse.Namespace) -> int:
         stream_stats = pipeline.stream_stats
         report = pipeline.execution_report
         document["execution"] = _execution_report_dict(report)
+        if pipeline.parallel_stats is not None:
+            document["parallel"] = pipeline.parallel_stats.as_dict()
         document["query"] = {"mode": "fd_stream", **stream_stats.as_dict()}
         document["top_states"] = [
             {"state": bits, "probability": probability}
@@ -424,6 +456,8 @@ def _command_run(args: argparse.Namespace) -> int:
     stats = result.stats
     probabilities = result.probabilities
     document["execution"] = _execution_report_dict(report)
+    if pipeline.parallel_stats is not None:
+        document["parallel"] = pipeline.parallel_stats.as_dict()
     document["query"] = {
         "mode": "fd",
         "strategy": stats.strategy,
@@ -469,6 +503,13 @@ def _command_dd(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    try:
+        return _command_dd_body(args, pipeline)
+    finally:
+        _close_worker_pool(pipeline)
+
+
+def _command_dd_body(args: argparse.Namespace, pipeline: CutQC) -> int:
     quiet = args.json
     cut = pipeline.cut()
     if not quiet:
@@ -490,6 +531,11 @@ def _command_dd(args: argparse.Namespace) -> int:
             "num_cuts": cut.num_cuts,
             "num_subcircuits": cut.num_subcircuits,
             "execution": _execution_report_dict(pipeline.execution_report),
+            "parallel": (
+                pipeline.parallel_stats.as_dict()
+                if pipeline.parallel_stats is not None
+                else None
+            ),
             "recursions": [
                 {
                     "index": recursion.index,
@@ -573,12 +619,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        pool_workers=args.pool_workers,
     )
     banner = {
         "command": "serve",
         "url": server.url,
         "store": str(server.store.root),
         "workers": server.scheduler.num_workers,
+        "pool_workers": (
+            server.scheduler.worker_pool.workers
+            if server.scheduler.worker_pool is not None
+            else 0
+        ),
     }
     if args.json:
         print(json.dumps(banner, indent=2), flush=True)

@@ -78,6 +78,17 @@ def _exec_run(circuit):  # pragma: no cover - runs in worker processes
     return np.asarray(_EXEC_STATE["backend"](circuit), dtype=float)
 
 
+def _crosses_process_boundary(backend: Backend) -> bool:
+    """Whether the backend callable can be shipped to worker processes."""
+    import pickle
+
+    try:
+        pickle.dumps(backend)
+    except Exception:
+        return False
+    return True
+
+
 class VariantExecutor:
     """Run every physical variant of a set of subcircuits, once each.
 
@@ -103,6 +114,12 @@ class VariantExecutor:
         ``0`` = exact, noise-model-only execution).
     seed:
         Seed for the pool's per-job trajectory sampling.
+    worker_pool:
+        A persistent :class:`~repro.postprocess.parallel.WorkerPool`.
+        When set, the unique batch fans out over the warm workers
+        (mode ``"worker-pool"``) instead of forking a throwaway
+        ``multiprocessing`` pool per call; ignored when a ``pool``
+        (DevicePool) executes the batch.
     """
 
     def __init__(
@@ -112,6 +129,7 @@ class VariantExecutor:
         pool: Optional[DevicePool] = None,
         pool_shots: Optional[int] = None,
         seed: Optional[int] = None,
+        worker_pool=None,
     ):
         if backend is not None and pool is not None:
             raise ValueError("pass either a backend or a pool, not both")
@@ -122,6 +140,7 @@ class VariantExecutor:
         self.pool = pool
         self.pool_shots = pool_shots
         self.seed = seed
+        self.worker_pool = worker_pool
         self.last_report: Optional[ExecutionReport] = None
 
     # ------------------------------------------------------------------
@@ -202,28 +221,39 @@ class VariantExecutor:
                 schedule.serial_seconds,
             )
         backend = self.backend or simulate_probabilities
-        if self.workers > 1 and len(circuits) >= _MIN_PARALLEL_CIRCUITS:
-            vectors = self._execute_parallel(backend, circuits)
-            if vectors is not None:
-                return vectors, "process", None, None
+        # Probe picklability once, up front: a lambda/closure backend
+        # falls back to serial here, while a genuine backend exception
+        # raised *during* parallel execution propagates immediately
+        # instead of being misread as a transport failure and re-run.
+        parallel_wanted = (
+            self.worker_pool is not None or self.workers > 1
+        ) and len(circuits) >= _MIN_PARALLEL_CIRCUITS
+        if parallel_wanted and _crosses_process_boundary(backend):
+            if self.worker_pool is not None:
+                vectors = self.worker_pool.map_backend(backend, list(circuits))
+                return vectors, "worker-pool", None, None
+            return self._execute_parallel(backend, circuits), "process", None, None
         vectors = [np.asarray(backend(c), dtype=float) for c in circuits]
         return vectors, "serial", None, None
 
     def _execute_parallel(
         self, backend: Backend, circuits: Sequence[QuantumCircuit]
-    ) -> Optional[List[np.ndarray]]:
-        """Map the batch over a process pool; None if the backend cannot
-        cross a process boundary (falls back to serial)."""
+    ) -> List[np.ndarray]:
+        """Map the batch over a freshly constructed process pool."""
         import multiprocessing
-        import pickle
 
+        # try/finally with an explicit join: a worker exception (e.g. a
+        # backend raising mid-batch) must not orphan the freshly
+        # constructed pool's processes — ``with`` terminates the pool
+        # but never waits for the children to exit.
+        pool = multiprocessing.Pool(
+            processes=self.workers,
+            initializer=_exec_init,
+            initargs=(backend,),
+        )
         try:
-            with multiprocessing.Pool(
-                processes=self.workers,
-                initializer=_exec_init,
-                initargs=(backend,),
-            ) as pool:
-                chunk = max(1, len(circuits) // (self.workers * 4))
-                return pool.map(_exec_run, list(circuits), chunksize=chunk)
-        except (pickle.PicklingError, AttributeError, TypeError):
-            return None
+            chunk = max(1, len(circuits) // (self.workers * 4))
+            return pool.map(_exec_run, list(circuits), chunksize=chunk)
+        finally:
+            pool.terminate()
+            pool.join()

@@ -73,6 +73,13 @@ class CutQC:
     seed:
         Seed for the pool's per-job trajectory sampling, making pooled
         evaluation reproducible.
+    worker_pool:
+        A persistent :class:`~repro.postprocess.parallel.WorkerPool`
+        shared by every stage: variant execution fans out over the warm
+        workers, streaming-FD shards evaluate concurrently (tensors
+        published to shared memory once), and DD zoom rounds / large
+        ``kron`` sweeps dispatch through the same pool.  The pipeline
+        does not own the pool — the caller closes it.
     """
 
     def __init__(
@@ -90,6 +97,7 @@ class CutQC:
         pool_shots: Optional[int] = None,
         strategy: str = "kron",
         seed: Optional[int] = None,
+        worker_pool=None,
     ):
         if device is not None and backend is not None:
             raise ValueError("pass either a backend or a device, not both")
@@ -105,7 +113,10 @@ class CutQC:
         self.pool_shots = pool_shots
         self.seed = seed
         self.workers = int(workers)
-        self.engine = ContractionEngine(strategy=strategy, workers=self.workers)
+        self.worker_pool = worker_pool
+        self.engine = ContractionEngine(
+            strategy=strategy, workers=self.workers, pool=worker_pool
+        )
         self._explicit_cuts = list(cuts) if cuts is not None else None
         self._solution: Optional[CutSolution] = None
         self._cut: Optional[CutCircuit] = None
@@ -239,6 +250,7 @@ class CutQC:
                 pool=self.pool,
                 pool_shots=self.pool_shots,
                 seed=self.seed,
+                worker_pool=self.worker_pool,
             )
             self._results = executor.run(cut.subcircuits)
             self.execution_report = executor.last_report
@@ -321,7 +333,10 @@ class CutQC:
     def _streaming_reconstructor(self) -> StreamingReconstructor:
         if self._streamer is None:
             self._streamer = StreamingReconstructor(
-                self.cut(), results=self.evaluate(), engine=self.engine
+                self.cut(),
+                results=self.evaluate(),
+                engine=self.engine,
+                pool=self.worker_pool,
             )
         return self._streamer
 
@@ -360,6 +375,13 @@ class CutQC:
         if self._streamer is None:
             return None
         return self._streamer.last_stats
+
+    @property
+    def parallel_stats(self):
+        """The shared worker pool's latency/utilization report (or None)."""
+        if self.worker_pool is None:
+            return None
+        return self.worker_pool.stats()
 
 
 def evaluate_with_cutqc(

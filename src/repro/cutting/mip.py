@@ -19,7 +19,7 @@ test suite for small instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..circuits import CircuitGraph
 from .model import CutSearchError, PartitionCost, evaluate_partition

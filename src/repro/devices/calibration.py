@@ -19,14 +19,13 @@ module adds that substrate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
 
 from ..circuits import Gate, QuantumCircuit
-from ..sim.noise import NoiseModel, apply_readout_error
 from ..sim.sampler import sample_distribution
 from ..sim.statevector import Statevector
 from .device import VirtualDevice

@@ -10,7 +10,7 @@ logical qubits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Tuple
 
 import networkx as nx
 import numpy as np

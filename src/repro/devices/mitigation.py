@@ -14,7 +14,7 @@ pipeline applies mitigation to every variant automatically.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

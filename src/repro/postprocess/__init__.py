@@ -31,6 +31,7 @@ from .reconstruct import (
     binned_tensor,
     reconstruct_full,
 )
+from .parallel import ParallelStats, WorkerPool
 from .stream import Shard, StreamStats, StreamingReconstructor
 from .dd import (
     Bin,
@@ -71,6 +72,8 @@ __all__ = [
     "QueryPlan",
     "restricted_signature",
     "generalized_signature",
+    "ParallelStats",
+    "WorkerPool",
     "Shard",
     "StreamStats",
     "StreamingReconstructor",

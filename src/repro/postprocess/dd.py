@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -151,6 +151,12 @@ class DynamicDefinitionQuery:
         Bins expanded per round by :meth:`run`.  ``1`` reproduces the
         paper's strictly sequential Algorithm 1; ``k > 1`` zooms into the
         top-k frontier bins per round and contracts them in parallel.
+    pool:
+        A persistent :class:`~repro.postprocess.parallel.WorkerPool`.
+        When set, every batched zoom round dispatches to the warm
+        workers instead of constructing a throwaway
+        ``multiprocessing.Pool`` per round (the engine is cloned with
+        the pool attached if it does not already carry one).
     """
 
     def __init__(
@@ -160,6 +166,7 @@ class DynamicDefinitionQuery:
         active_order: Optional[Sequence[int]] = None,
         engine: Optional[ContractionEngine] = None,
         zoom_width: int = 1,
+        pool=None,
     ):
         if max_active_qubits < 1:
             raise ValueError("max_active_qubits must be positive")
@@ -167,6 +174,8 @@ class DynamicDefinitionQuery:
             raise ValueError("zoom_width must be positive")
         self.provider = provider
         self.engine = engine or ContractionEngine(strategy="auto")
+        if pool is not None and self.engine.pool is None:
+            self.engine = replace(self.engine, pool=pool)
         self.max_active_qubits = int(max_active_qubits)
         self.zoom_width = int(zoom_width)
         order = (

@@ -35,11 +35,14 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .attribution import TermTensor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .parallel import WorkerPool
 
 __all__ = [
     "STRATEGIES",
@@ -177,12 +180,18 @@ def _enumerate_kron(
     step = (total + workers - 1) // workers
     for start in range(0, total, step):
         bounds.append((start, min(start + step, total)))
-    with multiprocessing.Pool(
+    # try/finally with an explicit join so a worker exception cannot
+    # orphan the pool's processes (``with`` terminates but never joins).
+    pool = multiprocessing.Pool(
         processes=workers,
         initializer=_worker_init,
         initargs=(list(tensors), list(order), num_cuts, early_termination),
-    ) as pool:
+    )
+    try:
         partials = pool.map(_worker_run, bounds)
+    finally:
+        pool.terminate()
+        pool.join()
     vector = np.zeros_like(partials[0][0])
     skipped = 0
     for partial, partial_skipped in partials:
@@ -403,12 +412,17 @@ class ContractionEngine:
 
     The pipeline creates one engine and hands it to both the FD
     reconstructor and the DD query so a single set of knobs governs every
-    contraction in a run.
+    contraction in a run.  With a persistent
+    :class:`~repro.postprocess.parallel.WorkerPool` injected via
+    ``pool``, every parallel dispatch (a large ``kron`` sweep, a batch of
+    DD-bin contractions) reuses the warm workers instead of constructing
+    a throwaway ``multiprocessing.Pool`` per call.
     """
 
     strategy: str = "auto"
     workers: int = 1
     early_termination: bool = True
+    pool: Optional["WorkerPool"] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -427,18 +441,41 @@ class ContractionEngine:
         workers: Optional[int] = None,
         early_termination: Optional[bool] = None,
     ) -> ContractionResult:
-        """:func:`contract_terms` with this engine's defaults."""
+        """:func:`contract_terms` with this engine's defaults.
+
+        When a worker pool is injected and the ``kron`` strategy wins, a
+        large enough sweep is range-split across the warm workers with a
+        shared-memory reduction tree (ignoring the per-call ``workers``
+        count — the pool's size governs).
+        """
+        resolved_strategy = self.strategy if strategy is None else strategy
+        early = (
+            self.early_termination
+            if early_termination is None
+            else early_termination
+        )
+        if self.pool is not None:
+            resolved = resolve_strategy(
+                resolved_strategy, tensors, order, num_cuts
+            )
+            if (
+                resolved == "kron"
+                and self.pool.workers > 1
+                and 4**num_cuts >= _MIN_PARALLEL_TERMS
+            ):
+                vector, skipped = self.pool.contract_kron(
+                    tensors, order, num_cuts, early_termination=early
+                )
+                return ContractionResult(
+                    vector=vector, num_skipped=skipped, strategy="kron"
+                )
         return contract_terms(
             tensors,
             order,
             num_cuts,
-            strategy=self.strategy if strategy is None else strategy,
+            strategy=resolved_strategy,
             workers=self.workers if workers is None else workers,
-            early_termination=(
-                self.early_termination
-                if early_termination is None
-                else early_termination
-            ),
+            early_termination=early,
         )
 
     def contract_batch(
@@ -450,10 +487,12 @@ class ContractionEngine:
         """Contract many independent term sets, fanned over the worker pool.
 
         ``batch`` holds ``(tensors, order, num_cuts)`` triples — one per
-        DD zoom bin or FD shard.  With ``workers > 1`` the contractions
-        run in parallel processes (each single-process internally); the
-        per-item parallelism of :meth:`contract` is the right tool for
-        *one* large contraction, this one for *many* small ones.
+        DD zoom bin or FD shard.  With an injected worker pool the batch
+        fans out over the persistent workers (shared-memory transport);
+        otherwise ``workers > 1`` falls back to a per-call process pool
+        (each item single-process internally).  The per-item parallelism
+        of :meth:`contract` is the right tool for *one* large
+        contraction, this one for *many* small ones.
         """
         strategy = self.strategy if strategy is None else strategy
         early = (
@@ -461,13 +500,22 @@ class ContractionEngine:
             if early_termination is None
             else early_termination
         )
+        if self.pool is not None and len(batch) > 1:
+            return self.pool.contract_batch(
+                batch, strategy=strategy, early_termination=early
+            )
         payloads = [
             (list(tensors), list(order), num_cuts, strategy, early)
             for tensors, order, num_cuts in batch
         ]
         if self.workers <= 1 or len(payloads) <= 1:
             return [_contract_payload(payload) for payload in payloads]
-        with multiprocessing.Pool(
-            processes=min(self.workers, len(payloads))
-        ) as pool:
+        # try/finally with an explicit join: a worker exception must not
+        # orphan the freshly constructed pool's processes (``with`` only
+        # terminates, it does not wait for the children to die).
+        pool = multiprocessing.Pool(processes=min(self.workers, len(payloads)))
+        try:
             return pool.map(_contract_payload, payloads)
+        finally:
+            pool.terminate()
+            pool.join()

@@ -1,0 +1,797 @@
+"""Process-parallel query runtime: one warm worker pool for every query path.
+
+The pre-existing parallel paths each paid the full process-pool setup
+cost per call: :class:`~repro.core.executor.VariantExecutor` and
+:meth:`~repro.postprocess.engine.ContractionEngine.contract_batch` spun
+up a fresh ``multiprocessing.Pool`` per invocation (fork + import +
+pickle of every tensor, every time), and the streaming-FD shard loop ran
+strictly serially in the parent.  :class:`WorkerPool` replaces all of
+that with a single persistent, spawn-safe process pool shared by the
+whole pipeline:
+
+* **Shared-memory transport** — term tensors are *published* once via
+  ``multiprocessing.shared_memory`` (:meth:`WorkerPool.publish`); work
+  items then carry only role-signature plan descriptions (a few hundred
+  bytes), never the tensors.  Workers attach lazily and keep their own
+  collapse caches, so all ``2^s`` shards of a streaming query cost one
+  generalized collapse per worker.
+* **Tree reduction** — a single large ``kron`` contraction is split into
+  assignment ranges whose partial sums live in shared memory and are
+  merged pairwise *in the workers* (:meth:`WorkerPool.contract_kron`),
+  log2(w) rounds instead of ``w`` serial adds in the parent.
+* **Observability** — :class:`ParallelStats` reports per-kind task
+  counts, busy seconds, utilization and bytes published; the job
+  service surfaces it under ``GET /stats``.
+
+Spawn-safety: every task function is module-level (importable by a
+``spawn`` child), so the pool works under the default start method of
+macOS and Windows as well as ``fork`` on Linux.  Workers unregister
+attached segments from the ``resource_tracker`` so ownership (and the
+single ``unlink``) stays with the publishing parent.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .attribution import TermTensor
+from .engine import (
+    ContractionEngine,
+    ContractionResult,
+    _accumulate_range,
+    contract_terms,
+    resolve_strategy,
+)
+from .plan import PrecomputedTensorProvider, QueryPlan
+
+__all__ = ["ParallelStats", "PublishedTensors", "WorkerPool"]
+
+#: Tensors below this many bytes ride inline in the task pickle; larger
+#: ones go through shared memory.
+_MIN_SHM_BYTES = 1 << 16
+
+#: Result vectors below this many bytes are pickled straight back.
+_MIN_SHM_RESULT_BYTES = 1 << 18
+
+
+# ----------------------------------------------------------------------
+# Worker-side state (one copy per worker process)
+# ----------------------------------------------------------------------
+
+_WORKER_SHM: Dict[str, object] = {}  # segment name -> SharedMemory
+_WORKER_PROVIDERS: Dict[str, object] = {}  # handle id -> provider
+_WORKER_PROVIDER_LIMIT = 8
+
+
+def _attach_segment(name: str):
+    """Attach (and cache) a shared-memory segment in this worker.
+
+    The resource tracker is one process shared by the whole tree and its
+    registry is a *set*, so the attach's implicit re-register collapses
+    into the parent's original entry; the single ``unlink`` the owning
+    parent performs at free/close time balances it.  (Manually
+    unregistering here would make that unlink a double-remove.)
+    """
+    from multiprocessing import shared_memory
+
+    segment = _WORKER_SHM.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        _WORKER_SHM[name] = segment
+    return segment
+
+
+def _create_unowned_segment(size: int):
+    """Create a segment whose lifetime the *parent* will manage.
+
+    The parent adopts the name from the task result and performs the
+    one-and-only ``unlink`` (see :func:`_attach_segment` on why no
+    manual tracker bookkeeping happens here).
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+def _tensor_from_ref(ref) -> TermTensor:
+    """Materialize a :class:`TermTensor` from a transport reference.
+
+    Published tensors (``cached=True``) stay zero-copy views over the
+    worker's cached attachment — they live as long as the publication.
+    Per-call transient tensors (a ``contract_batch``/``contract_kron``
+    shipment the parent frees right after the call) are *copied* out
+    and the segment detached immediately, so worker memory does not
+    grow with every batch the pool ever served.
+    """
+    if ref[0] == "inline":
+        return ref[1]
+    (_, name, shape, dtype, subcircuit_index, cut_order, num_effective,
+     cached) = ref
+    if cached:
+        segment = _attach_segment(name)
+        data = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+    else:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=name)
+        data = np.array(
+            np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        )
+        segment.close()
+    return TermTensor(
+        subcircuit_index=subcircuit_index,
+        cut_order=list(cut_order),
+        num_effective=num_effective,
+        data=data,
+        nonzero=np.any(data != 0.0, axis=1),
+    )
+
+
+def _ship_vector(vector: np.ndarray, via_shm: bool):
+    """Worker-side: return a vector inline or through a fresh segment."""
+    if not via_shm or vector.nbytes < _MIN_SHM_RESULT_BYTES:
+        return ("inline", vector)
+    segment = _create_unowned_segment(vector.nbytes)
+    out = np.ndarray(vector.shape, dtype=vector.dtype, buffer=segment.buf)
+    out[:] = vector
+    name = segment.name
+    segment.close()
+    return ("shm", name, vector.shape, vector.dtype.str)
+
+
+def _provider_for(handle_id: str, cut_blob: bytes, refs) -> object:
+    """Worker-local provider over the published tensors (cached)."""
+    provider = _WORKER_PROVIDERS.get(handle_id)
+    if provider is None:
+        cut = pickle.loads(cut_blob)
+        tensors = [_tensor_from_ref(ref) for ref in refs]
+        provider = PrecomputedTensorProvider(cut, tensors=tensors)
+        if len(_WORKER_PROVIDERS) >= _WORKER_PROVIDER_LIMIT:
+            _WORKER_PROVIDERS.clear()
+        _WORKER_PROVIDERS[handle_id] = provider
+    return provider
+
+
+@dataclass
+class _TaskMeta:
+    """Per-task accounting shipped back with every result."""
+
+    pid: int
+    elapsed_seconds: float
+
+
+# ----------------------------------------------------------------------
+# Task functions (module-level: picklable under spawn)
+# ----------------------------------------------------------------------
+
+def _run_contract(payload) -> Tuple[ContractionResult, _TaskMeta]:
+    """One independent contraction (a DD bin or an explicit batch item)."""
+    refs, order, num_cuts, strategy, early = payload
+    began = time.perf_counter()
+    tensors = [_tensor_from_ref(ref) for ref in refs]
+    result = contract_terms(
+        tensors,
+        order,
+        num_cuts,
+        strategy=strategy,
+        workers=1,
+        early_termination=early,
+    )
+    meta = _TaskMeta(pid=os.getpid(), elapsed_seconds=time.perf_counter() - began)
+    return result, meta
+
+
+def _run_plan(payload):
+    """Execute one :class:`QueryPlan` against published tensors.
+
+    Returns ``(vector_ref_or_candidates, cache_hits, cache_misses,
+    shard_nbytes, meta)``.  With ``top_k`` set, only the shard's top-k
+    ``(probability, offset)`` candidates come back (in the exact
+    ``argpartition`` order the serial fold uses) instead of the vector.
+    """
+    handle_id, cut_blob, refs, plan, strategy, early, top_k = payload
+    began = time.perf_counter()
+    provider = _provider_for(handle_id, cut_blob, refs)
+    stats = provider.cache_stats
+    hits0, misses0 = stats.hits, stats.misses
+    engine = ContractionEngine(
+        strategy=strategy, workers=1, early_termination=early
+    )
+    probabilities = plan.execute(provider, engine).probabilities
+    hits = provider.cache_stats.hits - hits0
+    misses = provider.cache_stats.misses - misses0
+    nbytes = int(probabilities.nbytes)
+    if top_k is not None:
+        # The same candidate selection the serial fold applies, so the
+        # parent's merge replays the serial heap exactly.
+        from .stream import _shard_top_candidates
+
+        result = ("topk", _shard_top_candidates(probabilities, top_k))
+    else:
+        result = _ship_vector(probabilities, via_shm=True)
+    meta = _TaskMeta(pid=os.getpid(), elapsed_seconds=time.perf_counter() - began)
+    return result, hits, misses, nbytes, meta
+
+
+def _run_kron_range(payload):
+    """Partial blocked-Kronecker sum over one assignment range."""
+    refs, order, num_cuts, start, stop, early = payload
+    began = time.perf_counter()
+    tensors = [_tensor_from_ref(ref) for ref in refs]
+    vector, skipped = _accumulate_range(
+        tensors, order, num_cuts, start, stop, early
+    )
+    shipped = _ship_vector(vector, via_shm=True)
+    meta = _TaskMeta(pid=os.getpid(), elapsed_seconds=time.perf_counter() - began)
+    return shipped, skipped, meta
+
+
+def _run_reduce(payload):
+    """One tree-reduction step: ``dst += src`` in shared memory.
+
+    Both segments are per-call transients the parent frees as the tree
+    collapses, so the worker attaches, adds in place, and detaches —
+    nothing is cached.
+    """
+    from multiprocessing import shared_memory
+
+    dst_ref, src_ref = payload
+    began = time.perf_counter()
+    _, dst_name, shape, dtype = dst_ref
+    _, src_name, _, _ = src_ref
+    dst_segment = shared_memory.SharedMemory(name=dst_name)
+    src_segment = shared_memory.SharedMemory(name=src_name)
+    dst = np.ndarray(shape, dtype=np.dtype(dtype), buffer=dst_segment.buf)
+    src = np.ndarray(shape, dtype=np.dtype(dtype), buffer=src_segment.buf)
+    dst += src
+    del dst, src
+    dst_segment.close()
+    src_segment.close()
+    meta = _TaskMeta(pid=os.getpid(), elapsed_seconds=time.perf_counter() - began)
+    return dst_ref, meta
+
+
+def _run_backend_chunk(payload):
+    """Evaluate a chunk of circuits through a pickled backend callable."""
+    backend, circuits = payload
+    began = time.perf_counter()
+    vectors = [np.asarray(backend(circuit), dtype=float) for circuit in circuits]
+    meta = _TaskMeta(pid=os.getpid(), elapsed_seconds=time.perf_counter() - began)
+    return vectors, meta
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+
+@dataclass
+class ParallelStats:
+    """Latency/utilization report of one :class:`WorkerPool`."""
+
+    workers: int
+    started: bool = False
+    tasks_completed: int = 0
+    tasks_failed: int = 0
+    busy_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    utilization: float = 0.0
+    bytes_published: int = 0
+    shm_segments: int = 0
+    tasks_by_kind: Dict[str, int] = field(default_factory=dict)
+    busy_seconds_by_kind: Dict[str, float] = field(default_factory=dict)
+    busy_by_worker: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "workers": self.workers,
+            "started": self.started,
+            "tasks_completed": self.tasks_completed,
+            "tasks_failed": self.tasks_failed,
+            "busy_seconds": self.busy_seconds,
+            "wall_seconds": self.wall_seconds,
+            "utilization": self.utilization,
+            "bytes_published": self.bytes_published,
+            "shm_segments": self.shm_segments,
+            "tasks_by_kind": dict(self.tasks_by_kind),
+            "busy_seconds_by_kind": dict(self.busy_seconds_by_kind),
+            "busy_by_worker": dict(self.busy_by_worker),
+        }
+
+
+@dataclass
+class PublishedTensors:
+    """A set of term tensors resident in shared memory (plus context)."""
+
+    handle_id: str
+    refs: List[Tuple]
+    cut_blob: bytes
+    nbytes: int
+    segment_names: List[str]
+
+    @property
+    def num_tensors(self) -> int:
+        return len(self.refs)
+
+
+class WorkerPool:
+    """A persistent, spawn-safe process pool for the query runtime.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (default: ``os.cpu_count()``).
+    context:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``) or a context object.  ``None`` uses the
+        platform default.  All task functions are module-level, so
+        ``spawn`` (macOS/Windows default) is fully supported.
+    task_timeout:
+        Seconds to wait for any single task before raising — a dead
+        worker then surfaces as a ``TimeoutError`` instead of a hang.
+
+    The pool starts lazily on first use; :meth:`close` (or the context
+    manager form) terminates the workers and unlinks every shared-memory
+    segment the pool published.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        context=None,
+        task_timeout: float = 600.0,
+        max_published: int = 8,
+    ):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_published < 1:
+            raise ValueError("max_published must be positive")
+        import multiprocessing
+
+        if context is None or isinstance(context, str):
+            context = multiprocessing.get_context(context)
+        self.workers = int(workers)
+        self.task_timeout = float(task_timeout)
+        self.max_published = int(max_published)
+        self._ctx = context
+        self._pool = None
+        self._lock = threading.Lock()
+        self._segments: Dict[str, object] = {}  # name -> SharedMemory
+        self._published: "OrderedDict[str, PublishedTensors]" = OrderedDict()
+        self._closed = False
+        self._started_at: Optional[float] = None
+        self._stats = ParallelStats(workers=self.workers)
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_pool(self):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            if self._pool is None:
+                self._pool = self._ctx.Pool(processes=self.workers)
+                self._started_at = time.perf_counter()
+                self._stats.started = True
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the workers and free every published segment."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._published.clear()
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- accounting -----------------------------------------------------
+    def _record(self, kind: str, meta: Optional[_TaskMeta], ok: bool) -> None:
+        with self._lock:
+            stats = self._stats
+            if ok:
+                stats.tasks_completed += 1
+            else:
+                stats.tasks_failed += 1
+            stats.tasks_by_kind[kind] = stats.tasks_by_kind.get(kind, 0) + 1
+            if meta is not None:
+                stats.busy_seconds += meta.elapsed_seconds
+                stats.busy_seconds_by_kind[kind] = (
+                    stats.busy_seconds_by_kind.get(kind, 0.0)
+                    + meta.elapsed_seconds
+                )
+                key = str(meta.pid)
+                stats.busy_by_worker[key] = (
+                    stats.busy_by_worker.get(key, 0.0) + meta.elapsed_seconds
+                )
+
+    def stats(self) -> ParallelStats:
+        """A snapshot of the pool's lifetime statistics."""
+        with self._lock:
+            stats = ParallelStats(
+                workers=self._stats.workers,
+                started=self._stats.started,
+                tasks_completed=self._stats.tasks_completed,
+                tasks_failed=self._stats.tasks_failed,
+                busy_seconds=self._stats.busy_seconds,
+                bytes_published=self._stats.bytes_published,
+                shm_segments=len(self._segments),
+                tasks_by_kind=dict(self._stats.tasks_by_kind),
+                busy_seconds_by_kind=dict(self._stats.busy_seconds_by_kind),
+                busy_by_worker=dict(self._stats.busy_by_worker),
+            )
+            if self._started_at is not None:
+                stats.wall_seconds = time.perf_counter() - self._started_at
+        budget = stats.workers * stats.wall_seconds
+        stats.utilization = stats.busy_seconds / budget if budget > 0 else 0.0
+        return stats
+
+    # -- shared-memory transport ---------------------------------------
+    def _new_segment(self, size: int):
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=max(1, size))
+        with self._lock:
+            self._segments[segment.name] = segment
+            self._stats.bytes_published += size
+        return segment
+
+    def _adopt_segment(self, name: str):
+        """Take ownership of a worker-created segment (attach + track).
+
+        The attach registers the name with the resource tracker; the
+        eventual ``unlink`` in :meth:`_free_segment`/:meth:`close`
+        unregisters it, so no manual bookkeeping is needed here.
+        """
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=name)
+        with self._lock:
+            self._segments[name] = segment
+        return segment
+
+    def _free_segment(self, name: str) -> None:
+        with self._lock:
+            segment = self._segments.pop(name, None)
+        if segment is not None:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def _tensor_refs(
+        self, tensors: Sequence[TermTensor], cached: bool = False
+    ) -> Tuple[List[Tuple], List[str]]:
+        """Transport refs for a tensor batch (+ names of fresh segments).
+
+        ``cached=True`` marks the refs as long-lived publications the
+        workers may keep zero-copy attachments to; per-call shipments
+        leave it False so workers copy-and-detach (see
+        :func:`_tensor_from_ref`).
+        """
+        refs: List[Tuple] = []
+        names: List[str] = []
+        for tensor in tensors:
+            data = np.ascontiguousarray(tensor.data)
+            if data.nbytes < _MIN_SHM_BYTES:
+                refs.append(("inline", tensor))
+                continue
+            segment = self._new_segment(data.nbytes)
+            view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
+            view[:] = data
+            names.append(segment.name)
+            refs.append(
+                (
+                    "shm",
+                    segment.name,
+                    data.shape,
+                    data.dtype.str,
+                    tensor.subcircuit_index,
+                    list(tensor.cut_order),
+                    tensor.num_effective,
+                    cached,
+                )
+            )
+        return refs, names
+
+    def publish(self, cut_circuit, tensors: Sequence[TermTensor]) -> PublishedTensors:
+        """Publish a cut's full term tensors once, for plan-task reuse.
+
+        The returned handle is what shard/plan tasks reference; the
+        tensors themselves never ride in a task pickle again.  Segments
+        live until :meth:`unpublish` or :meth:`close`; as a backstop
+        for callers that never unpublish (transient per-job
+        reconstructors against a long-lived service pool), the pool
+        keeps at most ``max_published`` publications and evicts the
+        oldest — plans still in flight against an evicted handle fail
+        cleanly with ``FileNotFoundError``, so size ``max_published``
+        above the expected query concurrency.
+        """
+        refs, names = self._tensor_refs(tensors, cached=True)
+        handle = PublishedTensors(
+            handle_id=uuid.uuid4().hex,
+            refs=refs,
+            cut_blob=pickle.dumps(cut_circuit),
+            nbytes=sum(int(t.data.nbytes) for t in tensors),
+            segment_names=names,
+        )
+        evicted = []
+        with self._lock:
+            self._published[handle.handle_id] = handle
+            while len(self._published) > self.max_published:
+                _, oldest = self._published.popitem(last=False)
+                evicted.append(oldest)
+        for old in evicted:
+            for name in old.segment_names:
+                self._free_segment(name)
+        return handle
+
+    def unpublish(self, handle: PublishedTensors) -> None:
+        """Free a published tensor set's shared-memory segments."""
+        with self._lock:
+            self._published.pop(handle.handle_id, None)
+        for name in handle.segment_names:
+            self._free_segment(name)
+
+    # -- query-path entry points ---------------------------------------
+    def contract_batch(
+        self,
+        batch: Sequence[Tuple[Sequence[TermTensor], Sequence[int], int]],
+        strategy: str = "auto",
+        early_termination: bool = True,
+    ) -> List[ContractionResult]:
+        """Contract many independent term sets on the warm workers.
+
+        Drop-in replacement for the ephemeral-pool path of
+        :meth:`~repro.postprocess.engine.ContractionEngine.contract_batch`
+        — same argument triple, same result order.
+        """
+        pool = self._ensure_pool()
+        pending = []
+        fresh: List[str] = []
+        for tensors, order, num_cuts in batch:
+            refs, names = self._tensor_refs(tensors)
+            fresh.extend(names)
+            payload = (refs, list(order), num_cuts, strategy, early_termination)
+            pending.append(pool.apply_async(_run_contract, (payload,)))
+        results: List[ContractionResult] = []
+        try:
+            for task in pending:
+                try:
+                    result, meta = task.get(self.task_timeout)
+                except Exception:
+                    self._record("contract", None, ok=False)
+                    raise
+                self._record("contract", meta, ok=True)
+                results.append(result)
+        finally:
+            for name in fresh:
+                self._free_segment(name)
+        return results
+
+    def run_plans(
+        self,
+        handle: PublishedTensors,
+        plans: Sequence[QueryPlan],
+        strategy: str = "auto",
+        early_termination: bool = True,
+        top_k: Optional[int] = None,
+    ) -> Iterator[Tuple[int, object, int, int, int]]:
+        """Execute query plans against published tensors, concurrently.
+
+        Yields ``(index, result, cache_hits, cache_misses, nbytes)`` in
+        *submission order* (so shard streams stay ordered).  ``result``
+        is the probability vector, or — with ``top_k`` — the shard's
+        top-k ``(probability, offset)`` candidates.
+
+        Submission is windowed at ``2 * workers`` tasks ahead of the
+        consumer, so a slowly-consumed (or abandoned) shard stream
+        never buffers more than a window of result vectors; on early
+        generator close the in-flight remainder is drained and its
+        worker-created segments freed.
+        """
+        pool = self._ensure_pool()
+        plans = list(plans)
+        window = max(2, 2 * self.workers)
+        pending: "deque" = deque()
+        submitted = 0
+        try:
+            for index in range(len(plans)):
+                while submitted < len(plans) and len(pending) < window:
+                    payload = (
+                        handle.handle_id,
+                        handle.cut_blob,
+                        handle.refs,
+                        plans[submitted],
+                        strategy,
+                        early_termination,
+                        top_k,
+                    )
+                    pending.append(pool.apply_async(_run_plan, (payload,)))
+                    submitted += 1
+                task = pending.popleft()
+                try:
+                    shipped, hits, misses, nbytes, meta = task.get(
+                        self.task_timeout
+                    )
+                except Exception:
+                    self._record("plan", None, ok=False)
+                    raise
+                self._record("plan", meta, ok=True)
+                if shipped[0] in ("topk", "inline"):
+                    yield index, shipped[1], hits, misses, nbytes
+                else:
+                    _, name, shape, dtype = shipped
+                    segment = self._adopt_segment(name)
+                    vector = np.array(
+                        np.ndarray(
+                            shape, dtype=np.dtype(dtype), buffer=segment.buf
+                        )
+                    )
+                    self._free_segment(name)
+                    yield index, vector, hits, misses, nbytes
+        finally:
+            # Abandoned stream (or a failed task): reap what is already
+            # in flight so worker-created result segments are unlinked.
+            while pending:
+                task = pending.popleft()
+                try:
+                    shipped, *_ = task.get(self.task_timeout)
+                except Exception:
+                    continue
+                if shipped[0] == "shm":
+                    try:
+                        self._adopt_segment(shipped[1])
+                    except FileNotFoundError:  # pragma: no cover
+                        continue
+                    self._free_segment(shipped[1])
+
+    def contract_kron(
+        self,
+        tensors: Sequence[TermTensor],
+        order: Sequence[int],
+        num_cuts: int,
+        early_termination: bool = True,
+    ) -> Tuple[np.ndarray, int]:
+        """One large ``kron`` sweep: range-split + shared-memory tree sum.
+
+        The ``4^K`` assignment space is split across the workers; each
+        partial accumulator lands in shared memory and partials are
+        merged pairwise *in the workers* (a reduction tree), so the
+        parent never performs more than one final copy.
+        """
+        pool = self._ensure_pool()
+        total = 4**num_cuts
+        step = (total + self.workers - 1) // self.workers
+        bounds = [
+            (start, min(start + step, total))
+            for start in range(0, total, step)
+        ]
+        refs, fresh = self._tensor_refs(tensors)
+        order = list(order)
+        skipped = 0
+        partials: List[Tuple] = []  # vector refs, in completion order
+        try:
+            pending = [
+                pool.apply_async(
+                    _run_kron_range,
+                    ((refs, order, num_cuts, start, stop, early_termination),),
+                )
+                for start, stop in bounds
+            ]
+            for task in pending:
+                try:
+                    shipped, part_skipped, meta = task.get(self.task_timeout)
+                except Exception:
+                    self._record("kron-range", None, ok=False)
+                    raise
+                self._record("kron-range", meta, ok=True)
+                skipped += part_skipped
+                if shipped[0] == "shm":
+                    self._adopt_segment(shipped[1])
+                partials.append(shipped)
+
+            # Tree-reduce the shared-memory partials in the workers;
+            # inline (small) partials are summed directly in the parent.
+            inline = [p[1] for p in partials if p[0] == "inline"]
+            shm_refs = [p for p in partials if p[0] == "shm"]
+            while len(shm_refs) > 1:
+                next_round = []
+                reductions = []
+                for left, right in zip(shm_refs[::2], shm_refs[1::2]):
+                    reductions.append(
+                        (
+                            pool.apply_async(_run_reduce, ((left, right),)),
+                            right,
+                        )
+                    )
+                    next_round.append(left)
+                if len(shm_refs) % 2:
+                    next_round.append(shm_refs[-1])
+                for task, right in reductions:
+                    try:
+                        _, meta = task.get(self.task_timeout)
+                    except Exception:
+                        self._record("reduce", None, ok=False)
+                        raise
+                    self._record("reduce", meta, ok=True)
+                    self._free_segment(right[1])
+                shm_refs = next_round
+
+            if shm_refs:
+                _, name, shape, dtype = shm_refs[0]
+                segment = self._segments[name]
+                vector = np.array(
+                    np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+                )
+                self._free_segment(name)
+            elif inline:
+                vector = inline.pop(0)
+            else:
+                vector = None
+            for extra in inline:
+                vector += extra
+        finally:
+            for name in fresh:
+                self._free_segment(name)
+        if vector is None:  # pragma: no cover - bounds is never empty
+            raise RuntimeError("kron contraction produced no partials")
+        return vector, skipped
+
+    def map_backend(self, backend, circuits: Sequence) -> List[np.ndarray]:
+        """Evaluate circuits through ``backend`` on the warm workers.
+
+        Chunked to amortize dispatch; result order matches input order.
+        Raises whatever the backend raises (including pickling errors
+        for backends that cannot cross a process boundary).
+        """
+        pool = self._ensure_pool()
+        circuits = list(circuits)
+        if not circuits:
+            return []
+        chunk = max(1, len(circuits) // (self.workers * 4))
+        pending = []
+        for start in range(0, len(circuits), chunk):
+            payload = (backend, circuits[start : start + chunk])
+            pending.append(pool.apply_async(_run_backend_chunk, (payload,)))
+        vectors: List[np.ndarray] = []
+        for task in pending:
+            try:
+                chunk_vectors, meta = task.get(self.task_timeout)
+            except Exception:
+                self._record("backend", None, ok=False)
+                raise
+            self._record("backend", meta, ok=True)
+            vectors.extend(chunk_vectors)
+        return vectors

@@ -26,7 +26,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..circuits import QuantumCircuit
 from ..cutting.cutter import CutCircuit, Subcircuit
 from ..cutting.variants import INIT_LABELS, MEAS_BASES, SubcircuitVariant, variant_circuit
 from ..sim.sampler import sample_counts

@@ -18,7 +18,13 @@ each, lazily, as an iterator:
   every shard by cheap axis indexing;
 * ``shard_indices`` restricts the stream to chosen shards (e.g. only the
   region a DD query located), and :meth:`top_k` folds the stream into
-  the k highest-probability states without retaining any shard.
+  the k highest-probability states without retaining any shard;
+* with a :class:`~repro.postprocess.parallel.WorkerPool` injected, the
+  shards are evaluated *concurrently*: the full term tensors are
+  published to shared memory once, each worker derives its shards from
+  its own collapse cache, and :meth:`top_k` merges per-shard top-k
+  candidates across workers (only k entries per shard cross the process
+  boundary).  The emitted stream is bit-identical to the serial one.
 """
 
 from __future__ import annotations
@@ -43,6 +49,53 @@ __all__ = [
     "StreamingReconstructor",
     "top_k_from_shards",
 ]
+
+
+# -- the one top-k fold, shared by the serial and pooled paths ----------
+#
+# Both paths must evolve the k-entry heap identically for the pooled
+# result to be bit-identical to the serial one, so the candidate
+# selection, the merge policy (strict ``>`` against the heap root) and
+# the final ranking live here and nowhere else.  Workers run
+# :func:`_shard_top_candidates` remotely and the parent merges with
+# :func:`_merge_shard_candidates` in shard-submission order.
+
+def _shard_top_candidates(
+    probabilities: np.ndarray, k: int
+) -> List[Tuple[float, int]]:
+    """A shard's top-k ``(probability, offset)`` candidates, in the
+    ``argpartition`` order the fold consumes."""
+    take = min(k, probabilities.size)
+    selected = np.argpartition(probabilities, -take)[-take:]
+    return [
+        (float(probabilities[offset]), int(offset)) for offset in selected
+    ]
+
+
+def _merge_shard_candidates(
+    heap: List[Tuple[float, int]],
+    k: int,
+    base: int,
+    candidates: List[Tuple[float, int]],
+) -> None:
+    """Fold one shard's candidates into the global k-entry heap."""
+    for probability, offset in candidates:
+        entry = (probability, base + offset)
+        if len(heap) < k:
+            heapq.heappush(heap, entry)
+        elif entry[0] > heap[0][0]:
+            heapq.heapreplace(heap, entry)
+
+
+def _ranked_states(
+    heap: List[Tuple[float, int]], num_qubits: int
+) -> List[Tuple[str, float]]:
+    """The heap as a descending-probability (bitstring, p) list."""
+    ranked = sorted(heap, key=lambda item: (-item[0], item[1]))
+    return [
+        (index_to_bitstring(state, num_qubits), probability)
+        for probability, state in ranked
+    ]
 
 
 @dataclass
@@ -74,6 +127,8 @@ class StreamStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_hit_rate: float = 0.0
+    transport: str = "serial"  # "serial" | "pool"
+    workers: int = 1
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -85,6 +140,8 @@ class StreamStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "transport": self.transport,
+            "workers": self.workers,
         }
 
 
@@ -101,6 +158,12 @@ class StreamingReconstructor:
         provider's collapse cache then persists across queries).
     engine:
         Shared contraction engine (strategy + workers).
+    pool:
+        A persistent :class:`~repro.postprocess.parallel.WorkerPool`.
+        When set (and the provider exposes precomputed full tensors),
+        shards are evaluated concurrently: tensors are published to
+        shared memory once and each task ships only the shard's
+        role-signature plan.  Defaults to the engine's pool.
     """
 
     def __init__(
@@ -110,6 +173,7 @@ class StreamingReconstructor:
         tensors: Optional[Sequence[TermTensor]] = None,
         engine: Optional[ContractionEngine] = None,
         provider: Optional[TensorProvider] = None,
+        pool=None,
     ):
         self.cut_circuit = cut_circuit
         self.engine = engine or ContractionEngine(strategy="auto")
@@ -118,6 +182,8 @@ class StreamingReconstructor:
                 cut_circuit, results=results, tensors=tensors
             )
         self.provider = provider
+        self.pool = pool if pool is not None else self.engine.pool
+        self._handle = None  # lazily published tensors (pool transport)
         self.last_stats: Optional[StreamStats] = None
 
     @property
@@ -144,13 +210,108 @@ class StreamingReconstructor:
             )
         if shard_indices is None:
             shard_indices = range(1 << shard_qubits)
+        shard_indices = list(shard_indices)
         stats = StreamStats(
             shard_qubits=shard_qubits,
             num_shards_total=1 << shard_qubits,
         )
         self.last_stats = stats
         remaining = list(range(shard_qubits, total))
+        if self._parallel_available() and len(shard_indices) > 1:
+            stats.transport = "pool"
+            stats.workers = self.pool.workers
+            return self._generate_parallel(
+                shard_qubits, shard_indices, remaining, stats
+            )
         return self._generate(shard_qubits, shard_indices, remaining, stats)
+
+    # -- worker-pool transport ------------------------------------------
+    def _parallel_available(self) -> bool:
+        """Pool transport needs precomputed full tensors to publish."""
+        return (
+            self.pool is not None
+            and getattr(self.provider, "tensors", None) is not None
+        )
+
+    def _published_handle(self):
+        if self._handle is None:
+            self._handle = self.pool.publish(
+                self.cut_circuit, self.provider.tensors
+            )
+        return self._handle
+
+    def close(self) -> None:
+        """Free the published shared-memory tensors (idempotent).
+
+        Called on garbage collection too, so transient reconstructors
+        (one per service job) do not accumulate segments in a
+        long-lived pool; the pool additionally caps its published-set
+        size as a backstop.
+        """
+        handle, self._handle = self._handle, None
+        if handle is not None and self.pool is not None:
+            try:
+                self.pool.unpublish(handle)
+            except Exception:  # pragma: no cover - teardown ordering
+                pass
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _shard_plans(
+        self,
+        shard_qubits: int,
+        shard_indices: Sequence[int],
+        remaining: List[int],
+    ) -> List[Tuple[Dict[int, int], QueryPlan]]:
+        total = self.num_qubits
+        num_cuts = self.provider.num_cuts
+        plans = []
+        for index in shard_indices:
+            if not 0 <= index < (1 << shard_qubits):
+                raise ValueError(f"shard index {index} out of range")
+            fixed = {
+                wire: (index >> (shard_qubits - 1 - wire)) & 1
+                for wire in range(shard_qubits)
+            }
+            plans.append(
+                (fixed, QueryPlan.binned(total, num_cuts, fixed, remaining))
+            )
+        return plans
+
+    def _generate_parallel(
+        self,
+        shard_qubits: int,
+        shard_indices: List[int],
+        remaining: List[int],
+        stats: StreamStats,
+    ) -> Iterator[Shard]:
+        plans = self._shard_plans(shard_qubits, shard_indices, remaining)
+        handle = self._published_handle()
+        began = time.perf_counter()
+        for position, vector, hits, misses, nbytes in self.pool.run_plans(
+            handle,
+            [plan for _, plan in plans],
+            strategy=self.engine.strategy,
+            early_termination=self.engine.early_termination,
+        ):
+            stats.elapsed_seconds = time.perf_counter() - began
+            stats.num_shards_emitted += 1
+            stats.peak_shard_bytes = max(stats.peak_shard_bytes, nbytes)
+            stats.cache_hits += hits
+            stats.cache_misses += misses
+            requests = stats.cache_hits + stats.cache_misses
+            stats.cache_hit_rate = (
+                stats.cache_hits / requests if requests else 0.0
+            )
+            yield Shard(
+                index=shard_indices[position],
+                fixed=plans[position][0],
+                probabilities=vector,
+            )
 
     def _generate(
         self,
@@ -204,14 +365,78 @@ class StreamingReconstructor:
         """The ``k`` highest-probability states, streamed shard by shard.
 
         Memory stays bounded by one shard plus the k-entry heap; the
-        result is sorted by descending probability.
+        result is sorted by descending probability.  With a worker pool,
+        each worker retains only its shards' top-k candidates and the
+        parent merges them — identical output, but just ``k`` entries per
+        shard ever cross the process boundary.
         """
+        if k < 1:
+            raise ValueError("k must be positive")
+        total = self.num_qubits
+        if not 0 <= shard_qubits <= total:
+            raise ValueError(
+                f"shard_qubits must be in [0, {total}], got {shard_qubits}"
+            )
+        if shard_indices is None:
+            shard_indices = range(1 << shard_qubits)
+        shard_indices = list(shard_indices)
+        if self._parallel_available() and len(shard_indices) > 1:
+            return self._top_k_parallel(shard_qubits, k, shard_indices)
         return top_k_from_shards(
             self.shards(shard_qubits, shard_indices),
-            num_qubits=self.num_qubits,
+            num_qubits=total,
             shard_qubits=shard_qubits,
             k=k,
         )
+
+    def _top_k_parallel(
+        self, shard_qubits: int, k: int, shard_indices: List[int]
+    ) -> List[Tuple[str, float]]:
+        """Merged top-k retention across the pool's workers.
+
+        The merge replays exactly the serial fold: shards arrive in
+        submission order and each shard's candidates arrive in the same
+        ``argpartition`` order the serial code uses, so the resulting
+        heap — and therefore the output — is bit-identical.
+        """
+        total = self.num_qubits
+        if not 0 <= shard_qubits <= total:
+            raise ValueError(
+                f"shard_qubits must be in [0, {total}], got {shard_qubits}"
+            )
+        remaining = list(range(shard_qubits, total))
+        stats = StreamStats(
+            shard_qubits=shard_qubits,
+            num_shards_total=1 << shard_qubits,
+            transport="pool",
+            workers=self.pool.workers,
+        )
+        self.last_stats = stats
+        plans = self._shard_plans(shard_qubits, shard_indices, remaining)
+        handle = self._published_handle()
+        width = total - shard_qubits
+        heap: List[Tuple[float, int]] = []
+        began = time.perf_counter()
+        for position, candidates, hits, misses, nbytes in self.pool.run_plans(
+            handle,
+            [plan for _, plan in plans],
+            strategy=self.engine.strategy,
+            early_termination=self.engine.early_termination,
+            top_k=k,
+        ):
+            stats.elapsed_seconds = time.perf_counter() - began
+            stats.num_shards_emitted += 1
+            stats.peak_shard_bytes = max(stats.peak_shard_bytes, nbytes)
+            stats.cache_hits += hits
+            stats.cache_misses += misses
+            requests = stats.cache_hits + stats.cache_misses
+            stats.cache_hit_rate = (
+                stats.cache_hits / requests if requests else 0.0
+            )
+            _merge_shard_candidates(
+                heap, k, shard_indices[position] << width, candidates
+            )
+        return _ranked_states(heap, total)
 
     def full_distribution(self, shard_qubits: int) -> np.ndarray:
         """Concatenate every shard — testing/verification helper only
@@ -242,19 +467,10 @@ def top_k_from_shards(
     for shard in shards:
         if on_shard is not None:
             on_shard(shard)
-        probabilities = shard.probabilities
-        base = shard.index << width
-        take = min(k, probabilities.size)
-        # Partial selection inside the shard, then merge into the heap.
-        candidates = np.argpartition(probabilities, -take)[-take:]
-        for offset in candidates:
-            entry = (float(probabilities[offset]), base + int(offset))
-            if len(heap) < k:
-                heapq.heappush(heap, entry)
-            elif entry[0] > heap[0][0]:
-                heapq.heapreplace(heap, entry)
-    ranked = sorted(heap, key=lambda item: (-item[0], item[1]))
-    return [
-        (index_to_bitstring(state, num_qubits), probability)
-        for probability, state in ranked
-    ]
+        _merge_shard_candidates(
+            heap,
+            k,
+            shard.index << width,
+            _shard_top_candidates(shard.probabilities, k),
+        )
+    return _ranked_states(heap, num_qubits)

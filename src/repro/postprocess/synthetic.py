@@ -18,7 +18,7 @@ same definition.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

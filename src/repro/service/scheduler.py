@@ -33,6 +33,7 @@ from ..circuits.qasm import from_qasm
 from ..core import CutQC
 from ..cutting.searcher import DEFAULT_MAX_CUTS, DEFAULT_MAX_SUBCIRCUITS
 from ..library import BENCHMARKS, get_benchmark
+from ..postprocess.parallel import WorkerPool
 from .store import ArtifactStore
 
 __all__ = ["JobSpec", "JobRecord", "JobScheduler", "JOB_STATES", "QUERY_TYPES"]
@@ -174,18 +175,35 @@ class JobRecord:
 
 
 class JobScheduler:
-    """Thread-pool scheduler executing jobs against a shared store."""
+    """Thread-pool scheduler executing jobs against a shared store.
+
+    With ``pool_workers > 0`` (or an injected ``worker_pool``) the
+    scheduler holds one persistent
+    :class:`~repro.postprocess.parallel.WorkerPool` for its whole
+    lifetime and hands it to every job's pipeline — variant execution,
+    streaming-FD shards and DD zoom rounds of *all* jobs share one set
+    of warm workers, and the pool's per-stage worker statistics are
+    reported by :meth:`stats` (the HTTP ``GET /stats`` payload).
+    """
 
     def __init__(
         self,
         store: ArtifactStore,
         workers: int = 2,
         autostart: bool = True,
+        pool_workers: int = 0,
+        worker_pool: Optional[WorkerPool] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
+        if pool_workers < 0:
+            raise ValueError("pool_workers must be >= 0")
         self.store = store
         self.num_workers = int(workers)
+        self._owns_pool = worker_pool is None and pool_workers > 0
+        if worker_pool is None and pool_workers > 0:
+            worker_pool = WorkerPool(pool_workers)
+        self.worker_pool = worker_pool
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._records: Dict[str, JobRecord] = {}
         self._order: List[str] = []
@@ -222,6 +240,17 @@ class JobScheduler:
         if wait:
             for thread in self._threads:
                 thread.join(timeout=30)
+        # Close the owned pool only once every job thread has exited —
+        # tearing it down under a still-running job (wait=False, or a
+        # join timeout) would fail that job with "worker pool is
+        # closed" instead of letting it finish; the pool's finalizer
+        # reaps it at interpreter exit in that case.
+        if (
+            self._owns_pool
+            and self.worker_pool is not None
+            and all(not thread.is_alive() for thread in self._threads)
+        ):
+            self.worker_pool.close()
 
     # ------------------------------------------------------------------
     def submit(self, spec: JobSpec) -> str:
@@ -300,7 +329,13 @@ class JobScheduler:
                 table[stage] = table.get(stage, 0) + 1
         uptime = time.time() - self.started_at
         done = by_state.get("done", 0)
+        pool_stats = (
+            self.worker_pool.stats().as_dict()
+            if self.worker_pool is not None
+            else None
+        )
         return {
+            "pool": pool_stats,
             "jobs": {
                 "submitted": len(records),
                 "by_state": by_state,
@@ -374,6 +409,7 @@ class JobScheduler:
             workers=spec.workers,
             strategy=spec.strategy,
             seed=spec.seed,
+            worker_pool=self.worker_pool,
         )
 
         # -- stage 1: cut (checkpointed) --------------------------------

@@ -120,9 +120,12 @@ class JobServer:
         port: int = 8000,
         workers: int = 2,
         scheduler: Optional[JobScheduler] = None,
+        pool_workers: int = 0,
     ):
         self.store = scheduler.store if scheduler else ArtifactStore(store_dir)
-        self.scheduler = scheduler or JobScheduler(self.store, workers=workers)
+        self.scheduler = scheduler or JobScheduler(
+            self.store, workers=workers, pool_workers=pool_workers
+        )
         self.api = JobServiceAPI(self.scheduler)
 
         api = self.api

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..circuits import Gate, QuantumCircuit
 from .noise import NoiseModel, apply_readout_error
-from .statevector import INITIAL_STATES, initial_state
+from .statevector import initial_state
 
 __all__ = ["DensityMatrix", "DensityMatrixSimulator"]
 

@@ -6,11 +6,10 @@ the same spirit as the paper's figures, at 80 columns.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .circuits import QuantumCircuit
 from .cutting.cutter import CutCircuit
 from .utils import index_to_bitstring
 

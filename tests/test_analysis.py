@@ -1,6 +1,5 @@
 """Tests for circuit analysis diagnostics."""
 
-import pytest
 
 from repro import QuantumCircuit, find_cuts
 from repro.circuits.analysis import (

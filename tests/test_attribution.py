@@ -1,12 +1,10 @@
 """Tests for cut-term attribution (Eqs. 2-3 of the paper)."""
 
-import itertools
 
 import numpy as np
 import pytest
 
 from repro import QuantumCircuit, cut_circuit, evaluate_subcircuit
-from repro.cutting.variants import generate_variants, variant_circuit
 from repro.postprocess import (
     DOWNSTREAM_TERMS,
     UPSTREAM_TERMS,

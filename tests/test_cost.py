@@ -1,6 +1,5 @@
 """Tests for the cost models (Eq. 14 + classical-simulation baseline)."""
 
-import pytest
 
 from repro import QuantumCircuit, cut_circuit
 from repro.library import supremacy

@@ -1,0 +1,337 @@
+"""The persistent worker pool (:mod:`repro.postprocess.parallel`).
+
+The headline property: every pool-dispatched query path — shard-parallel
+streaming FD, merged top-k retention, and pooled DD zoom rounds —
+*bit-matches* its serial counterpart (asserted both exactly and at the
+1e-12 tolerance the spec names), because the workers run the identical
+collapse/contract code over the identical tensors.  The pool must also
+survive poisoned tasks without orphaning processes, and the job service
+must surface its utilization statistics.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CutQC, cut_circuit_from_assignment, evaluate_subcircuit
+from repro.circuits import build_circuit_graph
+from repro.core import VariantExecutor
+from repro.library import bv
+from repro.postprocess import (
+    ContractionEngine,
+    PrecomputedTensorProvider,
+    StreamingReconstructor,
+    WorkerPool,
+)
+from repro.postprocess import parallel as parallel_module
+from repro.postprocess.attribution import build_term_tensor
+from repro.postprocess.dd import DynamicDefinitionQuery
+from tests.conftest import random_connected_circuit
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One warm two-worker pool shared by the whole module (cheap tasks)."""
+    with WorkerPool(workers=2) as shared:
+        yield shared
+
+
+@pytest.fixture(scope="module")
+def bv8_pieces():
+    cut = CutQC(bv(8), max_subcircuit_qubits=5).cut()
+    results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+    return cut, results
+
+
+def _no_orphans(before):
+    """All processes spawned since ``before`` have been reaped."""
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        extra = set(multiprocessing.active_children()) - before
+        if not extra:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestWorkerPool:
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            WorkerPool(workers=0)
+
+    def test_lazy_start_and_close_idempotent(self):
+        fresh = WorkerPool(workers=1)
+        assert fresh.stats().started is False
+        fresh.close()
+        fresh.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            fresh.contract_batch([])
+
+    def test_contract_batch_matches_serial(self, pool, bv8_pieces):
+        cut, results = bv8_pieces
+        tensors = [build_term_tensor(r) for r in results]
+        order = list(range(len(tensors)))
+        batch = [(tensors, order, cut.num_cuts)] * 3
+        serial = ContractionEngine(strategy="kron").contract_batch(batch)
+        pooled = pool.contract_batch(batch, strategy="kron")
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a.vector, b.vector)
+            assert a.num_skipped == b.num_skipped
+
+    def test_contract_kron_matches_serial(self, pool, bv8_pieces):
+        cut, results = bv8_pieces
+        tensors = [build_term_tensor(r) for r in results]
+        order = list(range(len(tensors)))
+        serial = ContractionEngine(strategy="kron").contract(
+            tensors, order, cut.num_cuts
+        )
+        vector, skipped = pool.contract_kron(tensors, order, cut.num_cuts)
+        assert skipped == serial.num_skipped
+        np.testing.assert_allclose(vector, serial.vector, atol=1e-12)
+
+    def test_shared_memory_transport_roundtrip(self, bv8_pieces, monkeypatch):
+        """Force every tensor and result vector through shared memory."""
+        monkeypatch.setattr(parallel_module, "_MIN_SHM_BYTES", 1)
+        monkeypatch.setattr(parallel_module, "_MIN_SHM_RESULT_BYTES", 1)
+        cut, results = bv8_pieces
+        with WorkerPool(workers=2) as shm_pool:
+            serial = StreamingReconstructor(cut, results=results)
+            pooled = StreamingReconstructor(cut, results=results, pool=shm_pool)
+            expected = np.concatenate(
+                [s.probabilities for s in serial.shards(2)]
+            )
+            streamed = np.concatenate(
+                [s.probabilities for s in pooled.shards(2)]
+            )
+            assert np.array_equal(streamed, expected)
+            assert shm_pool.stats().bytes_published > 0
+            # Per-call segments are freed; only the published tensors stay.
+            handle = pooled._handle
+            assert handle is not None
+            assert shm_pool.stats().shm_segments == len(handle.segment_names)
+        assert shm_pool.stats().shm_segments == 0
+
+    def test_spawn_context_supported(self, bv8_pieces):
+        """All task functions are module-level, so spawn children work."""
+        cut, results = bv8_pieces
+        tensors = [build_term_tensor(r) for r in results]
+        order = list(range(len(tensors)))
+        with WorkerPool(workers=1, context="spawn") as spawned:
+            serial = ContractionEngine(strategy="kron").contract(
+                tensors, order, cut.num_cuts
+            )
+            [pooled] = spawned.contract_batch(
+                [(tensors, order, cut.num_cuts)], strategy="kron"
+            )
+            assert np.array_equal(pooled.vector, serial.vector)
+
+    def test_stats_accounting(self, pool, bv8_pieces):
+        cut, results = bv8_pieces
+        tensors = [build_term_tensor(r) for r in results]
+        order = list(range(len(tensors)))
+        before = pool.stats()
+        pool.contract_batch([(tensors, order, cut.num_cuts)] * 2)
+        after = pool.stats()
+        assert after.tasks_completed == before.tasks_completed + 2
+        assert after.tasks_by_kind.get("contract", 0) >= 2
+        assert after.busy_seconds >= before.busy_seconds
+        assert after.wall_seconds > 0
+        assert 0.0 <= after.utilization
+        payload = after.as_dict()
+        for key in (
+            "workers",
+            "tasks_completed",
+            "busy_seconds",
+            "utilization",
+            "tasks_by_kind",
+        ):
+            assert key in payload
+
+
+class TestPoisonedTasks:
+    def test_pool_survives_poisoned_contract(self, pool, bv8_pieces):
+        cut, results = bv8_pieces
+        tensors = [build_term_tensor(r) for r in results]
+        bad_order = [99]  # out of range: the worker task raises
+        with pytest.raises(Exception):
+            pool.contract_batch([(tensors, bad_order, cut.num_cuts)])
+        assert pool.stats().tasks_failed >= 1
+        # The persistent workers are still alive and serve new work.
+        order = list(range(len(tensors)))
+        [ok] = pool.contract_batch([(tensors, order, cut.num_cuts)])
+        assert ok.vector.size == 1 << 8
+
+    def test_executor_poison_does_not_orphan(self, bv8_pieces):
+        cut, _ = bv8_pieces
+        before = set(multiprocessing.active_children())
+        executor = VariantExecutor(backend=_poison_backend, workers=2)
+        with pytest.raises(RuntimeError, match="poisoned"):
+            executor.run(cut.subcircuits)
+        assert _no_orphans(before)
+
+    def test_engine_batch_poison_does_not_orphan(self, bv8_pieces):
+        cut, results = bv8_pieces
+        tensors = [build_term_tensor(r) for r in results]
+        engine = ContractionEngine(strategy="kron", workers=2)
+        before = set(multiprocessing.active_children())
+        with pytest.raises(Exception):
+            engine.contract_batch([(tensors, [99], cut.num_cuts)] * 2)
+        assert _no_orphans(before)
+
+
+def _poison_backend(circuit):
+    raise RuntimeError("poisoned task")
+
+
+def _random_cut(num_qubits, seed):
+    """A valid random cut of a random connected circuit (or None)."""
+    circuit = random_connected_circuit(num_qubits, 2 * num_qubits, seed)
+    graph = build_circuit_graph(circuit)
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(20):
+        assignment = rng.integers(0, 2, size=graph.num_vertices)
+        if 0 < assignment.sum() < graph.num_vertices:
+            cut = cut_circuit_from_assignment(circuit, list(assignment))
+            if cut.num_cuts <= 5:
+                return cut
+    return None
+
+
+class TestQueryPathParity:
+    """Pool-dispatched query paths bit-match their serial counterparts."""
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_fd_stream_bit_matches_serial(self, pool, seed):
+        cut = _random_cut(6, seed)
+        if cut is None:
+            return
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+        serial = StreamingReconstructor(cut, results=results)
+        pooled = StreamingReconstructor(cut, results=results, pool=pool)
+        expected = np.concatenate(
+            [s.probabilities for s in serial.shards(2)]
+        )
+        streamed = np.concatenate(
+            [s.probabilities for s in pooled.shards(2)]
+        )
+        assert pooled.last_stats.transport == "pool"
+        assert np.array_equal(streamed, expected)
+        np.testing.assert_allclose(streamed, expected, atol=1e-12)
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_dd_query_bit_matches_serial(self, pool, seed):
+        cut = _random_cut(6, seed)
+        if cut is None:
+            return
+        results = [evaluate_subcircuit(s) for s in cut.subcircuits]
+
+        def query(with_pool):
+            provider = PrecomputedTensorProvider(cut, results=results)
+            dd = DynamicDefinitionQuery(
+                provider,
+                max_active_qubits=2,
+                zoom_width=2,
+                pool=pool if with_pool else None,
+            )
+            dd.run(4)
+            return dd
+
+        serial = query(False)
+        pooled = query(True)
+        assert pooled.engine.pool is pool
+        assert len(serial.recursions) == len(pooled.recursions)
+        for a, b in zip(serial.recursions, pooled.recursions):
+            assert a.fixed == b.fixed and a.active == b.active
+            # Batched zoom rounds are bit-identical; a single-bin round
+            # may dispatch through the pool's range-split kron sweep,
+            # whose reduction-tree summation order differs from the
+            # serial chunk order — hence the spec's 1e-12 tolerance.
+            np.testing.assert_allclose(
+                a.probabilities, b.probabilities, atol=1e-12, rtol=0
+            )
+
+    def test_top_k_merged_across_workers(self, pool, bv8_pieces):
+        cut, results = bv8_pieces
+        serial = StreamingReconstructor(cut, results=results)
+        pooled = StreamingReconstructor(cut, results=results, pool=pool)
+        expected = serial.top_k(3, 5)
+        merged = pooled.top_k(3, 5)
+        assert pooled.last_stats.transport == "pool"
+        assert pooled.last_stats.num_shards_emitted == 8
+        assert merged == expected
+
+    def test_shard_subset_and_order_preserved(self, pool, bv8_pieces):
+        cut, results = bv8_pieces
+        pooled = StreamingReconstructor(cut, results=results, pool=pool)
+        indices = [3, 0, 2]
+        shards = list(pooled.shards(2, shard_indices=indices))
+        assert [s.index for s in shards] == indices
+
+    def test_bad_shard_index_rejected(self, pool, bv8_pieces):
+        cut, results = bv8_pieces
+        pooled = StreamingReconstructor(cut, results=results, pool=pool)
+        with pytest.raises(ValueError, match="out of range"):
+            list(pooled.shards(2, shard_indices=[4]))
+
+    def test_cutqc_worker_pool_end_to_end(self, pool):
+        serial = CutQC(bv(7), max_subcircuit_qubits=5)
+        pooled = CutQC(bv(7), max_subcircuit_qubits=5, worker_pool=pool)
+        assert np.allclose(
+            pooled.fd_query().probabilities,
+            serial.fd_query().probabilities,
+            atol=1e-12,
+        )
+        assert pooled.execution_report.mode == "worker-pool"
+        assert pooled.fd_top_k(2, 3) == serial.fd_top_k(2, 3)
+        assert pooled.parallel_stats is not None
+        assert pooled.parallel_stats.tasks_completed > 0
+        assert serial.parallel_stats is None
+
+
+class TestSegmentLifecycle:
+    """Shared-memory segments must not outlive their queries."""
+
+    def test_abandoned_shard_stream_frees_segments(self, bv8_pieces, monkeypatch):
+        monkeypatch.setattr(parallel_module, "_MIN_SHM_BYTES", 1)
+        monkeypatch.setattr(parallel_module, "_MIN_SHM_RESULT_BYTES", 1)
+        cut, results = bv8_pieces
+        with WorkerPool(workers=2) as shm_pool:
+            streamer = StreamingReconstructor(cut, results=results, pool=shm_pool)
+            stream = streamer.shards(3)
+            next(stream)  # consume one shard of eight, then walk away
+            stream.close()
+            handle = streamer._handle
+            # Only the published tensors remain; every worker-created
+            # result segment of the in-flight remainder was reaped.
+            assert shm_pool.stats().shm_segments == len(handle.segment_names)
+            streamer.close()
+            assert streamer._handle is None
+            assert shm_pool.stats().shm_segments == 0
+
+    def test_publish_cap_evicts_oldest(self, bv8_pieces, monkeypatch):
+        monkeypatch.setattr(parallel_module, "_MIN_SHM_BYTES", 1)
+        cut, results = bv8_pieces
+        tensors = [build_term_tensor(r) for r in results]
+        with WorkerPool(workers=1, max_published=2) as capped:
+            handles = [capped.publish(cut, tensors) for _ in range(3)]
+            assert capped.stats().shm_segments == 2 * len(tensors)
+            # The oldest publication's segments are gone; the newest live.
+            assert handles[0].handle_id not in capped._published
+            assert handles[2].handle_id in capped._published
+
+    def test_unpicklable_backend_falls_back_to_serial(self, bv8_pieces, pool):
+        cut, _ = bv8_pieces
+        executor = VariantExecutor(
+            backend=lambda circuit: np.ones(3), worker_pool=pool
+        )
+        # A lambda cannot cross the process boundary: the probe routes
+        # the batch to the serial path (which then raises on the bogus
+        # return value) instead of surfacing a pickling error.
+        with pytest.raises(ValueError, match="size"):
+            executor.run(cut.subcircuits)

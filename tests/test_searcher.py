@@ -1,6 +1,5 @@
 """Tests for the cut-search front-end."""
 
-import numpy as np
 import pytest
 
 from repro import CutSearchError, QuantumCircuit, find_cuts, supremacy

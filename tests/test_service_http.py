@@ -201,3 +201,54 @@ class TestServiceCli:
         assert response["job_id"] == created["job_id"]
         final = _poll(server, created["job_id"])
         assert final["state"] in ("done", "cancelled")
+
+
+class TestPooledService:
+    """A server holding one persistent worker pool across all jobs."""
+
+    @pytest.fixture(scope="class")
+    def pooled_server(self, tmp_path_factory):
+        instance = JobServer(
+            store_dir=tmp_path_factory.mktemp("pooled-store"),
+            port=0,
+            workers=1,
+            pool_workers=1,
+        ).start()
+        yield instance
+        instance.close()
+
+    def test_stats_reports_pool_utilization(self, pooled_server):
+        # Before any job: the pool exists but has not started workers.
+        stats = request_json("GET", f"{pooled_server.url}/stats")
+        assert stats["pool"]["workers"] == 1
+        assert stats["pool"]["started"] is False
+
+        job = {
+            "circuit": {"benchmark": "bv", "qubits": 6, "seed": 0},
+            "device_size": 5,
+            "query": {"type": "top_k", "top": 3, "shard_qubits": 2},
+        }
+        created = request_json(
+            "POST", f"{pooled_server.url}/jobs", payload=job
+        )
+        done = _poll(pooled_server, created["job_id"])
+        assert done["state"] == "done", done.get("error")
+        result = request_json(
+            "GET", f"{pooled_server.url}/jobs/{created['job_id']}/result"
+        )
+        assert result["result"]["top_states"][0]["state"] == "111111"
+        assert result["result"]["stream"]["transport"] == "pool"
+
+        stats = request_json("GET", f"{pooled_server.url}/stats")
+        pool_stats = stats["pool"]
+        assert pool_stats["started"] is True
+        assert pool_stats["tasks_completed"] > 0
+        assert pool_stats["busy_seconds"] > 0
+        assert 0.0 <= pool_stats["utilization"] <= 1.0
+        assert pool_stats["tasks_by_kind"].get("plan", 0) > 0
+        assert "busy_seconds_by_kind" in pool_stats
+        assert "wall_seconds" in pool_stats
+
+    def test_unpooled_server_reports_null_pool(self, server):
+        stats = request_json("GET", f"{server.url}/stats")
+        assert stats["pool"] is None
