@@ -86,6 +86,18 @@ BENCHES: List[Bench] = [
         artifacts=["results/BENCH_service.json", "results/bench_service.txt"],
     ),
     Bench(
+        name="variant-batch",
+        target="benchmarks/bench_variant_batch.py",
+        capped_env={
+            "REPRO_BENCH_VB_SWEEP": "14:5:4,18:5:6,22:8:5,26:10:5",
+        },
+        full_env={},  # module defaults: the 7-config fig6-style BV sweep
+        artifacts=[
+            "results/BENCH_variant_batch.json",
+            "results/bench_variant_batch.txt",
+        ],
+    ),
+    Bench(
         name="parallel-query",
         target="benchmarks/bench_parallel_query.py",
         capped_env={},  # module defaults are already CI-sized (bv-26)

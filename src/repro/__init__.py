@@ -24,6 +24,7 @@ from .cutting import (
     CutSearchError,
     CutSolution,
     Subcircuit,
+    batched_variant_probabilities,
     cut_circuit,
     cut_circuit_from_assignment,
     evaluate_subcircuit,
@@ -52,10 +53,12 @@ from .postprocess import (
     reconstruct_full,
 )
 from .sim import (
+    BatchedStatevector,
     NoiseModel,
     NoisySimulator,
     ShotSampler,
     Statevector,
+    fuse_gates,
     simulate_probabilities,
 )
 
@@ -75,6 +78,7 @@ __all__ = [
     "Subcircuit",
     "cut_circuit",
     "cut_circuit_from_assignment",
+    "batched_variant_probabilities",
     "evaluate_subcircuit",
     "find_cuts",
     "VirtualDevice",
@@ -102,7 +106,9 @@ __all__ = [
     "NoiseModel",
     "NoisySimulator",
     "ShotSampler",
+    "BatchedStatevector",
     "Statevector",
+    "fuse_gates",
     "simulate_probabilities",
     "__version__",
 ]

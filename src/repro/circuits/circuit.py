@@ -58,6 +58,21 @@ class QuantumCircuit:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    @classmethod
+    def _unchecked(
+        cls, num_qubits: int, gates: Iterable[Gate]
+    ) -> "QuantumCircuit":
+        """Adopt an already-validated gate list without re-checking it.
+
+        Internal fast path for hot builders (the variant factory emits
+        thousands of circuits whose gates were all validated once); the
+        caller guarantees every gate targets qubits below ``num_qubits``.
+        """
+        circuit = cls.__new__(cls)
+        circuit.num_qubits = int(num_qubits)
+        circuit._gates = list(gates)
+        return circuit
+
     def append(self, gate: Gate) -> "QuantumCircuit":
         """Append a gate, validating its qubits are in range."""
         for qubit in gate.qubits:

@@ -88,6 +88,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="run the query pipeline on a persistent N-process worker "
                  "pool (shared-memory tensor transport; 0 = no pool)",
         )
+        sub.add_argument(
+            "--sim-batch", type=int, default=0, metavar="B",
+            help="batched variant simulation: one fused body pass per init "
+                 "batch of <= B states, measurement bases derived from the "
+                 "retained states (exact simulation only; 0 = per-variant)",
+        )
+        sub.add_argument(
+            "--fusion-width", type=int, default=2, metavar="K",
+            help="max fused-unitary width for --sim-batch's gate-fusion "
+                 "pass (default: 2)",
+        )
 
     cut = commands.add_parser("cut", help="find cuts and print the plan")
     add_circuit_options(cut)
@@ -183,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--strategy",
                         choices=("kron", "tensor_network", "auto"),
                         default="auto")
+    submit.add_argument("--sim-batch", type=int, default=0, metavar="B",
+                        help="batched variant simulation with init batches "
+                             "of <= B states (0 = per-variant)")
+    submit.add_argument("--fusion-width", type=int, default=2, metavar="K",
+                        help="max fused-unitary width for --sim-batch")
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job finishes and print the result")
     submit.add_argument("--timeout", type=float, default=300.0,
@@ -259,6 +275,8 @@ def _build_pipeline(args: argparse.Namespace, backend=None) -> CutQC:
         strategy=getattr(args, "strategy", "kron"),
         seed=args.seed,
         worker_pool=worker_pool,
+        sim_batch=getattr(args, "sim_batch", 0),
+        fusion_width=getattr(args, "fusion_width", 2),
     )
 
 
@@ -319,6 +337,9 @@ def _execution_report_dict(report) -> Optional[dict]:
         "mode": report.mode,
         "pool_makespan_seconds": report.pool_makespan_seconds,
         "pool_serial_seconds": report.pool_serial_seconds,
+        "num_body_passes": report.num_body_passes,
+        "sim_batch": report.sim_batch,
+        "fusion_width": report.fusion_width,
     }
 
 
@@ -330,6 +351,11 @@ def _print_execution_report(report) -> None:
         f"{report.num_unique_circuits} unique circuits "
         f"(dedup {report.dedup_ratio:.2f}x, {report.mode})"
     )
+    if report.num_body_passes is not None:
+        line += (
+            f", {report.num_body_passes} fused body pass(es) "
+            f"(fusion width {report.fusion_width})"
+        )
     if report.pool_makespan_seconds is not None:
         line += (
             f", quantum makespan {report.pool_makespan_seconds:.3f}s "
@@ -677,6 +703,8 @@ def _submit_payload(args: argparse.Namespace) -> dict:
         "max_cuts": args.max_cuts,
         "method": args.method,
         "strategy": args.strategy,
+        "sim_batch": args.sim_batch,
+        "fusion_width": args.fusion_width,
         "query": query,
     }
 

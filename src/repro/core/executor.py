@@ -17,6 +17,7 @@ later attributed and contracted.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -26,11 +27,13 @@ import numpy as np
 from ..circuits import QuantumCircuit
 from ..cutting.cutter import Subcircuit
 from ..cutting.variants import (
+    INIT_LABELS,
     SubcircuitResult,
     SubcircuitVariant,
+    VariantCircuitFactory,
+    batched_variant_probabilities,
     circuit_fingerprint,
     generate_variants,
-    variant_circuit,
 )
 from ..devices.pool import DevicePool
 from ..sim.statevector import simulate_probabilities
@@ -51,11 +54,19 @@ class ExecutionReport:
     num_variants: int
     num_unique_circuits: int
     workers: int
-    mode: str  # "serial" | "process" | "pool"
+    #: "serial" | "process" | "pool" | "worker-pool" on the per-variant
+    #: path; "batched" | "batched-process" | "batched-pool" on the fused
+    #: init-batch path.
+    mode: str
     elapsed_seconds: float
     #: Modelled quantum wall-clock when a pool executed the batch.
     pool_makespan_seconds: Optional[float] = None
     pool_serial_seconds: Optional[float] = None
+    #: Batched-strategy accounting: fused body passes actually simulated
+    #: and the knobs that shaped them (None on the per-variant path).
+    num_body_passes: Optional[int] = None
+    sim_batch: Optional[int] = None
+    fusion_width: Optional[int] = None
 
     @property
     def dedup_ratio(self) -> float:
@@ -76,6 +87,19 @@ def _exec_init(backend):  # pragma: no cover - runs in worker processes
 
 def _exec_run(circuit):  # pragma: no cover - runs in worker processes
     return np.asarray(_EXEC_STATE["backend"](circuit), dtype=float)
+
+
+def _run_init_batch(payload):
+    """One shipped work unit of the batched strategy: a whole init batch.
+
+    Module-level so it crosses process boundaries (ephemeral
+    ``multiprocessing`` pools here, the persistent
+    :class:`~repro.postprocess.parallel.WorkerPool` via its own wrapper).
+    """
+    subcircuit, init_combos, fusion_width = payload
+    return batched_variant_probabilities(
+        subcircuit, fusion_width=fusion_width, init_combos=init_combos
+    )
 
 
 def _crosses_process_boundary(backend: Backend) -> bool:
@@ -120,6 +144,18 @@ class VariantExecutor:
         (mode ``"worker-pool"``) instead of forking a throwaway
         ``multiprocessing`` pool per call; ignored when a ``pool``
         (DevicePool) executes the batch.
+    sim_batch:
+        Enable the **batched strategy**: instead of executing one
+        circuit per variant, each subcircuit's measurement-free body is
+        simulated once per init batch (at most ``sim_batch`` of the
+        ``4^rho`` init states stacked per fused pass) and all ``3^O``
+        measurement bases are derived from the retained states.  Work
+        units shipped to workers are whole init-batches, never
+        individual circuits.  Exact-simulation only: mutually exclusive
+        with ``backend`` and ``pool``.  ``0`` disables.
+    fusion_width:
+        Maximum fused-unitary width for the batched strategy's
+        gate-fusion pass.
     """
 
     def __init__(
@@ -130,39 +166,60 @@ class VariantExecutor:
         pool_shots: Optional[int] = None,
         seed: Optional[int] = None,
         worker_pool=None,
+        sim_batch: int = 0,
+        fusion_width: int = 2,
     ):
         if backend is not None and pool is not None:
             raise ValueError("pass either a backend or a pool, not both")
         if workers < 1:
             raise ValueError("workers must be positive")
+        if sim_batch < 0:
+            raise ValueError("sim_batch must be >= 0")
+        from ..sim.batch import MAX_FUSION_WIDTH
+
+        if not 1 <= fusion_width <= MAX_FUSION_WIDTH:
+            raise ValueError(
+                f"fusion_width must be in [1, {MAX_FUSION_WIDTH}], "
+                f"got {fusion_width}"
+            )
+        if sim_batch and (backend is not None or pool is not None):
+            raise ValueError(
+                "sim_batch requires the exact statevector backend; it is "
+                "mutually exclusive with backend/pool execution"
+            )
         self.backend = backend
         self.workers = int(workers)
         self.pool = pool
         self.pool_shots = pool_shots
         self.seed = seed
         self.worker_pool = worker_pool
+        self.sim_batch = int(sim_batch)
+        self.fusion_width = int(fusion_width)
         self.last_report: Optional[ExecutionReport] = None
 
     # ------------------------------------------------------------------
     def run(self, subcircuits: Sequence[Subcircuit]) -> List[SubcircuitResult]:
         """Evaluate all variants of ``subcircuits``; one result per piece."""
+        if self.sim_batch:
+            return self._run_batched(subcircuits)
         began = time.perf_counter()
         subcircuits = list(subcircuits)
         # 1. Flatten: every (subcircuit, variant) pair, deduplicated by
-        #    physical-circuit fingerprint across the whole batch.
+        #    the cheap structural key across the whole batch — circuits
+        #    are only materialized for keys never seen before.
         unique_circuits: List[QuantumCircuit] = []
         slot_of: Dict[Tuple, int] = {}
         assignments: List[List[Tuple[SubcircuitVariant, int]]] = []
         local_unique: List[int] = []
         for subcircuit in subcircuits:
+            factory = VariantCircuitFactory(subcircuit)
             seen_local = set()
             variant_slots: List[Tuple[SubcircuitVariant, int]] = []
             for variant in generate_variants(subcircuit):
-                circuit = variant_circuit(subcircuit, variant)
-                key = circuit_fingerprint(circuit)
+                key = factory.structural_key(variant)
                 if key not in slot_of:
                     slot_of[key] = len(unique_circuits)
-                    unique_circuits.append(circuit)
+                    unique_circuits.append(factory.circuit(variant))
                 seen_local.add(key)
                 variant_slots.append((variant, slot_of[key]))
             assignments.append(variant_slots)
@@ -235,6 +292,108 @@ class VariantExecutor:
             return self._execute_parallel(backend, circuits), "process", None, None
         vectors = [np.asarray(backend(c), dtype=float) for c in circuits]
         return vectors, "serial", None, None
+
+    # ------------------------------------------------------------------
+    # Batched strategy: fused init-batch passes instead of circuits
+    # ------------------------------------------------------------------
+    def _run_batched(
+        self, subcircuits: Sequence[Subcircuit]
+    ) -> List[SubcircuitResult]:
+        """One fused body pass per init batch, per *unique* subcircuit.
+
+        Subcircuits with equal body keys (same body, same cut-line
+        positions) have pairwise-identical variant sets, so each group
+        is simulated once and its members share the result vectors —
+        the batched counterpart of the per-variant cross-subcircuit
+        dedup, with identical ``ExecutionReport`` accounting.
+        """
+        began = time.perf_counter()
+        subcircuits = list(subcircuits)
+        group_of: Dict[Tuple, int] = {}
+        group_heads: List[Subcircuit] = []
+        member_group: List[int] = []
+        for subcircuit in subcircuits:
+            body_key = VariantCircuitFactory(subcircuit).body_key
+            if body_key not in group_of:
+                group_of[body_key] = len(group_heads)
+                group_heads.append(subcircuit)
+            member_group.append(group_of[body_key])
+
+        # One payload per (group, init chunk): workers receive whole
+        # init-batches, never individual circuits.
+        payloads: List[Tuple[Subcircuit, List[Tuple[str, ...]], int]] = []
+        payload_group: List[int] = []
+        for index, head in enumerate(group_heads):
+            combos = [
+                tuple(combo)
+                for combo in itertools.product(
+                    INIT_LABELS, repeat=len(head.init_lines)
+                )
+            ]
+            for start in range(0, len(combos), self.sim_batch):
+                payloads.append(
+                    (head, combos[start : start + self.sim_batch],
+                     self.fusion_width)
+                )
+                payload_group.append(index)
+
+        outputs, mode = self._execute_batched(payloads)
+
+        group_probabilities: List[Dict] = [{} for _ in group_heads]
+        group_passes = [0] * len(group_heads)
+        for index, (probabilities, passes) in zip(payload_group, outputs):
+            group_probabilities[index].update(probabilities)
+            group_passes[index] += passes
+
+        results: List[SubcircuitResult] = []
+        for subcircuit, index in zip(subcircuits, member_group):
+            probabilities = group_probabilities[index]
+            results.append(
+                SubcircuitResult(
+                    subcircuit=subcircuit,
+                    probabilities=probabilities,
+                    num_variants=len(probabilities),
+                    num_unique_circuits=len(probabilities),
+                    mode="batched",
+                    num_body_passes=group_passes[index],
+                )
+            )
+        self.last_report = ExecutionReport(
+            num_subcircuits=len(subcircuits),
+            num_variants=sum(r.num_variants for r in results),
+            num_unique_circuits=sum(
+                len(probabilities) for probabilities in group_probabilities
+            ),
+            workers=self.workers,
+            mode=mode,
+            elapsed_seconds=time.perf_counter() - began,
+            num_body_passes=sum(group_passes),
+            sim_batch=self.sim_batch,
+            fusion_width=self.fusion_width,
+        )
+        return results
+
+    def _execute_batched(
+        self, payloads: Sequence[Tuple]
+    ) -> Tuple[List[Tuple[Dict, int]], str]:
+        """Run init-batch payloads serially, on the warm pool, or forked."""
+        parallel_wanted = (
+            self.worker_pool is not None or self.workers > 1
+        ) and len(payloads) > 1
+        if parallel_wanted and self.worker_pool is not None:
+            outputs = self.worker_pool.map_variant_batches(payloads)
+            return outputs, "batched-pool"
+        if parallel_wanted:
+            import multiprocessing
+
+            pool = multiprocessing.Pool(processes=self.workers)
+            try:
+                outputs = pool.map(_run_init_batch, list(payloads))
+            finally:
+                pool.terminate()
+                pool.join()
+            return outputs, "batched-process"
+        return [_run_init_batch(payload) for payload in payloads], "batched"
 
     def _execute_parallel(
         self, backend: Backend, circuits: Sequence[QuantumCircuit]

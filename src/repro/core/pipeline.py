@@ -80,6 +80,14 @@ class CutQC:
         published to shared memory once), and DD zoom rounds / large
         ``kron`` sweeps dispatch through the same pool.  The pipeline
         does not own the pool — the caller closes it.
+    sim_batch:
+        Evaluate variants with the batched fused-simulation strategy:
+        each subcircuit body runs once per init batch of at most
+        ``sim_batch`` members and all measurement bases derive from the
+        retained states.  Exact simulation only (mutually exclusive
+        with ``backend``/``device``/``pool``); ``0`` disables.
+    fusion_width:
+        Max fused-unitary width for the batched strategy's fusion pass.
     """
 
     def __init__(
@@ -98,11 +106,29 @@ class CutQC:
         strategy: str = "kron",
         seed: Optional[int] = None,
         worker_pool=None,
+        sim_batch: int = 0,
+        fusion_width: int = 2,
     ):
         if device is not None and backend is not None:
             raise ValueError("pass either a backend or a device, not both")
         if pool is not None and (backend is not None or device is not None):
             raise ValueError("pass either a pool or a backend/device, not both")
+        if sim_batch < 0:
+            raise ValueError("sim_batch must be >= 0")
+        from ..sim.batch import MAX_FUSION_WIDTH
+
+        if not 1 <= fusion_width <= MAX_FUSION_WIDTH:
+            raise ValueError(
+                f"fusion_width must be in [1, {MAX_FUSION_WIDTH}], "
+                f"got {fusion_width}"
+            )
+        if sim_batch and (
+            backend is not None or device is not None or pool is not None
+        ):
+            raise ValueError(
+                "sim_batch requires exact statevector evaluation; it is "
+                "mutually exclusive with backend/device/pool execution"
+            )
         self.circuit = circuit
         self.max_subcircuit_qubits = max_subcircuit_qubits
         self.max_subcircuits = max_subcircuits
@@ -114,6 +140,8 @@ class CutQC:
         self.seed = seed
         self.workers = int(workers)
         self.worker_pool = worker_pool
+        self.sim_batch = int(sim_batch)
+        self.fusion_width = int(fusion_width)
         self.engine = ContractionEngine(
             strategy=strategy, workers=self.workers, pool=worker_pool
         )
@@ -251,6 +279,8 @@ class CutQC:
                 pool_shots=self.pool_shots,
                 seed=self.seed,
                 worker_pool=self.worker_pool,
+                sim_batch=self.sim_batch,
+                fusion_width=self.fusion_width,
             )
             self._results = executor.run(cut.subcircuits)
             self.execution_report = executor.last_report
@@ -314,6 +344,8 @@ class CutQC:
                 seed=seed,
                 workers=self.workers,
                 cache=cache,
+                sim_batch=self.sim_batch if backend is None else 0,
+                fusion_width=self.fusion_width,
             )
         else:
             provider = PrecomputedTensorProvider(

@@ -22,6 +22,8 @@ from .variants import (
     MEAS_BASES,
     SubcircuitResult,
     SubcircuitVariant,
+    VariantCircuitFactory,
+    batched_variant_probabilities,
     circuit_fingerprint,
     evaluate_subcircuit,
     generate_variants,
@@ -53,6 +55,8 @@ __all__ = [
     "MEAS_BASES",
     "SubcircuitResult",
     "SubcircuitVariant",
+    "VariantCircuitFactory",
+    "batched_variant_probabilities",
     "circuit_fingerprint",
     "evaluate_subcircuit",
     "generate_variants",

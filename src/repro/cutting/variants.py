@@ -16,8 +16,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits import QuantumCircuit
-from ..sim.statevector import simulate_probabilities
+from ..circuits import Gate, QuantumCircuit
+from ..circuits.gates import gate_matrix
+from ..sim.statevector import INITIAL_STATES, simulate_probabilities
 from .cutter import Subcircuit
 
 __all__ = [
@@ -26,7 +27,9 @@ __all__ = [
     "SubcircuitVariant",
     "generate_variants",
     "variant_circuit",
+    "VariantCircuitFactory",
     "circuit_fingerprint",
+    "batched_variant_probabilities",
     "evaluate_subcircuit",
     "SubcircuitResult",
     "num_physical_variants",
@@ -48,6 +51,13 @@ _BASIS_GATES: Dict[str, Tuple[Tuple[str, ...], ...]] = {
     "Z": (),
     "X": (("h",),),
     "Y": (("sdg",), ("h",)),
+}
+
+#: The 2x2 unitary each non-Z basis rotation applies (gate order folded:
+#: Y measures through sdg then h, i.e. ``H @ Sdg`` as one matrix).
+_BASIS_MATRICES: Dict[str, np.ndarray] = {
+    "X": gate_matrix("h"),
+    "Y": gate_matrix("h") @ gate_matrix("sdg"),
 }
 
 
@@ -78,31 +88,89 @@ def generate_variants(subcircuit: Subcircuit) -> List[SubcircuitVariant]:
     return variants
 
 
+class VariantCircuitFactory:
+    """Emit variant circuits without re-walking the shared body per variant.
+
+    ``variant_circuit`` used to rebuild the whole gate list — body
+    included — for every one of the ``3^O * 4^rho`` variants.  The
+    factory hoists the (already validated) body gate tuple once and
+    materializes each variant as prep fragment + body + basis fragment,
+    so per-variant cost is proportional to the *fragment* size.
+
+    It also owns the **structural key**: the cheap hashable identity
+    ``(width, body gates, init/meas line positions, inits, bases)``.
+    Two variants — of the same or of different subcircuits — with equal
+    structural keys produce identical physical circuits, so every dedup
+    path can key on it instead of fingerprinting full gate lists.
+    """
+
+    def __init__(self, subcircuit: Subcircuit):
+        self.subcircuit = subcircuit
+        self._width = subcircuit.width
+        self._body = subcircuit.circuit.gates
+        self._init_positions = tuple(
+            line.line for line in subcircuit.init_lines
+        )
+        self._meas_positions = tuple(
+            line.line for line in subcircuit.meas_lines
+        )
+        self._prep_fragments = {
+            (label, position): tuple(
+                Gate(spec[0], (position,)) for spec in _PREP_GATES[label]
+            )
+            for label in INIT_LABELS
+            for position in self._init_positions
+        }
+        self._basis_fragments = {
+            (basis, position): tuple(
+                Gate(spec[0], (position,)) for spec in _BASIS_GATES[basis]
+            )
+            for basis in MEAS_BASES
+            for position in self._meas_positions
+        }
+        #: Shared-body identity; equal body keys mean *every* variant of
+        #: the two subcircuits coincides pairwise.
+        self.body_key: Tuple = (
+            self._width,
+            self._body,
+            self._init_positions,
+            self._meas_positions,
+        )
+
+    def _check_shape(self, variant: SubcircuitVariant) -> None:
+        if len(variant.inits) != len(self._init_positions):
+            raise ValueError(
+                f"variant has {len(variant.inits)} init labels, subcircuit "
+                f"has {len(self._init_positions)} init lines"
+            )
+        if len(variant.bases) != len(self._meas_positions):
+            raise ValueError(
+                f"variant has {len(variant.bases)} bases, subcircuit has "
+                f"{len(self._meas_positions)} measurement lines"
+            )
+
+    def circuit(self, variant: SubcircuitVariant) -> QuantumCircuit:
+        """The runnable circuit: state prep + body + basis rotations."""
+        self._check_shape(variant)
+        gates: List[Gate] = []
+        for label, position in zip(variant.inits, self._init_positions):
+            gates.extend(self._prep_fragments[(label, position)])
+        gates.extend(self._body)
+        for basis, position in zip(variant.bases, self._meas_positions):
+            gates.extend(self._basis_fragments[(basis, position)])
+        return QuantumCircuit._unchecked(self._width, gates)
+
+    def structural_key(self, variant: SubcircuitVariant) -> Tuple:
+        """Hashable physical-circuit identity, O(1) per variant."""
+        self._check_shape(variant)
+        return (self.body_key, variant.inits, variant.bases)
+
+
 def variant_circuit(
     subcircuit: Subcircuit, variant: SubcircuitVariant
 ) -> QuantumCircuit:
     """The runnable circuit: state prep + body + basis rotations."""
-    init_lines = subcircuit.init_lines
-    meas_lines = subcircuit.meas_lines
-    if len(variant.inits) != len(init_lines):
-        raise ValueError(
-            f"variant has {len(variant.inits)} init labels, subcircuit has "
-            f"{len(init_lines)} init lines"
-        )
-    if len(variant.bases) != len(meas_lines):
-        raise ValueError(
-            f"variant has {len(variant.bases)} bases, subcircuit has "
-            f"{len(meas_lines)} measurement lines"
-        )
-    circuit = QuantumCircuit(subcircuit.width)
-    for label, line in zip(variant.inits, init_lines):
-        for gate_spec in _PREP_GATES[label]:
-            circuit.add(gate_spec[0], (line.line,))
-    circuit.compose(subcircuit.circuit)
-    for basis, line in zip(variant.bases, meas_lines):
-        for gate_spec in _BASIS_GATES[basis]:
-            circuit.add(gate_spec[0], (line.line,))
-    return circuit
+    return VariantCircuitFactory(subcircuit).circuit(variant)
 
 
 def circuit_fingerprint(circuit: QuantumCircuit) -> Tuple:
@@ -123,6 +191,94 @@ def _statevector_backend(circuit: QuantumCircuit) -> np.ndarray:
     return simulate_probabilities(circuit)
 
 
+# ----------------------------------------------------------------------
+# Batched evaluation: one fused body pass per init batch
+# ----------------------------------------------------------------------
+
+def batched_variant_probabilities(
+    subcircuit: Subcircuit,
+    fusion_width: int = 2,
+    max_batch: int = 0,
+    init_combos: Optional[Sequence[Tuple[str, ...]]] = None,
+) -> Tuple[Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], np.ndarray], int]:
+    """Every variant distribution from a handful of fused batched passes.
+
+    Instead of ``3^O * 4^rho`` full simulations, the measurement-free
+    body is simulated **once per init batch**: the ``4^rho`` initial
+    product states are stacked on the batch axis of a
+    :class:`~repro.sim.batch.BatchedStatevector`, the body is applied as
+    fused <= ``fusion_width``-qubit unitaries, and all ``3^O``
+    measurement-basis distributions are derived from the retained final
+    states by applying only the cheap single-qubit basis rotations
+    (sharing every common basis prefix).
+
+    ``max_batch`` caps the members per pass (memory is
+    ``members * 2^width * 16`` bytes per live tensor); ``0`` runs the
+    whole init space in one pass.  ``init_combos`` restricts the sweep to
+    a subset of init label tuples — the unit a
+    :class:`~repro.core.executor.VariantExecutor` ships to pool workers.
+
+    Returns ``(probabilities, num_body_passes)`` with the same
+    ``(inits, bases) -> vector`` keying as :func:`evaluate_subcircuit`.
+    """
+    from ..sim.batch import BatchedStatevector, fuse_gates
+
+    if max_batch < 0:
+        raise ValueError("max_batch must be >= 0")
+    width = subcircuit.width
+    init_positions = [line.line for line in subcircuit.init_lines]
+    meas_positions = [line.line for line in subcircuit.meas_lines]
+    if init_combos is None:
+        init_combos = [
+            tuple(combo)
+            for combo in itertools.product(
+                INIT_LABELS, repeat=len(init_positions)
+            )
+        ]
+    else:
+        init_combos = [tuple(combo) for combo in init_combos]
+    ops = fuse_gates(subcircuit.circuit, fusion_width)
+
+    probabilities: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], np.ndarray] = {}
+    zero = INITIAL_STATES["zero"]
+
+    def emit(
+        state: "BatchedStatevector",
+        line_index: int,
+        bases: Tuple[str, ...],
+        combos: Sequence[Tuple[str, ...]],
+    ) -> None:
+        """Depth-first over measurement lines, sharing basis prefixes."""
+        if line_index == len(meas_positions):
+            vectors = state.probabilities()
+            for row, inits in enumerate(combos):
+                probabilities[(inits, bases)] = vectors[row]
+            return
+        position = meas_positions[line_index]
+        for basis in MEAS_BASES:
+            if basis == "Z":
+                rotated = state
+            else:
+                rotated = state.applied(_BASIS_MATRICES[basis], [position])
+            emit(rotated, line_index + 1, bases + (basis,), combos)
+
+    chunk = max_batch if max_batch else len(init_combos)
+    num_passes = 0
+    for start in range(0, len(init_combos), chunk):
+        combos = init_combos[start : start + chunk]
+        members = []
+        for labels in combos:
+            per_qubit = [zero] * width
+            for label, position in zip(labels, init_positions):
+                per_qubit[position] = INITIAL_STATES[label]
+            members.append(per_qubit)
+        state = BatchedStatevector.from_product_batch(members)
+        state.apply_fused(ops)
+        num_passes += 1
+        emit(state, 0, (), combos)
+    return probabilities, num_passes
+
+
 @dataclass
 class SubcircuitResult:
     """Raw evaluation results of all physical variants of one subcircuit.
@@ -131,13 +287,18 @@ class SubcircuitResult:
     of the corresponding variant (line 0 is the most significant bit).
     ``num_variants`` / ``num_unique_circuits`` record how much of the
     variant space was served by shared physical executions (beyond the
-    I/Z sharing already folded into :data:`MEAS_BASES`).
+    I/Z sharing already folded into :data:`MEAS_BASES`).  ``mode`` says
+    how the vectors were produced (``"per-variant"`` circuit executions
+    or ``"batched"`` fused body passes); ``num_body_passes`` counts the
+    batched passes (0 on the per-variant path).
     """
 
     subcircuit: Subcircuit
     probabilities: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], np.ndarray]
     num_variants: int = 0
     num_unique_circuits: int = 0
+    mode: str = "per-variant"
+    num_body_passes: int = 0
 
     @property
     def dedup_ratio(self) -> float:
@@ -153,25 +314,51 @@ class SubcircuitResult:
 def evaluate_subcircuit(
     subcircuit: Subcircuit,
     backend: Optional[Backend] = None,
+    sim_batch: int = 0,
+    fusion_width: int = 2,
 ) -> SubcircuitResult:
     """Run every physical variant of ``subcircuit`` through ``backend``.
 
     The default backend is the exact statevector simulator (what the paper
     uses for its runtime studies, §5.1); pass a noisy device's ``run`` for
-    hardware emulation.  Variants whose physical circuits coincide (same
-    width and gate list) are executed once and share the result vector;
-    the achieved ratio is reported on the returned
-    :class:`SubcircuitResult`.
+    hardware emulation.  Variants whose physical circuits coincide (equal
+    structural keys) are executed once and share the result vector; the
+    achieved ratio is reported on the returned :class:`SubcircuitResult`.
+
+    With ``sim_batch > 0`` (exact backend only) the batched fast path
+    replaces per-variant execution: the fused body runs once per init
+    batch of at most ``sim_batch`` members and all measurement bases are
+    derived from the retained states — see
+    :func:`batched_variant_probabilities`.
     """
+    if sim_batch < 0:
+        raise ValueError("sim_batch must be >= 0")
+    if sim_batch:
+        if backend is not None:
+            raise ValueError(
+                "sim_batch requires the exact statevector backend "
+                "(a custom backend evaluates whole circuits)"
+            )
+        probabilities, num_passes = batched_variant_probabilities(
+            subcircuit, fusion_width=fusion_width, max_batch=sim_batch
+        )
+        return SubcircuitResult(
+            subcircuit=subcircuit,
+            probabilities=probabilities,
+            num_variants=len(probabilities),
+            num_unique_circuits=len(probabilities),
+            mode="batched",
+            num_body_passes=num_passes,
+        )
     backend = backend or _statevector_backend
+    factory = VariantCircuitFactory(subcircuit)
     probabilities = {}
     executed: Dict[Tuple, np.ndarray] = {}
     num_variants = 0
     for variant in generate_variants(subcircuit):
-        circuit = variant_circuit(subcircuit, variant)
-        key = circuit_fingerprint(circuit)
+        key = factory.structural_key(variant)
         if key not in executed:
-            vector = np.asarray(backend(circuit), dtype=float)
+            vector = np.asarray(backend(factory.circuit(variant)), dtype=float)
             if vector.size != 1 << subcircuit.width:
                 raise ValueError(
                     f"backend returned vector of size {vector.size} for a "

@@ -260,6 +260,26 @@ def _run_reduce(payload):
     return dst_ref, meta
 
 
+def _run_variant_batch(payload):
+    """Evaluate one whole init-batch of subcircuit variants, fused.
+
+    The payload carries the subcircuit plus init *label* tuples — a few
+    hundred bytes — instead of ``3^O * 4^rho`` pickled circuits; the
+    returned dict holds every derived ``(inits, bases)`` distribution.
+    """
+    # Local import: repro.cutting does not import repro.postprocess, so
+    # this stays cycle-free and spawn-safe.
+    from ..cutting.variants import batched_variant_probabilities
+
+    subcircuit, init_combos, fusion_width = payload
+    began = time.perf_counter()
+    probabilities, passes = batched_variant_probabilities(
+        subcircuit, fusion_width=fusion_width, init_combos=init_combos
+    )
+    meta = _TaskMeta(pid=os.getpid(), elapsed_seconds=time.perf_counter() - began)
+    return probabilities, passes, meta
+
+
 def _run_backend_chunk(payload):
     """Evaluate a chunk of circuits through a pickled backend callable."""
     backend, circuits = payload
@@ -768,6 +788,32 @@ class WorkerPool:
         if vector is None:  # pragma: no cover - bounds is never empty
             raise RuntimeError("kron contraction produced no partials")
         return vector, skipped
+
+    def map_variant_batches(
+        self, payloads: Sequence[Tuple]
+    ) -> List[Tuple[Dict, int]]:
+        """Evaluate whole init-batches of subcircuit variants, warm.
+
+        Each payload is ``(subcircuit, init_combos, fusion_width)`` —
+        the batched-strategy work unit of
+        :class:`~repro.core.executor.VariantExecutor`.  Returns
+        ``(probabilities, num_body_passes)`` per payload, in order.
+        """
+        pool = self._ensure_pool()
+        pending = [
+            pool.apply_async(_run_variant_batch, (payload,))
+            for payload in payloads
+        ]
+        outputs: List[Tuple[Dict, int]] = []
+        for task in pending:
+            try:
+                probabilities, passes, meta = task.get(self.task_timeout)
+            except Exception:
+                self._record("variant-batch", None, ok=False)
+                raise
+            self._record("variant-batch", meta, ok=True)
+            outputs.append((probabilities, passes))
+        return outputs
 
     def map_backend(self, backend, circuits: Sequence) -> List[np.ndarray]:
         """Evaluate circuits through ``backend`` on the warm workers.

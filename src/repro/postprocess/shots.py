@@ -68,6 +68,15 @@ class ShotBasedTensorProvider(CachingTensorProvider):
         Reuse merged shot tensors across bins/recursions whose role
         signature matches (Algorithm 1's "group shots with common merged
         qubits together").  ``False`` redraws shots on every collapse.
+    sim_batch:
+        With the default exact backend, fill each subcircuit's variant
+        distributions from batched fused body passes (at most
+        ``sim_batch`` init states per pass) instead of simulating one
+        circuit per variant — the shots are then sampled from the
+        basis-rotated retained states.  ``0`` disables; ignored when a
+        custom ``backend`` is given.
+    fusion_width:
+        Max fused-unitary width for the batched fill's fusion pass.
     """
 
     def __init__(
@@ -79,13 +88,20 @@ class ShotBasedTensorProvider(CachingTensorProvider):
         workers: int = 1,
         cache: bool = True,
         cache_limit: int = 512,
+        sim_batch: int = 0,
+        fusion_width: int = 2,
     ):
         if shots <= 0:
             raise ValueError("shots must be positive")
+        if sim_batch < 0:
+            raise ValueError("sim_batch must be >= 0")
         super().__init__(cut_circuit, cache=cache, cache_limit=cache_limit)
         self.shots = int(shots)
+        self._exact_backend = backend is None
         self.backend = backend or simulate_probabilities
         self.workers = int(workers)
+        self.sim_batch = int(sim_batch) if backend is None else 0
+        self.fusion_width = int(fusion_width)
         self._rng = np.random.default_rng(seed)
         # Variant distributions are fixed physics: cache them so each
         # recursion redraws *shots*, not re-simulations.
@@ -111,7 +127,12 @@ class ShotBasedTensorProvider(CachingTensorProvider):
         # initialization time.
         from ..core.executor import VariantExecutor
 
-        executor = VariantExecutor(backend=self.backend, workers=self.workers)
+        executor = VariantExecutor(
+            backend=None if self._exact_backend else self.backend,
+            workers=self.workers,
+            sim_batch=self.sim_batch,
+            fusion_width=self.fusion_width,
+        )
         for result in executor.run(self.cut_circuit.subcircuits):
             index = result.subcircuit.index
             for (inits, bases), vector in result.probabilities.items():
@@ -124,6 +145,22 @@ class ShotBasedTensorProvider(CachingTensorProvider):
     ) -> np.ndarray:
         key = (subcircuit.index, variant.inits, variant.bases)
         if key not in self._distribution_cache:
+            if self.sim_batch:
+                # One batched fill per subcircuit: every (inits, bases)
+                # distribution lands at once, so a missing key means the
+                # subcircuit has not been filled yet.
+                from ..cutting.variants import batched_variant_probabilities
+
+                probabilities, _ = batched_variant_probabilities(
+                    subcircuit,
+                    fusion_width=self.fusion_width,
+                    max_batch=self.sim_batch,
+                )
+                for (inits, bases), vector in probabilities.items():
+                    self._distribution_cache[
+                        (subcircuit.index, inits, bases)
+                    ] = vector
+                return self._distribution_cache[key]
             circuit = variant_circuit(subcircuit, variant)
             self._distribution_cache[key] = np.asarray(
                 self.backend(circuit), dtype=float

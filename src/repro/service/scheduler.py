@@ -77,6 +77,8 @@ class JobSpec:
     shots: Optional[int] = None
     strategy: str = "auto"
     workers: int = 1
+    sim_batch: int = 0
+    fusion_width: int = 2
 
     def validate(self) -> None:
         if (self.benchmark is None) == (self.qasm is None):
@@ -107,6 +109,19 @@ class JobSpec:
             raise ValueError("top must be positive")
         if self.workers < 1:
             raise ValueError("workers must be positive")
+        if self.sim_batch < 0:
+            raise ValueError("sim_batch must be >= 0")
+        from ..sim.batch import MAX_FUSION_WIDTH
+
+        if not 1 <= self.fusion_width <= MAX_FUSION_WIDTH:
+            raise ValueError(
+                f"fusion_width must be in [1, {MAX_FUSION_WIDTH}]"
+            )
+        if self.sim_batch and self.device is not None:
+            raise ValueError(
+                "sim_batch requires exact statevector evaluation; it is "
+                "mutually exclusive with a device backend"
+            )
 
     # ------------------------------------------------------------------
     def build_circuit(self) -> QuantumCircuit:
@@ -118,8 +133,14 @@ class JobSpec:
         return get_benchmark(self.benchmark, self.qubits, **kwargs)
 
     def backend_tag(self) -> str:
-        """The evaluation-fingerprint backend config tag."""
-        return "statevector" if self.device is None else f"device:{self.device}"
+        """The evaluation-fingerprint backend config tag.
+
+        Batched and per-variant exact evaluation agree to ~1e-10 but are
+        not bit-identical, so they address distinct store artifacts.
+        """
+        if self.device is not None:
+            return f"device:{self.device}"
+        return "statevector:batched" if self.sim_batch else "statevector"
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -148,6 +169,9 @@ class JobRecord:
     timings: Dict[str, float] = field(default_factory=dict)
     cache_hits: Dict[str, bool] = field(default_factory=dict)
     fingerprints: Dict[str, str] = field(default_factory=dict)
+    #: Variant-execution accounting (mode, dedup, body passes) when the
+    #: evaluate stage actually ran (None on a store cache hit).
+    execution: Optional[Dict] = None
     result: Optional[Dict] = None
     error: Optional[str] = None
     cancel_requested: bool = False
@@ -167,6 +191,7 @@ class JobRecord:
             "timings": dict(self.timings),
             "cache_hits": dict(self.cache_hits),
             "fingerprints": dict(self.fingerprints),
+            "execution": self.execution,
             "error": self.error,
         }
         if include_result:
@@ -315,9 +340,14 @@ class JobScheduler:
         stage_seconds: Dict[str, List[float]] = {}
         stage_hits: Dict[str, int] = {"cut": 0, "evaluate": 0}
         stage_misses: Dict[str, int] = {"cut": 0, "evaluate": 0}
+        evaluate_modes: Dict[str, int] = {}
         total_seconds = 0.0
         for record in records:
             by_state[record.state] = by_state.get(record.state, 0) + 1
+            execution = record.execution
+            if execution is not None:
+                mode = execution.get("mode", "unknown")
+                evaluate_modes[mode] = evaluate_modes.get(mode, 0) + 1
             # Snapshot: workers insert keys at stage boundaries while we
             # iterate (dict(d) is atomic under the GIL, iteration is not).
             for stage, seconds in dict(record.timings).items():
@@ -344,6 +374,7 @@ class JobScheduler:
                 "stage_hits": stage_hits,
                 "stage_misses": stage_misses,
             },
+            "evaluate_modes": evaluate_modes,
             "stage_seconds_mean": {
                 stage: sum(values) / len(values)
                 for stage, values in stage_seconds.items()
@@ -410,6 +441,8 @@ class JobScheduler:
             strategy=spec.strategy,
             seed=spec.seed,
             worker_pool=self.worker_pool,
+            sim_batch=spec.sim_batch,
+            fusion_width=spec.fusion_width,
         )
 
         # -- stage 1: cut (checkpointed) --------------------------------
@@ -452,6 +485,15 @@ class JobScheduler:
             results = pipeline.evaluate()
             self.store.put_evaluation(evaluation_key, results)
             record.cache_hits["evaluate"] = False
+            report = pipeline.execution_report
+            if report is not None:
+                record.execution = {
+                    "mode": report.mode,
+                    "num_variants": report.num_variants,
+                    "num_unique_circuits": report.num_unique_circuits,
+                    "dedup_ratio": report.dedup_ratio,
+                    "num_body_passes": report.num_body_passes,
+                }
         record.timings["evaluate"] = time.perf_counter() - began
 
         # -- stage 3: query ---------------------------------------------

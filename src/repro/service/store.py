@@ -343,6 +343,8 @@ class ArtifactStore:
                     "width": result.subcircuit.width,
                     "num_variants": result.num_variants,
                     "num_unique_circuits": result.num_unique_circuits,
+                    "mode": result.mode,
+                    "num_body_passes": result.num_body_passes,
                     "variants": variants,
                 }
             )
@@ -422,6 +424,11 @@ class ArtifactStore:
                             num_variants=int(meta["num_variants"]),
                             num_unique_circuits=int(
                                 meta["num_unique_circuits"]
+                            ),
+                            # Absent in pre-batched artifacts.
+                            mode=str(meta.get("mode", "per-variant")),
+                            num_body_passes=int(
+                                meta.get("num_body_passes", 0)
                             ),
                         )
                     )

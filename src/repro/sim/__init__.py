@@ -7,6 +7,7 @@ from .statevector import (
     simulate_probabilities,
     simulate_statevector,
 )
+from .batch import BatchedStatevector, FusedOp, fuse_gates, simulate_batch
 from .sampler import (
     ShotSampler,
     counts_to_probabilities,
@@ -24,6 +25,10 @@ __all__ = [
     "initial_state",
     "simulate_probabilities",
     "simulate_statevector",
+    "BatchedStatevector",
+    "FusedOp",
+    "fuse_gates",
+    "simulate_batch",
     "ShotSampler",
     "counts_to_probabilities",
     "probabilities_to_counts_dict",

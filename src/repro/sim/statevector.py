@@ -118,9 +118,23 @@ class Statevector:
         return (flat.real**2 + flat.imag**2).astype(float)
 
     def probability_of(self, bitstring: str) -> float:
-        from ..utils import bitstring_to_index
-
-        return float(self.probabilities()[bitstring_to_index(bitstring)])
+        """Probability of one basis state, read without materializing
+        (or copying) the full 2**n probability vector."""
+        index = []
+        for bit in bitstring:
+            value = int(bit)
+            if value not in (0, 1):
+                raise ValueError(
+                    f"bitstring may only contain 0/1, got {bit!r}"
+                )
+            index.append(value)
+        if len(index) != self.num_qubits:
+            raise ValueError(
+                f"bitstring of length {len(index)} does not match "
+                f"{self.num_qubits} qubits"
+            )
+        amplitude = self._tensor[tuple(index)]
+        return float(amplitude.real**2 + amplitude.imag**2)
 
     def inner(self, other: "Statevector") -> complex:
         return complex(np.vdot(other.amplitudes(), self.amplitudes()))

@@ -1,0 +1,360 @@
+"""Batched+fused variant simulation: parity with the per-variant path.
+
+The batched engine must be a pure performance change: for any
+subcircuit, every ``(inits, bases)`` distribution derived from fused
+init-batch body passes has to match the serial per-variant simulation to
+1e-10, and the executor's dedup/strategy accounting must stay coherent
+under the ``batched`` strategy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CutQC, QuantumCircuit, cut_circuit_from_assignment
+from repro.circuits import build_circuit_graph
+from repro.core.executor import VariantExecutor
+from repro.cutting import (
+    batched_variant_probabilities,
+    evaluate_subcircuit,
+    num_physical_variants,
+)
+from repro.cutting.variants import VariantCircuitFactory, generate_variants
+from repro.library import get_benchmark
+from repro.postprocess import ShotBasedTensorProvider, WorkerPool
+from repro.sim import (
+    BatchedStatevector,
+    Statevector,
+    fuse_gates,
+    simulate_probabilities,
+)
+from repro.sim.statevector import INITIAL_STATES
+from tests.conftest import random_connected_circuit
+
+
+def random_small_cut(circuit, seed, max_cuts=2):
+    """A random bipartition whose implied cut set is small (or None)."""
+    graph = build_circuit_graph(circuit)
+    rng = np.random.default_rng(seed)
+    for _ in range(60):
+        assignment = rng.integers(0, 2, size=graph.num_vertices)
+        if not (0 < assignment.sum() < graph.num_vertices):
+            continue
+        num_cuts = sum(
+            1
+            for edge in graph.edges
+            if assignment[edge.source] != assignment[edge.target]
+        )
+        if num_cuts <= max_cuts:
+            return cut_circuit_from_assignment(
+                circuit, list(assignment), graph=graph
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Gate fusion
+# ----------------------------------------------------------------------
+
+class TestFusion:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_fused_matches_unfused(self, n, seed, width):
+        circuit = random_connected_circuit(n, 2 * n, seed)
+        truth = simulate_probabilities(circuit)
+        state = BatchedStatevector(n, 1)
+        state.apply_fused(fuse_gates(circuit, width))
+        assert np.allclose(state.probabilities()[0], truth, atol=1e-10)
+
+    def test_fusion_reduces_op_count(self):
+        circuit = get_benchmark("bv", 8)
+        ops = fuse_gates(circuit, 2)
+        assert len(ops) < len(circuit)
+        for op in ops:
+            assert 1 <= op.num_qubits <= 2
+            assert op.matrix.shape == (1 << op.num_qubits,) * 2
+
+    def test_width_one_folds_single_qubit_runs(self):
+        circuit = QuantumCircuit(2).h(0).t(0).s(0).cx(0, 1).h(1)
+        ops = fuse_gates(circuit, 1)
+        # h/t/s fold into one 1q block; cx stays alone (wider than the
+        # cap but always allowed its own block); h(1) folds after.
+        widths = [op.num_qubits for op in ops]
+        assert widths == [1, 2, 1]
+
+    def test_commuting_gate_merges_past_disjoint_block(self):
+        # h(0) arrives after cx(1, 2) but commutes with it, so it fuses
+        # into the earlier block containing h(0)'s qubit.
+        circuit = QuantumCircuit(3).h(0).cx(1, 2).h(0)
+        ops = fuse_gates(circuit, 2)
+        assert len(ops) == 2
+        assert np.allclose(
+            [op.matrix for op in ops if op.qubits == (0,)][0],
+            np.eye(2),
+            atol=1e-12,
+        )
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError, match="fusion_width"):
+            fuse_gates(QuantumCircuit(1).h(0), 0)
+        # Unbounded widths would let one shared qubit grow a block (and
+        # its dense unitary) to the whole circuit — hard-capped instead.
+        with pytest.raises(ValueError, match="fusion_width"):
+            fuse_gates(QuantumCircuit(1).h(0), 11)
+
+
+# ----------------------------------------------------------------------
+# Batched statevector
+# ----------------------------------------------------------------------
+
+class TestBatchedStatevector:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_members_match_serial_statevector(self, n, seed):
+        circuit = random_connected_circuit(n, 2 * n, seed)
+        rng = np.random.default_rng(seed)
+        labels = list(INITIAL_STATES)
+        members = [
+            [INITIAL_STATES[labels[rng.integers(4)]] for _ in range(n)]
+            for _ in range(5)
+        ]
+        batch = BatchedStatevector.from_product_batch(members)
+        batch.apply_circuit(circuit, fusion_width=2)
+        probabilities = batch.probabilities()
+        assert probabilities.shape == (5, 1 << n)
+        for row, states in enumerate(members):
+            serial = Statevector.from_product(states).apply_circuit(circuit)
+            assert np.allclose(
+                probabilities[row], serial.probabilities(), atol=1e-10
+            )
+            assert np.allclose(
+                batch.member(row).amplitudes(),
+                serial.amplitudes(),
+                atol=1e-10,
+            )
+
+    def test_applied_leaves_parent_untouched(self):
+        batch = BatchedStatevector(2, 3)
+        before = batch.amplitudes()
+        rotated = batch.applied(np.array([[0, 1], [1, 0]], complex), [0])
+        assert np.allclose(batch.amplitudes(), before)
+        assert not np.allclose(rotated.amplitudes(), before)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchedStatevector(0, 1)
+        with pytest.raises(ValueError):
+            BatchedStatevector(2, 0)
+        with pytest.raises(ValueError, match="does not act"):
+            BatchedStatevector(2, 1).apply_matrix(np.eye(4), [0])
+        with pytest.raises(ValueError, match="qubits"):
+            BatchedStatevector(2, 1).apply_circuit(QuantumCircuit(3).h(0))
+
+
+# ----------------------------------------------------------------------
+# Batched variant evaluation parity (the tentpole's contract)
+# ----------------------------------------------------------------------
+
+class TestBatchedVariantParity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_batched_matches_serial_all_combos(self, n, seed, width):
+        circuit = random_connected_circuit(n, 2 * n, seed)
+        cut = random_small_cut(circuit, seed + 1)
+        if cut is None:
+            return
+        for subcircuit in cut.subcircuits:
+            serial = evaluate_subcircuit(subcircuit)
+            batched, passes = batched_variant_probabilities(
+                subcircuit, fusion_width=width
+            )
+            assert passes == 1
+            assert set(batched) == set(serial.probabilities)
+            for key, vector in batched.items():
+                assert np.abs(
+                    vector - serial.probabilities[key]
+                ).max() <= 1e-10
+
+    def test_chunked_batches_cover_the_init_space(self, fig4_circuit):
+        from repro import cut_circuit
+
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        downstream = cut.subcircuits[1]  # one init line: 4 combos
+        full, one_pass = batched_variant_probabilities(downstream)
+        chunked, passes = batched_variant_probabilities(
+            downstream, max_batch=1
+        )
+        assert one_pass == 1 and passes == 4
+        assert set(full) == set(chunked)
+        for key in full:
+            assert np.allclose(full[key], chunked[key], atol=1e-12)
+
+    def test_evaluate_subcircuit_fast_path_fields(self, fig4_circuit):
+        from repro import cut_circuit
+
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        for subcircuit in cut.subcircuits:
+            result = evaluate_subcircuit(subcircuit, sim_batch=64)
+            assert result.mode == "batched"
+            assert result.num_body_passes == 1
+            assert result.num_variants == num_physical_variants(subcircuit)
+            assert result.dedup_ratio >= 1.0
+
+    def test_fast_path_rejects_custom_backend(self, fig4_circuit):
+        from repro import cut_circuit
+
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        with pytest.raises(ValueError, match="sim_batch"):
+            evaluate_subcircuit(
+                cut.subcircuits[0],
+                backend=lambda c: np.ones(1 << c.num_qubits),
+                sim_batch=8,
+            )
+
+    def test_structural_key_matches_fingerprint_dedup(self, fig4_circuit):
+        from repro import cut_circuit
+        from repro.core.executor import circuit_fingerprint
+
+        cut = cut_circuit(fig4_circuit, [(2, 1)])
+        for subcircuit in cut.subcircuits:
+            factory = VariantCircuitFactory(subcircuit)
+            keys = set()
+            fingerprints = set()
+            for variant in generate_variants(subcircuit):
+                keys.add(factory.structural_key(variant))
+                circuit = factory.circuit(variant)
+                fingerprints.add(circuit_fingerprint(circuit))
+            assert len(keys) == len(fingerprints)
+
+
+# ----------------------------------------------------------------------
+# Executor strategy + report coherence
+# ----------------------------------------------------------------------
+
+class TestBatchedExecutor:
+    @pytest.fixture
+    def bv_cut(self):
+        return CutQC(get_benchmark("bv", 11), max_subcircuit_qubits=6).cut()
+
+    def test_parity_and_report(self, bv_cut):
+        serial = VariantExecutor().run(bv_cut.subcircuits)
+        executor = VariantExecutor(sim_batch=64)
+        batched = executor.run(bv_cut.subcircuits)
+        report = executor.last_report
+        assert report.mode == "batched"
+        assert report.sim_batch == 64 and report.fusion_width == 2
+        assert report.num_variants == sum(
+            num_physical_variants(s) for s in bv_cut.subcircuits
+        )
+        assert report.num_unique_circuits <= report.num_variants
+        assert report.num_body_passes >= len(bv_cut.subcircuits)
+        for a, b in zip(serial, batched):
+            assert set(a.probabilities) == set(b.probabilities)
+            for key in a.probabilities:
+                assert np.abs(
+                    a.probabilities[key] - b.probabilities[key]
+                ).max() <= 1e-10
+
+    def test_twin_subcircuits_share_batched_results(self, bv_cut):
+        twin = [bv_cut.subcircuits[0], bv_cut.subcircuits[0]]
+        executor = VariantExecutor(sim_batch=64)
+        results = executor.run(twin)
+        report = executor.last_report
+        assert report.num_variants == 2 * report.num_unique_circuits
+        assert report.dedup_ratio == pytest.approx(2.0)
+        for key in results[0].probabilities:
+            assert (
+                results[0].probabilities[key]
+                is results[1].probabilities[key]
+            )
+
+    def test_init_batches_ship_over_worker_pool(self, bv_cut):
+        serial = VariantExecutor().run(bv_cut.subcircuits)
+        with WorkerPool(workers=2) as pool:
+            executor = VariantExecutor(sim_batch=1, worker_pool=pool)
+            pooled = executor.run(bv_cut.subcircuits)
+            stats = pool.stats()
+        assert executor.last_report.mode == "batched-pool"
+        assert stats.tasks_by_kind.get("variant-batch", 0) >= 2
+        for a, b in zip(serial, pooled):
+            for key in a.probabilities:
+                assert np.abs(
+                    a.probabilities[key] - b.probabilities[key]
+                ).max() <= 1e-10
+
+    def test_sim_batch_conflicts_rejected(self):
+        with pytest.raises(ValueError, match="sim_batch"):
+            VariantExecutor(
+                backend=simulate_probabilities, sim_batch=8
+            )
+        with pytest.raises(ValueError, match="sim_batch"):
+            VariantExecutor(sim_batch=-1)
+        with pytest.raises(ValueError, match="fusion_width"):
+            VariantExecutor(fusion_width=0)
+        with pytest.raises(ValueError, match="fusion_width"):
+            VariantExecutor(fusion_width=64)
+
+    def test_pipeline_fd_query_parity(self):
+        circuit = get_benchmark("bv", 10)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=6, sim_batch=64)
+        result = pipeline.fd_query()
+        truth = simulate_probabilities(circuit)
+        assert np.abs(result.probabilities - truth).max() <= 1e-10
+        assert pipeline.execution_report.mode == "batched"
+
+    def test_pipeline_rejects_conflicting_backends(self):
+        circuit = get_benchmark("bv", 6)
+        with pytest.raises(ValueError, match="sim_batch"):
+            CutQC(
+                circuit,
+                max_subcircuit_qubits=4,
+                backend=simulate_probabilities,
+                sim_batch=8,
+            )
+
+
+# ----------------------------------------------------------------------
+# Shot provider: sampling from basis-rotated retained states
+# ----------------------------------------------------------------------
+
+class TestShotProviderBatched:
+    def test_distribution_cache_filled_from_batched_states(self):
+        circuit = get_benchmark("bv", 8)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=5)
+        cut = pipeline.cut()
+        provider = ShotBasedTensorProvider(
+            cut, shots=512, seed=3, sim_batch=64
+        )
+        roles = {wire: ("active", None) for wire in range(8)}
+        provider.collapsed(roles)
+        assert provider._distribution_cache
+        for subcircuit in cut.subcircuits:
+            exact = evaluate_subcircuit(subcircuit)
+            for (inits, bases), vector in exact.probabilities.items():
+                key = (subcircuit.index, inits, bases)
+                assert np.abs(
+                    provider._distribution_cache[key] - vector
+                ).max() <= 1e-10
+
+    def test_dd_query_with_sim_batch_resolves_solution(self):
+        circuit = get_benchmark("bv", 9)
+        pipeline = CutQC(circuit, max_subcircuit_qubits=5, sim_batch=32)
+        query = pipeline.dd_query(
+            max_active_qubits=3,
+            max_recursions=4,
+            shots_per_variant=4096,
+            seed=11,
+        )
+        assert len(query.recursions) >= 1
