@@ -98,6 +98,18 @@ BENCHES: List[Bench] = [
         ],
     ),
     Bench(
+        name="noisy-batch",
+        target="benchmarks/bench_noisy_batch.py",
+        capped_env={
+            "REPRO_BENCH_NB_SWEEP": "10:5:3,14:5:4",
+        },
+        full_env={
+            "REPRO_BENCH_NB_SWEEP": "10:5:3,12:5:4,14:5:4,16:5:5,18:5:6",
+            "REPRO_BENCH_NB_TRAJECTORIES": "16",
+        },
+        artifacts=["results/BENCH_noisy.json", "results/bench_noisy_batch.txt"],
+    ),
+    Bench(
         name="parallel-query",
         target="benchmarks/bench_parallel_query.py",
         capped_env={},  # module defaults are already CI-sized (bv-26)

@@ -89,10 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
                  "pool (shared-memory tensor transport; 0 = no pool)",
         )
         sub.add_argument(
-            "--sim-batch", type=int, default=0, metavar="B",
+            "--sim-batch", type=int, default=None, metavar="B",
             help="batched variant simulation: one fused body pass per init "
                  "batch of <= B states, measurement bases derived from the "
-                 "retained states (exact simulation only; 0 = per-variant)",
+                 "retained states (default: on, 256; applies to exact and "
+                 "--device evaluation)",
+        )
+        sub.add_argument(
+            "--no-sim-batch", action="store_true",
+            help="force the legacy per-variant execution path "
+                 "(equivalent to --sim-batch 0)",
         )
         sub.add_argument(
             "--fusion-width", type=int, default=2, metavar="K",
@@ -115,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="evaluate subcircuits on this noisy virtual device"
                           " (default: exact statevector)")
     run.add_argument("--shots", type=int, default=8192)
+    run.add_argument("--trajectories", type=int, default=24, metavar="T",
+                     help="Monte-Carlo trajectories per variant on "
+                          "--device's batched noisy path (default: 24)")
+    run.add_argument("--noisy-method",
+                     choices=("trajectory", "density"), default="trajectory",
+                     help="batched noisy estimator for --device: "
+                          "Pauli-injection trajectories or the exact "
+                          "density-matrix channel")
     run.add_argument("--verify", action="store_true",
                      help="compare against statevector ground truth")
     run.add_argument("--stream-shards", type=int, default=None, metavar="S",
@@ -194,9 +208,25 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--strategy",
                         choices=("kron", "tensor_network", "auto"),
                         default="auto")
-    submit.add_argument("--sim-batch", type=int, default=0, metavar="B",
+    submit.add_argument("--device", choices=sorted(DEVICE_PRESETS),
+                        help="evaluate subcircuit variants on this noisy "
+                             "virtual device (batched noisy engine)")
+    submit.add_argument("--shots", type=int, default=None,
+                        help="shots per variant on --device (0 = noise-only "
+                             "distributions; default: device setting)")
+    submit.add_argument("--trajectories", type=int, default=24, metavar="T",
+                        help="Monte-Carlo trajectories per variant for "
+                             "--device's batched noisy estimator")
+    submit.add_argument("--noisy-method",
+                        choices=("trajectory", "density"),
+                        default="trajectory",
+                        help="batched noisy estimator used with --device")
+    submit.add_argument("--sim-batch", type=int, default=None, metavar="B",
                         help="batched variant simulation with init batches "
-                             "of <= B states (0 = per-variant)")
+                             "of <= B states (default: on, 256)")
+    submit.add_argument("--no-sim-batch", action="store_true",
+                        help="force per-variant execution "
+                             "(equivalent to --sim-batch 0)")
     submit.add_argument("--fusion-width", type=int, default=2, metavar="K",
                         help="max fused-unitary width for --sim-batch")
     submit.add_argument("--wait", action="store_true",
@@ -247,7 +277,14 @@ def _parse_pool(spec: str, seed: int):
     return DevicePool(devices)
 
 
-def _build_pipeline(args: argparse.Namespace, backend=None) -> CutQC:
+def _cli_sim_batch(args: argparse.Namespace) -> Optional[int]:
+    """Resolve --sim-batch/--no-sim-batch: None keeps batching default."""
+    if getattr(args, "no_sim_batch", False):
+        return 0
+    return getattr(args, "sim_batch", None)
+
+
+def _build_pipeline(args: argparse.Namespace, backend=None, device=None) -> CutQC:
     circuit = _build_circuit(args)
     pool = None
     pool_shots = None
@@ -269,13 +306,17 @@ def _build_pipeline(args: argparse.Namespace, backend=None) -> CutQC:
         max_cuts=args.max_cuts,
         method=args.method,
         backend=backend,
+        device=device,
+        device_shots=getattr(args, "shots", None) if device is not None else None,
+        trajectories=getattr(args, "trajectories", 24),
+        noisy_method=getattr(args, "noisy_method", "trajectory"),
         pool=pool,
         pool_shots=pool_shots,
         workers=getattr(args, "workers", 1),
         strategy=getattr(args, "strategy", "kron"),
         seed=args.seed,
         worker_pool=worker_pool,
-        sim_batch=getattr(args, "sim_batch", 0),
+        sim_batch=_cli_sim_batch(args),
         fusion_width=getattr(args, "fusion_width", 2),
     )
 
@@ -371,7 +412,7 @@ def _top_states(probabilities: np.ndarray, top: int, num_qubits: int):
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    backend = None
+    device = None
     if args.device and args.pool:
         print("error: pass either --device or --pool, not both", file=sys.stderr)
         return 2
@@ -384,9 +425,8 @@ def _command_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        backend = device.backend(shots=args.shots)
     try:
-        pipeline = _build_pipeline(args, backend=backend)
+        pipeline = _build_pipeline(args, device=device)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -696,17 +736,25 @@ def _submit_payload(args: argparse.Namespace) -> dict:
         )
     if args.query == "top_k" and args.shard_qubits is not None:
         query["shard_qubits"] = args.shard_qubits
-    return {
+    payload = {
         "circuit": circuit,
         "device_size": args.device_size,
         "max_subcircuits": args.max_subcircuits,
         "max_cuts": args.max_cuts,
         "method": args.method,
         "strategy": args.strategy,
-        "sim_batch": args.sim_batch,
+        "sim_batch": _cli_sim_batch(args),
         "fusion_width": args.fusion_width,
         "query": query,
     }
+    if args.device:
+        payload.update(
+            device=args.device,
+            shots=args.shots,
+            trajectories=args.trajectories,
+            noisy_method=args.noisy_method,
+        )
+    return payload
 
 
 def _print_job_document(document: dict, as_json: bool) -> None:

@@ -28,22 +28,63 @@ from ..circuits import QuantumCircuit
 from ..cutting.cutter import Subcircuit
 from ..cutting.variants import (
     INIT_LABELS,
+    NoisyEvalSpec,
     SubcircuitResult,
     SubcircuitVariant,
     VariantCircuitFactory,
+    batched_noisy_variant_probabilities,
     batched_variant_probabilities,
     circuit_fingerprint,
     generate_variants,
 )
+from ..devices.device import VirtualDevice
 from ..devices.pool import DevicePool
 from ..sim.statevector import simulate_probabilities
 
-__all__ = ["ExecutionReport", "VariantExecutor", "circuit_fingerprint"]
+__all__ = [
+    "DEFAULT_SIM_BATCH",
+    "ExecutionReport",
+    "VariantExecutor",
+    "circuit_fingerprint",
+    "resolve_sim_batch",
+]
 
 Backend = Callable[[QuantumCircuit], np.ndarray]
 
 #: A process pool is only worth spawning for at least this many circuits.
 _MIN_PARALLEL_CIRCUITS = 4
+
+#: Init-batch size used when ``sim_batch`` is left unset (``None``).
+#: Batching is the default execution mode — both for the exact
+#: statevector path and for ``--device`` noisy evaluation.
+DEFAULT_SIM_BATCH = 256
+
+
+def resolve_sim_batch(
+    sim_batch: Optional[int],
+    backend: Optional[Backend] = None,
+    pool: Optional[DevicePool] = None,
+) -> int:
+    """Resolve the ``sim_batch`` default: batching unless it can't apply.
+
+    ``None`` (unset) resolves to :data:`DEFAULT_SIM_BATCH`, except when a
+    custom ``backend`` callable or a :class:`DevicePool` executes whole
+    circuits — those paths cannot batch, so unset quietly resolves to
+    ``0``.  An *explicit* positive ``sim_batch`` combined with either
+    still raises, preserving the strict conflict check.
+    """
+    if sim_batch is None:
+        if backend is not None or pool is not None:
+            return 0
+        return DEFAULT_SIM_BATCH
+    if sim_batch < 0:
+        raise ValueError("sim_batch must be >= 0")
+    if sim_batch and (backend is not None or pool is not None):
+        raise ValueError(
+            "sim_batch requires the exact statevector backend; it is "
+            "mutually exclusive with backend/pool execution"
+        )
+    return int(sim_batch)
 
 
 @dataclass
@@ -56,7 +97,8 @@ class ExecutionReport:
     workers: int
     #: "serial" | "process" | "pool" | "worker-pool" on the per-variant
     #: path; "batched" | "batched-process" | "batched-pool" on the fused
-    #: init-batch path.
+    #: init-batch path; the same three with a "batched-noisy" prefix on
+    #: the batched device (noisy) path.
     mode: str
     elapsed_seconds: float
     #: Modelled quantum wall-clock when a pool executed the batch.
@@ -95,7 +137,17 @@ def _run_init_batch(payload):
     Module-level so it crosses process boundaries (ephemeral
     ``multiprocessing`` pools here, the persistent
     :class:`~repro.postprocess.parallel.WorkerPool` via its own wrapper).
+    Exact payloads are ``(subcircuit, combos, fusion_width)``; noisy
+    payloads append a :class:`~repro.cutting.variants.NoisyEvalSpec` —
+    the compiled geometry and fused body plan it implies are memoized
+    per process, so chunks landing on a warm worker reuse them.
     """
+    if len(payload) == 4:
+        subcircuit, init_combos, fusion_width, spec = payload
+        return batched_noisy_variant_probabilities(
+            subcircuit, spec, fusion_width=fusion_width,
+            init_combos=init_combos,
+        )
     subcircuit, init_combos, fusion_width = payload
     return batched_variant_probabilities(
         subcircuit, fusion_width=fusion_width, init_combos=init_combos
@@ -145,17 +197,37 @@ class VariantExecutor:
         ``multiprocessing`` pool per call; ignored when a ``pool``
         (DevicePool) executes the batch.
     sim_batch:
-        Enable the **batched strategy**: instead of executing one
-        circuit per variant, each subcircuit's measurement-free body is
-        simulated once per init batch (at most ``sim_batch`` of the
-        ``4^rho`` init states stacked per fused pass) and all ``3^O``
-        measurement bases are derived from the retained states.  Work
-        units shipped to workers are whole init-batches, never
-        individual circuits.  Exact-simulation only: mutually exclusive
-        with ``backend`` and ``pool``.  ``0`` disables.
+        The **batched strategy**: instead of executing one circuit per
+        variant, each subcircuit's measurement-free body is simulated
+        once per init batch (at most ``sim_batch`` of the ``4^rho`` init
+        states stacked per fused pass) and all ``3^O`` measurement bases
+        are derived from the retained states.  Work units shipped to
+        workers are whole init-batches, never individual circuits.
+        ``None`` (the default) resolves to :data:`DEFAULT_SIM_BATCH`
+        whenever batching can apply — exact simulation, or a ``device``
+        (noisy batching) — and to ``0`` under a custom ``backend`` or a
+        ``pool``.  An explicit positive value with ``backend``/``pool``
+        raises; ``0`` forces per-variant execution.
     fusion_width:
         Maximum fused-unitary width for the batched strategy's
         gate-fusion pass.
+    device:
+        A :class:`~repro.devices.device.VirtualDevice`.  With batching
+        on (the default) variants evaluate through the batched noisy
+        engine (:func:`~repro.cutting.variants.batched_noisy_variant_probabilities`)
+        with fused bodies memoized per worker process; with
+        ``sim_batch=0`` the device's legacy per-circuit ``backend()``
+        closure runs instead.  Mutually exclusive with ``backend`` and
+        ``pool``.
+    device_shots:
+        Shots per variant on the device path (``None`` = the device's
+        own default; ``0`` = noise-only distributions without shot
+        noise).
+    trajectories:
+        Monte-Carlo trajectories for the device path's noisy estimator.
+    noisy_method:
+        ``"trajectory"`` (default) or ``"density"`` — the batched noisy
+        estimator; ignored without a ``device``.
     """
 
     def __init__(
@@ -166,15 +238,21 @@ class VariantExecutor:
         pool_shots: Optional[int] = None,
         seed: Optional[int] = None,
         worker_pool=None,
-        sim_batch: int = 0,
+        sim_batch: Optional[int] = None,
         fusion_width: int = 2,
+        device: Optional[VirtualDevice] = None,
+        device_shots: Optional[int] = None,
+        trajectories: int = 24,
+        noisy_method: str = "trajectory",
     ):
         if backend is not None and pool is not None:
             raise ValueError("pass either a backend or a pool, not both")
+        if device is not None and backend is not None:
+            raise ValueError("pass either a device or a backend, not both")
+        if device is not None and pool is not None:
+            raise ValueError("pass either a device or a pool, not both")
         if workers < 1:
             raise ValueError("workers must be positive")
-        if sim_batch < 0:
-            raise ValueError("sim_batch must be >= 0")
         from ..sim.batch import MAX_FUSION_WIDTH
 
         if not 1 <= fusion_width <= MAX_FUSION_WIDTH:
@@ -182,19 +260,31 @@ class VariantExecutor:
                 f"fusion_width must be in [1, {MAX_FUSION_WIDTH}], "
                 f"got {fusion_width}"
             )
-        if sim_batch and (backend is not None or pool is not None):
-            raise ValueError(
-                "sim_batch requires the exact statevector backend; it is "
-                "mutually exclusive with backend/pool execution"
-            )
-        self.backend = backend
         self.workers = int(workers)
         self.pool = pool
         self.pool_shots = pool_shots
         self.seed = seed
         self.worker_pool = worker_pool
-        self.sim_batch = int(sim_batch)
+        self.sim_batch = resolve_sim_batch(sim_batch, backend=backend, pool=pool)
         self.fusion_width = int(fusion_width)
+        self.device = device
+        self.noisy_spec: Optional[NoisyEvalSpec] = None
+        if device is not None and self.sim_batch:
+            self.noisy_spec = NoisyEvalSpec(
+                device=device,
+                method=noisy_method,
+                trajectories=trajectories,
+                shots=device.shots if device_shots is None else device_shots,
+                seed=seed,
+            )
+            self.backend = None
+        elif device is not None:
+            # Explicit sim_batch=0: the legacy per-circuit closure.
+            self.backend = device.backend(
+                shots=device_shots, trajectories=trajectories, seed=seed
+            )
+        else:
+            self.backend = backend
         self.last_report: Optional[ExecutionReport] = None
 
     # ------------------------------------------------------------------
@@ -320,8 +410,9 @@ class VariantExecutor:
             member_group.append(group_of[body_key])
 
         # One payload per (group, init chunk): workers receive whole
-        # init-batches, never individual circuits.
-        payloads: List[Tuple[Subcircuit, List[Tuple[str, ...]], int]] = []
+        # init-batches, never individual circuits.  On the noisy path
+        # the spec rides along; geometry compiles once per process.
+        payloads: List[Tuple] = []
         payload_group: List[int] = []
         for index, head in enumerate(group_heads):
             combos = [
@@ -331,10 +422,13 @@ class VariantExecutor:
                 )
             ]
             for start in range(0, len(combos), self.sim_batch):
-                payloads.append(
-                    (head, combos[start : start + self.sim_batch],
-                     self.fusion_width)
-                )
+                chunk = combos[start : start + self.sim_batch]
+                if self.noisy_spec is not None:
+                    payloads.append(
+                        (head, chunk, self.fusion_width, self.noisy_spec)
+                    )
+                else:
+                    payloads.append((head, chunk, self.fusion_width))
                 payload_group.append(index)
 
         outputs, mode = self._execute_batched(payloads)
@@ -345,6 +439,7 @@ class VariantExecutor:
             group_probabilities[index].update(probabilities)
             group_passes[index] += passes
 
+        result_mode = "batched-noisy" if self.noisy_spec is not None else "batched"
         results: List[SubcircuitResult] = []
         for subcircuit, index in zip(subcircuits, member_group):
             probabilities = group_probabilities[index]
@@ -354,7 +449,7 @@ class VariantExecutor:
                     probabilities=probabilities,
                     num_variants=len(probabilities),
                     num_unique_circuits=len(probabilities),
-                    mode="batched",
+                    mode=result_mode,
                     num_body_passes=group_passes[index],
                 )
             )
@@ -377,12 +472,13 @@ class VariantExecutor:
         self, payloads: Sequence[Tuple]
     ) -> Tuple[List[Tuple[Dict, int]], str]:
         """Run init-batch payloads serially, on the warm pool, or forked."""
+        prefix = "batched-noisy" if self.noisy_spec is not None else "batched"
         parallel_wanted = (
             self.worker_pool is not None or self.workers > 1
         ) and len(payloads) > 1
         if parallel_wanted and self.worker_pool is not None:
             outputs = self.worker_pool.map_variant_batches(payloads)
-            return outputs, "batched-pool"
+            return outputs, f"{prefix}-pool"
         if parallel_wanted:
             import multiprocessing
 
@@ -392,8 +488,8 @@ class VariantExecutor:
             finally:
                 pool.terminate()
                 pool.join()
-            return outputs, "batched-process"
-        return [_run_init_batch(payload) for payload in payloads], "batched"
+            return outputs, f"{prefix}-process"
+        return [_run_init_batch(payload) for payload in payloads], prefix
 
     def _execute_parallel(
         self, backend: Backend, circuits: Sequence[QuantumCircuit]

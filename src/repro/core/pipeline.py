@@ -35,7 +35,7 @@ from ..postprocess import (
     StreamStats,
     StreamingReconstructor,
 )
-from .executor import ExecutionReport, VariantExecutor
+from .executor import ExecutionReport, VariantExecutor, resolve_sim_batch
 
 __all__ = ["CutQC", "evaluate_with_cutqc"]
 
@@ -84,10 +84,23 @@ class CutQC:
         Evaluate variants with the batched fused-simulation strategy:
         each subcircuit body runs once per init batch of at most
         ``sim_batch`` members and all measurement bases derive from the
-        retained states.  Exact simulation only (mutually exclusive
-        with ``backend``/``device``/``pool``); ``0`` disables.
+        retained states.  ``None`` (the default) turns batching **on**
+        — exact statevector batching, or batched noisy evaluation when
+        a ``device`` is set — resolving to ``0`` only under a custom
+        ``backend`` or ``pool``.  An explicit positive value with
+        ``backend``/``pool`` raises; ``0`` forces the legacy
+        per-variant path (the ``--no-sim-batch`` escape hatch).
     fusion_width:
         Max fused-unitary width for the batched strategy's fusion pass.
+    device_shots:
+        Shots per variant on the batched device path (``None`` = the
+        device's configured default, ``0`` = noise-only distributions).
+    trajectories:
+        Monte-Carlo trajectories per variant for batched noisy
+        evaluation on a ``device``.
+    noisy_method:
+        ``"trajectory"`` (default) or ``"density"`` — the batched noisy
+        estimator used with a ``device``.
     """
 
     def __init__(
@@ -106,15 +119,16 @@ class CutQC:
         strategy: str = "kron",
         seed: Optional[int] = None,
         worker_pool=None,
-        sim_batch: int = 0,
+        sim_batch: Optional[int] = None,
         fusion_width: int = 2,
+        device_shots: Optional[int] = None,
+        trajectories: int = 24,
+        noisy_method: str = "trajectory",
     ):
         if device is not None and backend is not None:
             raise ValueError("pass either a backend or a device, not both")
         if pool is not None and (backend is not None or device is not None):
             raise ValueError("pass either a pool or a backend/device, not both")
-        if sim_batch < 0:
-            raise ValueError("sim_batch must be >= 0")
         from ..sim.batch import MAX_FUSION_WIDTH
 
         if not 1 <= fusion_width <= MAX_FUSION_WIDTH:
@@ -122,25 +136,29 @@ class CutQC:
                 f"fusion_width must be in [1, {MAX_FUSION_WIDTH}], "
                 f"got {fusion_width}"
             )
-        if sim_batch and (
-            backend is not None or device is not None or pool is not None
-        ):
+        if noisy_method not in ("trajectory", "density"):
             raise ValueError(
-                "sim_batch requires exact statevector evaluation; it is "
-                "mutually exclusive with backend/device/pool execution"
+                f"noisy_method must be 'trajectory' or 'density', "
+                f"got {noisy_method!r}"
             )
+        if trajectories < 1:
+            raise ValueError("trajectories must be positive")
         self.circuit = circuit
         self.max_subcircuit_qubits = max_subcircuit_qubits
         self.max_subcircuits = max_subcircuits
         self.max_cuts = max_cuts
         self.method = method
-        self.backend = device.backend() if device is not None else backend
+        self.backend = backend
+        self.device = device
+        self.device_shots = device_shots
+        self.trajectories = int(trajectories)
+        self.noisy_method = noisy_method
         self.pool = pool
         self.pool_shots = pool_shots
         self.seed = seed
         self.workers = int(workers)
         self.worker_pool = worker_pool
-        self.sim_batch = int(sim_batch)
+        self.sim_batch = resolve_sim_batch(sim_batch, backend=backend, pool=pool)
         self.fusion_width = int(fusion_width)
         self.engine = ContractionEngine(
             strategy=strategy, workers=self.workers, pool=worker_pool
@@ -188,17 +206,24 @@ class CutQC:
         backend: str = "statevector",
         shots: Optional[int] = None,
         seed: Optional[int] = None,
+        config: Optional[dict] = None,
     ) -> str:
         """Content fingerprint of the evaluate stage.
 
         ``backend`` is a config *tag* describing how variants are
-        executed (e.g. ``"statevector"``, ``"device:bogota"``) — the
-        callable itself cannot be hashed.
+        executed (e.g. ``"statevector:batched:v2"``,
+        ``"device:bogota:trajectory:batched:v1"``) — the callable itself
+        cannot be hashed.  ``config`` carries extra result-shaping knobs
+        (e.g. trajectory counts) into the digest.
         """
         from ..service.store import evaluation_fingerprint
 
         return evaluation_fingerprint(
-            self.cut_fingerprint(), backend=backend, shots=shots, seed=seed
+            self.cut_fingerprint(),
+            backend=backend,
+            shots=shots,
+            seed=seed,
+            config=config,
         )
 
     def load_cut(
@@ -281,6 +306,10 @@ class CutQC:
                 worker_pool=self.worker_pool,
                 sim_batch=self.sim_batch,
                 fusion_width=self.fusion_width,
+                device=self.device,
+                device_shots=self.device_shots,
+                trajectories=self.trajectories,
+                noisy_method=self.noisy_method,
             )
             self._results = executor.run(cut.subcircuits)
             self.execution_report = executor.last_report
@@ -330,6 +359,15 @@ class CutQC:
             from ..postprocess import ShotBasedTensorProvider
 
             backend = self.backend
+            if backend is None and self.device is not None:
+                # Shot-based DD re-samples per variant: route through the
+                # device's per-circuit closure (the batched engine serves
+                # the precomputed-tensor path via evaluate()).
+                backend = self.device.backend(
+                    shots=self.device_shots,
+                    trajectories=self.trajectories,
+                    seed=seed if seed is not None else self.seed,
+                )
             if backend is None and self.pool is not None:
                 # Honor a configured pool in shot-based DD too (fd_query
                 # already executes through it).

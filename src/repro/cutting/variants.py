@@ -11,15 +11,20 @@ circuits a quantum device actually runs.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits import Gate, QuantumCircuit
 from ..circuits.gates import gate_matrix
+from ..sim.noise import NoiseModel, clean_log_weight
 from ..sim.statevector import INITIAL_STATES, simulate_probabilities
 from .cutter import Subcircuit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..devices.device import VirtualDevice
 
 __all__ = [
     "MEAS_BASES",
@@ -30,6 +35,8 @@ __all__ = [
     "VariantCircuitFactory",
     "circuit_fingerprint",
     "batched_variant_probabilities",
+    "NoisyEvalSpec",
+    "batched_noisy_variant_probabilities",
     "evaluate_subcircuit",
     "SubcircuitResult",
     "num_physical_variants",
@@ -279,6 +286,517 @@ def batched_variant_probabilities(
     return probabilities, num_passes
 
 
+# ----------------------------------------------------------------------
+# Batched *noisy* evaluation: fused-body residency for device backends
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NoisyEvalSpec:
+    """Configuration of one batched noisy evaluation.
+
+    Picklable by construction — a spec rides inside the init-batch
+    payloads a :class:`~repro.core.executor.VariantExecutor` ships to
+    worker processes.  Exactly one of ``noise`` (simulate the raw
+    subcircuit under a bare noise model) or ``device`` (transpile the
+    body onto the device and use its noise model, the ``--device``
+    pipeline path) must be set.
+
+    ``method`` selects the estimator: ``"trajectory"`` is the batched
+    Pauli-injection Monte-Carlo sampler (matches the serial
+    :class:`~repro.sim.noise.NoisySimulator` estimator family),
+    ``"density"`` evolves the exact depolarizing channel through a
+    :class:`~repro.sim.density.BatchedDensityMatrix`.  ``shots`` of 0 or
+    ``None`` return estimated distributions without shot noise.  All
+    randomness derives from keyed child streams under ``seed`` (see
+    :func:`~repro.sim.noise.spawn_rng`), so results are bit-identical
+    for any worker count or chunking.
+    """
+
+    noise: Optional[NoiseModel] = None
+    device: Optional["VirtualDevice"] = None
+    method: str = "trajectory"
+    trajectories: int = 24
+    shots: Optional[int] = 8192
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("trajectory", "density"):
+            raise ValueError(
+                f"method must be 'trajectory' or 'density', got {self.method!r}"
+            )
+        if (self.noise is None) == (self.device is None):
+            raise ValueError("pass exactly one of noise or device")
+        if self.trajectories <= 0:
+            raise ValueError("trajectories must be positive")
+
+    @property
+    def effective_noise(self) -> NoiseModel:
+        return self.device.noise if self.device is not None else self.noise
+
+
+@dataclass(frozen=True)
+class _Fragment:
+    """A compiled 1q prep/basis fragment on one simulated wire.
+
+    ``gates`` are the fragment's (possibly native-decomposed) gates with
+    qubits already remapped to the simulated register; ``matrix`` is
+    their noise-free fold; ``log_clean`` the fragment's no-injection
+    log-weight; ``rho``/``vector`` (prep only) the per-qubit 2x2 noisy
+    density / clean 2-vector the fragment leaves behind — this is how
+    prep folds into the first body block instead of costing a pass.
+    """
+
+    gates: Tuple[Gate, ...]
+    wire: int
+    log_clean: float
+    matrix: np.ndarray
+    rho: Optional[np.ndarray] = None
+    vector: Optional[np.ndarray] = None
+
+
+class _NoisyGeometry:
+    """Everything fixed across a subcircuit's variants, compiled once."""
+
+    __slots__ = ("num_wires", "plan", "clean_ops", "prep", "basis", "keep")
+
+    def __init__(self, num_wires, plan, clean_ops, prep, basis, keep):
+        self.num_wires = num_wires
+        self.plan = plan
+        self.clean_ops = clean_ops
+        self.prep = prep
+        self.basis = basis
+        self.keep = keep
+
+
+#: Per-process geometry memo — the fused-body residency layer: chunks of
+#: the same subcircuit landing on the same warm worker reuse the routed,
+#: planned and fused body instead of re-transpiling/re-fusing per payload.
+_GEOMETRY_CACHE: "OrderedDict[Tuple, _NoisyGeometry]" = OrderedDict()
+_GEOMETRY_CACHE_LIMIT = 64
+
+
+def _fold_matrices(gates: Sequence[Gate]) -> np.ndarray:
+    matrix = np.eye(2, dtype=complex)
+    for gate in gates:
+        matrix = gate.matrix() @ matrix
+    return matrix
+
+
+def _prep_density(gates: Sequence[Gate], error_1q: float) -> np.ndarray:
+    """The 2x2 density a noisy 1q prep fragment leaves on its wire."""
+    rho = np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex)
+    lam = error_1q * 4.0 / 3.0
+    for gate in gates:
+        matrix = gate.matrix()
+        rho = matrix @ rho @ matrix.conj().T
+        if error_1q > 0.0:
+            rho = (1.0 - lam) * rho + lam * np.trace(rho) * np.eye(2) / 2.0
+    return rho
+
+
+def _compiled_noisy_geometry(
+    subcircuit: Subcircuit, spec: NoisyEvalSpec, fusion_width: int
+) -> _NoisyGeometry:
+    """Compile (and memoize) the variant-invariant noisy machinery.
+
+    On the device path the *body alone* is transpiled: layout selection
+    ignores gate contents and the 1q prep/basis fragments route in place
+    without SWAPs, so ``native(prep) @ initial_layout + routed(body) +
+    native(basis) @ final_layout`` is gate-for-gate the transpile of the
+    full variant circuit — one routing pass serves all ``3^O * 4^rho``
+    variants.
+    """
+    from ..sim.batch import fuse_gates
+    from ..sim.noisy_batch import noisy_body_plan
+
+    noise = spec.effective_noise
+    width = subcircuit.width
+    init_positions = tuple(line.line for line in subcircuit.init_lines)
+    meas_positions = tuple(line.line for line in subcircuit.meas_lines)
+    device_key = None
+    if spec.device is not None:
+        device = spec.device
+        device_key = (
+            device.name, device.num_qubits, device.coupling_map, device.noise,
+        )
+    key = (
+        subcircuit.circuit.gates, width, init_positions, meas_positions,
+        device_key, noise, fusion_width,
+    )
+    cached = _GEOMETRY_CACHE.get(key)
+    if cached is not None:
+        try:
+            _GEOMETRY_CACHE.move_to_end(key)
+        except KeyError:  # pragma: no cover - concurrent eviction
+            pass
+        return cached
+
+    if spec.device is not None:
+        from ..devices.transpiler import _native_1q, compact_circuit, transpile
+
+        transpiled = transpile(subcircuit.circuit, spec.device)
+        anchors = set(transpiled.initial_layout) | set(transpiled.final_layout)
+        compact, kept_wires = compact_circuit(
+            transpiled.circuit, keep=sorted(anchors)
+        )
+        remap = {wire: index for index, wire in enumerate(kept_wires)}
+        body_gates = compact.gates
+        num_wires = compact.num_qubits
+
+        def fragment_gates(specs, physical):
+            gates: List[Gate] = []
+            for gate_spec in specs:
+                gates.extend(_native_1q(Gate(gate_spec[0], (physical,))))
+            return tuple(gates)
+
+        def prep_wire(position):
+            return remap[transpiled.initial_layout[position]]
+
+        def basis_wire(position):
+            return remap[transpiled.final_layout[position]]
+
+        keep = [remap[transpiled.final_layout[q]] for q in range(width)]
+    else:
+        body_gates = subcircuit.circuit.gates
+        num_wires = width
+
+        def fragment_gates(specs, position):
+            return tuple(Gate(gate_spec[0], (position,)) for gate_spec in specs)
+
+        def prep_wire(position):
+            return position
+
+        def basis_wire(position):
+            return position
+
+        keep = None
+
+    prep: Dict[Tuple[str, int], _Fragment] = {}
+    for line_index, position in enumerate(init_positions):
+        wire = prep_wire(position)
+        for label in INIT_LABELS:
+            gates = fragment_gates(_PREP_GATES[label], wire)
+            prep[(label, line_index)] = _Fragment(
+                gates=gates,
+                wire=wire,
+                log_clean=clean_log_weight(gates, noise),
+                matrix=_fold_matrices(gates),
+                rho=_prep_density(gates, noise.error_1q),
+                vector=_fold_matrices(gates) @ INITIAL_STATES["zero"],
+            )
+    basis: Dict[Tuple[str, int], _Fragment] = {}
+    for line_index, position in enumerate(meas_positions):
+        wire = basis_wire(position)
+        for name in MEAS_BASES:
+            gates = fragment_gates(_BASIS_GATES[name], wire)
+            basis[(name, line_index)] = _Fragment(
+                gates=gates,
+                wire=wire,
+                log_clean=clean_log_weight(gates, noise),
+                matrix=_fold_matrices(gates),
+            )
+
+    geometry = _NoisyGeometry(
+        num_wires=num_wires,
+        plan=noisy_body_plan(body_gates, noise, num_wires, fusion_width),
+        clean_ops=fuse_gates(body_gates, fusion_width),
+        prep=prep,
+        basis=basis,
+        keep=keep,
+    )
+    _GEOMETRY_CACHE[key] = geometry
+    while len(_GEOMETRY_CACHE) > _GEOMETRY_CACHE_LIMIT:
+        _GEOMETRY_CACHE.popitem(last=False)
+    return geometry
+
+
+def _labels_code(labels: Sequence[str]) -> int:
+    """Global init-combo index (mixed-radix over :data:`INIT_LABELS`).
+
+    Derived from the combo *content*, so RNG keys built on it are
+    independent of how the init space was chunked across workers.
+    """
+    code = 0
+    for label in labels:
+        code = code * len(INIT_LABELS) + INIT_LABELS.index(label)
+    return code
+
+
+def _bases_code(bases: Sequence[str]) -> int:
+    code = 0
+    for name in bases:
+        code = code * len(MEAS_BASES) + MEAS_BASES.index(name)
+    return code
+
+
+def batched_noisy_variant_probabilities(
+    subcircuit: Subcircuit,
+    spec: NoisyEvalSpec,
+    fusion_width: int = 2,
+    max_batch: int = 0,
+    init_combos: Optional[Sequence[Tuple[str, ...]]] = None,
+) -> Tuple[Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], np.ndarray], int]:
+    """Every *noisy* variant distribution from shared batched body passes.
+
+    The noisy analogue of :func:`batched_variant_probabilities`: the
+    (transpiled, on the device path) measurement-free body is evolved
+    once per init batch — prep fragments folded into the initial product
+    states, so ``rho = 0`` variants never cost an extra pass — and all
+    ``3^O`` basis distributions are derived from the retained states by
+    applying only the cheap noisy 1q basis fragments.
+
+    ``method="trajectory"`` runs one noise-free clean pass plus
+    ``spec.trajectories`` injection passes per chunk (each a *fixed*
+    Pauli pattern, hence one linear map for the whole batch) and mixes
+    them with the analytic clean weight exactly like the serial
+    :class:`~repro.sim.noise.NoisySimulator`.  ``method="density"``
+    evolves the exact channel in one batched density pass.  Trajectory
+    injections, basis-fragment injections and shot sampling all draw
+    from keyed child RNGs (:func:`~repro.sim.noise.spawn_rng`) whose
+    keys encode ``(stage, subcircuit, trajectory, item)`` — results are
+    bit-identical regardless of worker count or chunk order.
+
+    Returns ``(probabilities, num_body_passes)`` keyed like
+    :func:`evaluate_subcircuit`; on the device path each vector is
+    already marginalized to the subcircuit's logical qubits.
+    """
+    from ..sim.batch import BatchedStatevector
+    from ..sim.density import BatchedDensityMatrix
+    from ..sim.noise import spawn_rng
+    from ..sim.noisy_batch import (
+        PAULI_NAMES_1Q,
+        apply_readout_error_rows,
+        marginalize_rows,
+        run_density_body,
+        run_trajectory_body,
+        sample_injection_pattern,
+    )
+    from ..sim.sampler import sample_distribution
+
+    if max_batch < 0:
+        raise ValueError("max_batch must be >= 0")
+    geometry = _compiled_noisy_geometry(subcircuit, spec, fusion_width)
+    noise = spec.effective_noise
+    gate_noise = noise.error_1q > 0.0 or noise.error_2q > 0.0
+    num_meas = len(subcircuit.meas_lines)
+    index = subcircuit.index
+    seed = spec.seed
+    zero_vector = INITIAL_STATES["zero"]
+    zero_rho = np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex)
+    pauli_1q = [gate_matrix(name) for name in PAULI_NAMES_1Q]
+
+    if init_combos is None:
+        init_combos = [
+            tuple(combo)
+            for combo in itertools.product(
+                INIT_LABELS, repeat=len(subcircuit.init_lines)
+            )
+        ]
+    else:
+        init_combos = [tuple(combo) for combo in init_combos]
+
+    def density_chunk(combos):
+        """One exact-channel pass; returns ``bases -> (B, 2^n)`` rows."""
+        members = []
+        for labels in combos:
+            per_wire = [zero_rho] * geometry.num_wires
+            for line_index, label in enumerate(labels):
+                fragment = geometry.prep[(label, line_index)]
+                per_wire[fragment.wire] = fragment.rho
+            members.append(per_wire)
+        state = BatchedDensityMatrix.from_product_batch(members)
+        run_density_body(geometry.plan, state)
+        leaves: Dict[Tuple[str, ...], np.ndarray] = {}
+
+        def emit(state, line_index, bases):
+            if line_index == num_meas:
+                leaves[bases] = state.probabilities()
+                return
+            for name in MEAS_BASES:
+                fragment = geometry.basis[(name, line_index)]
+                branch = state
+                for position, gate in enumerate(fragment.gates):
+                    if position == 0:
+                        branch = state.applied(gate.matrix(), gate.qubits)
+                    else:
+                        branch.apply_matrix(gate.matrix(), gate.qubits)
+                    branch.apply_depolarizing(gate.qubits, noise.error_1q)
+                emit(branch, line_index + 1, bases + (name,))
+
+        emit(state, 0, ())
+        return leaves, 1
+
+    def trajectory_chunk(combos):
+        """Clean pass + T shared-pattern passes, mixed per variant."""
+        batch = len(combos)
+        codes = [_labels_code(labels) for labels in combos]
+        clean_members = []
+        for labels in combos:
+            per_wire = [zero_vector] * geometry.num_wires
+            for line_index, label in enumerate(labels):
+                fragment = geometry.prep[(label, line_index)]
+                per_wire[fragment.wire] = fragment.vector
+            clean_members.append(per_wire)
+        clean_state = BatchedStatevector.from_product_batch(clean_members)
+        clean_state.apply_fused(geometry.clean_ops)
+        clean_leaves: Dict[Tuple[str, ...], np.ndarray] = {}
+
+        def emit_clean(state, line_index, bases):
+            if line_index == num_meas:
+                clean_leaves[bases] = state.probabilities()
+                return
+            for name in MEAS_BASES:
+                fragment = geometry.basis[(name, line_index)]
+                branch = state
+                if fragment.gates:
+                    branch = state.applied(fragment.matrix, [fragment.wire])
+                emit_clean(branch, line_index + 1, bases + (name,))
+
+        emit_clean(clean_state, 0, ())
+        passes = 1
+        if not gate_noise:
+            # The serial simulator's shortcut: no gate noise means the
+            # clean pass *is* the estimate (readout applies downstream).
+            return clean_leaves, passes
+
+        sums = {
+            bases: np.zeros_like(rows) for bases, rows in clean_leaves.items()
+        }
+        counts = {
+            bases: np.zeros(batch, dtype=np.int64) for bases in clean_leaves
+        }
+        for trajectory in range(spec.trajectories):
+            pattern, body_injected = sample_injection_pattern(
+                geometry.plan, spawn_rng(seed, 0, index, trajectory)
+            )
+            members = []
+            prep_injected = np.zeros(batch, dtype=bool)
+            for row, labels in enumerate(combos):
+                per_wire = [zero_vector] * geometry.num_wires
+                rng = spawn_rng(seed, 1, index, trajectory, codes[row])
+                fired = False
+                for line_index, label in enumerate(labels):
+                    fragment = geometry.prep[(label, line_index)]
+                    vector = zero_vector
+                    for gate in fragment.gates:
+                        vector = gate.matrix() @ vector
+                        if rng.random() < noise.error_1q:
+                            vector = pauli_1q[rng.integers(3)] @ vector
+                            fired = True
+                    per_wire[fragment.wire] = vector
+                members.append(per_wire)
+                prep_injected[row] = fired
+            state = BatchedStatevector.from_product_batch(members)
+            run_trajectory_body(geometry.plan, state, pattern)
+            passes += 1
+
+            def emit_noisy(state, line_index, bases, code, injected):
+                if line_index == num_meas:
+                    mask = prep_injected | (body_injected or injected)
+                    if mask.any():
+                        rows = state.probabilities()
+                        sums[bases][mask] += rows[mask]
+                        counts[bases][mask] += 1
+                    return
+                for name in MEAS_BASES:
+                    fragment = geometry.basis[(name, line_index)]
+                    child = code * len(MEAS_BASES) + MEAS_BASES.index(name)
+                    if not fragment.gates:
+                        emit_noisy(
+                            state, line_index + 1, bases + (name,), child,
+                            injected,
+                        )
+                        continue
+                    rng = spawn_rng(
+                        seed, 2, index, trajectory, line_index, child
+                    )
+                    branch = None
+                    fired = injected
+                    for gate in fragment.gates:
+                        if branch is None:
+                            branch = state.applied(gate.matrix(), gate.qubits)
+                        else:
+                            branch.apply_matrix(gate.matrix(), gate.qubits)
+                        if rng.random() < noise.error_1q:
+                            branch.apply_matrix(
+                                pauli_1q[rng.integers(3)], gate.qubits
+                            )
+                            fired = True
+                    emit_noisy(
+                        branch, line_index + 1, bases + (name,), child, fired
+                    )
+
+            emit_noisy(state, 0, (), 0, False)
+
+        log_prep = np.array(
+            [
+                sum(
+                    geometry.prep[(label, line_index)].log_clean
+                    for line_index, label in enumerate(labels)
+                )
+                for labels in combos
+            ]
+        )
+        leaves: Dict[Tuple[str, ...], np.ndarray] = {}
+        for bases, clean_rows in clean_leaves.items():
+            log_weight = (
+                geometry.plan.log_clean
+                + log_prep
+                + sum(
+                    geometry.basis[(name, line_index)].log_clean
+                    for line_index, name in enumerate(bases)
+                )
+            )
+            weight = np.exp(log_weight)[:, None]
+            count = counts[bases]
+            mixed = clean_rows.copy()
+            sampled = count > 0
+            if sampled.any():
+                mean = sums[bases][sampled] / count[sampled, None]
+                mixed[sampled] = (
+                    weight[sampled] * clean_rows[sampled]
+                    + (1.0 - weight[sampled]) * mean
+                )
+            leaves[bases] = mixed
+        return leaves, passes
+
+    probabilities: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], np.ndarray] = {}
+    num_passes = 0
+    chunk = max_batch if max_batch else max(1, len(init_combos))
+    for start in range(0, len(init_combos), chunk):
+        combos = init_combos[start : start + chunk]
+        if spec.method == "density":
+            leaves, passes = density_chunk(combos)
+        else:
+            leaves, passes = trajectory_chunk(combos)
+        num_passes += passes
+        for bases, rows in leaves.items():
+            rows = apply_readout_error_rows(rows, noise.readout)
+            code = _bases_code(bases)
+            if spec.shots:
+                rows = np.stack(
+                    [
+                        sample_distribution(
+                            rows[row],
+                            spec.shots,
+                            spawn_rng(seed, 3, index, codes_for, code),
+                        )
+                        for row, codes_for in enumerate(
+                            _labels_code(labels) for labels in combos
+                        )
+                    ]
+                )
+            if geometry.keep is not None:
+                rows = marginalize_rows(
+                    rows, geometry.keep, geometry.num_wires
+                )
+            for row, labels in enumerate(combos):
+                probabilities[(labels, bases)] = np.ascontiguousarray(
+                    rows[row]
+                )
+    return probabilities, num_passes
+
+
 @dataclass
 class SubcircuitResult:
     """Raw evaluation results of all physical variants of one subcircuit.
@@ -316,6 +834,7 @@ def evaluate_subcircuit(
     backend: Optional[Backend] = None,
     sim_batch: int = 0,
     fusion_width: int = 2,
+    noisy: Optional[NoisyEvalSpec] = None,
 ) -> SubcircuitResult:
     """Run every physical variant of ``subcircuit`` through ``backend``.
 
@@ -329,10 +848,29 @@ def evaluate_subcircuit(
     replaces per-variant execution: the fused body runs once per init
     batch of at most ``sim_batch`` members and all measurement bases are
     derived from the retained states — see
-    :func:`batched_variant_probabilities`.
+    :func:`batched_variant_probabilities`.  With a :class:`NoisyEvalSpec`
+    the noisy batched engine runs instead
+    (:func:`batched_noisy_variant_probabilities`, mode ``batched-noisy``)
+    — ``noisy`` requires ``sim_batch > 0`` and excludes ``backend``.
     """
     if sim_batch < 0:
         raise ValueError("sim_batch must be >= 0")
+    if noisy is not None:
+        if backend is not None:
+            raise ValueError("noisy evaluation excludes a custom backend")
+        if not sim_batch:
+            raise ValueError("noisy batched evaluation requires sim_batch > 0")
+        probabilities, num_passes = batched_noisy_variant_probabilities(
+            subcircuit, noisy, fusion_width=fusion_width, max_batch=sim_batch
+        )
+        return SubcircuitResult(
+            subcircuit=subcircuit,
+            probabilities=probabilities,
+            num_variants=len(probabilities),
+            num_unique_circuits=len(probabilities),
+            mode="batched-noisy",
+            num_body_passes=num_passes,
+        )
     if sim_batch:
         if backend is not None:
             raise ValueError(

@@ -266,16 +266,30 @@ def _run_variant_batch(payload):
     The payload carries the subcircuit plus init *label* tuples — a few
     hundred bytes — instead of ``3^O * 4^rho`` pickled circuits; the
     returned dict holds every derived ``(inits, bases)`` distribution.
+    Noisy payloads append a
+    :class:`~repro.cutting.variants.NoisyEvalSpec`; the transpiled
+    geometry and fused body plan it implies are memoized per worker
+    process, so later chunks of the same subcircuit land warm.
     """
     # Local import: repro.cutting does not import repro.postprocess, so
     # this stays cycle-free and spawn-safe.
-    from ..cutting.variants import batched_variant_probabilities
-
-    subcircuit, init_combos, fusion_width = payload
-    began = time.perf_counter()
-    probabilities, passes = batched_variant_probabilities(
-        subcircuit, fusion_width=fusion_width, init_combos=init_combos
+    from ..cutting.variants import (
+        batched_noisy_variant_probabilities,
+        batched_variant_probabilities,
     )
+
+    began = time.perf_counter()
+    if len(payload) == 4:
+        subcircuit, init_combos, fusion_width, spec = payload
+        probabilities, passes = batched_noisy_variant_probabilities(
+            subcircuit, spec, fusion_width=fusion_width,
+            init_combos=init_combos,
+        )
+    else:
+        subcircuit, init_combos, fusion_width = payload
+        probabilities, passes = batched_variant_probabilities(
+            subcircuit, fusion_width=fusion_width, init_combos=init_combos
+        )
     meta = _TaskMeta(pid=os.getpid(), elapsed_seconds=time.perf_counter() - began)
     return probabilities, passes, meta
 
@@ -796,22 +810,28 @@ class WorkerPool:
 
         Each payload is ``(subcircuit, init_combos, fusion_width)`` —
         the batched-strategy work unit of
-        :class:`~repro.core.executor.VariantExecutor`.  Returns
+        :class:`~repro.core.executor.VariantExecutor` — or the noisy
+        4-tuple with a trailing
+        :class:`~repro.cutting.variants.NoisyEvalSpec` (recorded as kind
+        ``"noisy-variant-batch"``).  Returns
         ``(probabilities, num_body_passes)`` per payload, in order.
         """
         pool = self._ensure_pool()
         pending = [
-            pool.apply_async(_run_variant_batch, (payload,))
+            (
+                "noisy-variant-batch" if len(payload) == 4 else "variant-batch",
+                pool.apply_async(_run_variant_batch, (payload,)),
+            )
             for payload in payloads
         ]
         outputs: List[Tuple[Dict, int]] = []
-        for task in pending:
+        for kind, task in pending:
             try:
                 probabilities, passes, meta = task.get(self.task_timeout)
             except Exception:
-                self._record("variant-batch", None, ok=False)
+                self._record(kind, None, ok=False)
                 raise
-            self._record("variant-batch", meta, ok=True)
+            self._record(kind, meta, ok=True)
             outputs.append((probabilities, passes))
         return outputs
 

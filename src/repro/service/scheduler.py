@@ -77,8 +77,12 @@ class JobSpec:
     shots: Optional[int] = None
     strategy: str = "auto"
     workers: int = 1
-    sim_batch: int = 0
+    #: ``None`` = batching on by default (exact *and* device paths);
+    #: ``0`` = the legacy per-variant escape hatch.
+    sim_batch: Optional[int] = None
     fusion_width: int = 2
+    trajectories: int = 24
+    noisy_method: str = "trajectory"
 
     def validate(self) -> None:
         if (self.benchmark is None) == (self.qasm is None):
@@ -109,7 +113,7 @@ class JobSpec:
             raise ValueError("top must be positive")
         if self.workers < 1:
             raise ValueError("workers must be positive")
-        if self.sim_batch < 0:
+        if self.sim_batch is not None and self.sim_batch < 0:
             raise ValueError("sim_batch must be >= 0")
         from ..sim.batch import MAX_FUSION_WIDTH
 
@@ -117,10 +121,11 @@ class JobSpec:
             raise ValueError(
                 f"fusion_width must be in [1, {MAX_FUSION_WIDTH}]"
             )
-        if self.sim_batch and self.device is not None:
+        if self.trajectories < 1:
+            raise ValueError("trajectories must be positive")
+        if self.noisy_method not in ("trajectory", "density"):
             raise ValueError(
-                "sim_batch requires exact statevector evaluation; it is "
-                "mutually exclusive with a device backend"
+                "noisy_method must be 'trajectory' or 'density'"
             )
 
     # ------------------------------------------------------------------
@@ -132,15 +137,26 @@ class JobSpec:
             kwargs["seed"] = self.seed
         return get_benchmark(self.benchmark, self.qubits, **kwargs)
 
+    @property
+    def batched(self) -> bool:
+        """Whether this spec evaluates through the batched engine
+        (``sim_batch`` unset defaults to on)."""
+        return self.sim_batch is None or self.sim_batch > 0
+
     def backend_tag(self) -> str:
         """The evaluation-fingerprint backend config tag.
 
-        Batched and per-variant exact evaluation agree to ~1e-10 but are
-        not bit-identical, so they address distinct store artifacts.
+        Batched and per-variant evaluation agree to ~1e-10 but are not
+        bit-identical, so they address distinct store artifacts; the
+        batched tags are *versioned* (``:v2``/``:v1``) so artifacts
+        cached under older batched semantics recompute instead of
+        silently colliding after an engine change.
         """
         if self.device is not None:
+            if self.batched:
+                return f"device:{self.device}:{self.noisy_method}:batched:v1"
             return f"device:{self.device}"
-        return "statevector:batched" if self.sim_batch else "statevector"
+        return "statevector:batched:v2" if self.batched else "statevector"
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -424,19 +440,21 @@ class JobScheduler:
     def _execute(self, record: JobRecord) -> None:
         spec = record.spec
         circuit = spec.build_circuit()
-        backend = None
+        device = None
         if spec.device is not None:
             from ..devices import get_device
 
-            preset = get_device(spec.device, seed=spec.seed)
-            backend = preset.backend(shots=spec.shots)
+            device = get_device(spec.device, seed=spec.seed)
         pipeline = CutQC(
             circuit,
             max_subcircuit_qubits=spec.device_size,
             max_subcircuits=spec.max_subcircuits,
             max_cuts=spec.max_cuts,
             method=spec.method,
-            backend=backend,
+            device=device,
+            device_shots=spec.shots,
+            trajectories=spec.trajectories,
+            noisy_method=spec.noisy_method,
             workers=spec.workers,
             strategy=spec.strategy,
             seed=spec.seed,
@@ -471,10 +489,16 @@ class JobScheduler:
         # configured; for the deterministic statevector backend they are
         # inert and would only fragment the warm cache.
         sampling = spec.device is not None
+        config = None
+        if sampling and spec.batched:
+            # Trajectory count shapes the estimated distributions on the
+            # batched noisy path; fold it into the artifact identity.
+            config = {"trajectories": spec.trajectories}
         evaluation_key = pipeline.evaluation_fingerprint(
             backend=spec.backend_tag(),
             shots=spec.shots if sampling else None,
             seed=spec.seed if sampling else None,
+            config=config,
         )
         record.fingerprints["evaluate"] = evaluation_key
         results = self.store.get_evaluation(evaluation_key, pipeline.cut())
@@ -493,6 +517,7 @@ class JobScheduler:
                     "num_unique_circuits": report.num_unique_circuits,
                     "dedup_ratio": report.dedup_ratio,
                     "num_body_passes": report.num_body_passes,
+                    "sim_batch": report.sim_batch,
                 }
         record.timings["evaluate"] = time.perf_counter() - began
 

@@ -123,19 +123,26 @@ def evaluation_fingerprint(
     backend: str = "statevector",
     shots: Optional[int] = None,
     seed: Optional[int] = None,
+    config: Optional[Dict] = None,
 ) -> str:
     """Fingerprint of ``(cut, backend config, shots, seed)`` — the
-    evaluation-artifact key.  ``backend`` is a config *tag* (e.g.
-    ``"statevector"`` or ``"device:bogota"``), not a callable."""
-    return _digest(
-        {
-            "kind": "evaluation",
-            "cut": cut_key,
-            "backend": backend,
-            "shots": shots,
-            "seed": seed,
-        }
-    )
+    evaluation-artifact key.  ``backend`` is a config *tag*, not a
+    callable; batched execution modes carry a versioned tag (e.g.
+    ``"statevector:batched:v2"``, ``"device:bogota:trajectory:batched:v1"``)
+    so artifacts produced by older evaluation semantics recompute
+    instead of silently colliding.  ``config`` holds extra
+    result-shaping knobs (e.g. trajectory counts); it enters the digest
+    only when set, keeping historical unversioned keys stable."""
+    payload = {
+        "kind": "evaluation",
+        "cut": cut_key,
+        "backend": backend,
+        "shots": shots,
+        "seed": seed,
+    }
+    if config is not None:
+        payload["config"] = config
+    return _digest(payload)
 
 
 # ----------------------------------------------------------------------

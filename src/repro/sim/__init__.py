@@ -15,8 +15,22 @@ from .sampler import (
     sample_counts,
     sample_distribution,
 )
-from .noise import NoiseModel, NoisySimulator, apply_readout_error
-from .density import DensityMatrix, DensityMatrixSimulator
+from .noise import (
+    NoiseModel,
+    NoisySimulator,
+    apply_readout_error,
+    clean_log_weight,
+    spawn_rng,
+)
+from .density import BatchedDensityMatrix, DensityMatrix, DensityMatrixSimulator
+from .noisy_batch import (
+    NoisyBodyPlan,
+    NoisySite,
+    noisy_body_plan,
+    run_density_body,
+    run_trajectory_body,
+    sample_injection_pattern,
+)
 from .feynman import FeynmanPathSimulator, gate_schmidt_terms
 
 __all__ = [
@@ -37,8 +51,17 @@ __all__ = [
     "NoiseModel",
     "NoisySimulator",
     "apply_readout_error",
+    "clean_log_weight",
+    "spawn_rng",
+    "BatchedDensityMatrix",
     "DensityMatrix",
     "DensityMatrixSimulator",
+    "NoisyBodyPlan",
+    "NoisySite",
+    "noisy_body_plan",
+    "run_density_body",
+    "run_trajectory_body",
+    "sample_injection_pattern",
     "FeynmanPathSimulator",
     "gate_schmidt_terms",
 ]

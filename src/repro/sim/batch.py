@@ -16,6 +16,10 @@ two standard techniques collapse the sweep to a handful of BLAS calls:
 
 Both are exact: results bit-match the per-gate :class:`Statevector`
 path to floating-point accumulation order (<= 1e-10 in practice).
+
+The noisy counterpart — batched trajectory and density-matrix evolution
+of noise-sited body plans — lives in :mod:`repro.sim.noisy_batch` and
+builds directly on :class:`BatchedStatevector` and :func:`fuse_gates`.
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ reproduces the fidelity trends of Figures 1 and 11.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -19,7 +19,13 @@ from ..circuits import Gate, QuantumCircuit
 from .sampler import sample_distribution
 from .statevector import Statevector
 
-__all__ = ["NoiseModel", "NoisySimulator", "apply_readout_error"]
+__all__ = [
+    "NoiseModel",
+    "NoisySimulator",
+    "apply_readout_error",
+    "clean_log_weight",
+    "spawn_rng",
+]
 
 _PAULI_NAMES_1Q = ("x", "y", "z")
 #: Non-identity two-qubit Pauli pairs for the 2q depolarizing channel.
@@ -70,6 +76,39 @@ class NoiseModel:
         )
 
 
+def clean_log_weight(gates: Iterable[Gate], noise: NoiseModel) -> float:
+    """``sum(log1p(-rate))`` over a gate sequence — the log-probability
+    that a Pauli-injection trajectory through it draws no error.
+
+    Returns ``-inf`` when any applicable rate saturates at 1.
+    """
+    log_p = 0.0
+    for gate in gates:
+        rate = noise.error_2q if gate.is_multiqubit else noise.error_1q
+        if rate >= 1.0:
+            return float("-inf")
+        log_p += np.log1p(-rate)
+    return float(log_p)
+
+
+def spawn_rng(seed: Optional[int], *key: int) -> np.random.Generator:
+    """A child generator at spawn-key ``key`` under root ``seed``.
+
+    Uses the :class:`numpy.random.SeedSequence` spawn-tree (the mechanism
+    behind ``Generator.spawn``) with an explicit integer key instead of a
+    sequential child counter, so the stream assigned to a work item —
+    e.g. (trajectory, variant index) — is the same no matter which worker
+    runs it, how the init space is chunked, or in what order tasks
+    complete.  ``seed=None`` maps to the fixed root 0: noisy batched
+    evaluation is deterministic by default.
+    """
+    root = np.random.SeedSequence(0 if seed is None else int(seed))
+    child = np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(int(k) for k in key)
+    )
+    return np.random.default_rng(child)
+
+
 def apply_readout_error(probabilities: np.ndarray, flip: float) -> np.ndarray:
     """Apply a symmetric per-qubit readout confusion to a distribution."""
     if flip == 0.0:
@@ -115,6 +154,10 @@ class NoisySimulator:
         self.trajectories = int(trajectories)
         self.shots = shots
         self._rng = np.random.default_rng(seed)
+        #: Clean-trajectory weight per circuit identity: the O(gates)
+        #: log1p sweep is fixed physics per body, but every one of a
+        #: subcircuit's 3^O * 4^rho variants used to replay it.
+        self._clean_cache: Dict[Tuple, float] = {}
 
     # ------------------------------------------------------------------
     def run(self, circuit: QuantumCircuit, initial_labels=None) -> np.ndarray:
@@ -152,14 +195,19 @@ class NoisySimulator:
 
     # ------------------------------------------------------------------
     def _clean_probability(self, circuit: QuantumCircuit) -> float:
-        """Probability that a trajectory injects no error at all."""
-        log_p = 0.0
-        for gate in circuit:
-            rate = self.noise.error_2q if gate.is_multiqubit else self.noise.error_1q
-            if rate >= 1.0:
-                return 0.0
-            log_p += np.log1p(-rate)
-        return float(np.exp(log_p))
+        """Probability that a trajectory injects no error at all.
+
+        Memoized per circuit identity (width + exact gate tuple): all
+        variants sharing a body reuse one :func:`clean_log_weight` sweep.
+        """
+        key = (circuit.num_qubits, circuit.gates)
+        cached = self._clean_cache.get(key)
+        if cached is None:
+            if len(self._clean_cache) >= 256:
+                self._clean_cache.clear()
+            cached = float(np.exp(clean_log_weight(circuit, self.noise)))
+            self._clean_cache[key] = cached
+        return cached
 
     def _trajectory(
         self, circuit: QuantumCircuit, initial_labels, inject: bool

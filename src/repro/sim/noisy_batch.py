@@ -1,0 +1,282 @@
+"""Batched noisy simulation: fused body plans + shared-pass trajectories.
+
+The noisy counterpart of :mod:`repro.sim.batch`.  A subcircuit's
+``3^O * 4^rho`` physical variants share one measurement-free body; the
+serial noisy simulators re-run that body once per variant *per
+trajectory*.  This module provides the primitives that collapse the
+sweep:
+
+* :func:`noisy_body_plan` compiles a gate sequence against a
+  :class:`~repro.sim.noise.NoiseModel` into an executable plan — maximal
+  noise-free gate runs are fused into unitaries (Aer-style, via
+  :func:`~repro.sim.batch.fuse_gates`) while every gate carrying a
+  depolarizing site stays an individual step, preserving the per-gate
+  noise placement exactly.  Plans are memoized per process, so warm
+  workers never re-fuse a body they have already seen.
+* :func:`sample_injection_pattern` draws one Pauli-injection pattern for
+  a plan's noise sites.  A *fixed* pattern makes the noisy body a fixed
+  linear map, so one :class:`~repro.sim.batch.BatchedStatevector` pass
+  serves every init-batch member of that trajectory
+  (:func:`run_trajectory_body`).
+* :func:`run_density_body` drives a
+  :class:`~repro.sim.density.BatchedDensityMatrix` through the plan with
+  the exact depolarizing channel applied batch-wide after each noisy
+  gate.
+* :func:`apply_readout_error_rows` / :func:`marginalize_rows` vectorize
+  the classical post-steps over a stacked ``(V, 2^n)`` matrix of variant
+  distributions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits import Gate, QuantumCircuit
+from ..circuits.gates import gate_matrix
+from .batch import BatchedStatevector, FusedOp, fuse_gates
+from .density import BatchedDensityMatrix
+from .noise import NoiseModel, clean_log_weight
+
+__all__ = [
+    "NoisySite",
+    "NoisyBodyPlan",
+    "noisy_body_plan",
+    "sample_injection_pattern",
+    "run_trajectory_body",
+    "run_density_body",
+    "apply_readout_error_rows",
+    "marginalize_rows",
+    "PAULI_NAMES_1Q",
+    "PAULI_PAIRS_2Q",
+]
+
+PAULI_NAMES_1Q: Tuple[str, ...] = ("x", "y", "z")
+#: Non-identity two-qubit Pauli pairs, in the serial simulator's order.
+PAULI_PAIRS_2Q: Tuple[Tuple[str, str], ...] = tuple(
+    (a, b)
+    for a in ("i", "x", "y", "z")
+    for b in ("i", "x", "y", "z")
+    if not (a == "i" and b == "i")
+)
+
+_PAULI_MATRICES = {name: gate_matrix(name) for name in PAULI_NAMES_1Q}
+
+
+@dataclass(frozen=True)
+class NoisySite:
+    """One body gate followed by a depolarizing site of strength ``rate``."""
+
+    matrix: np.ndarray
+    qubits: Tuple[int, ...]
+    rate: float
+
+    @property
+    def is_2q(self) -> bool:
+        return len(self.qubits) > 1
+
+
+@dataclass(frozen=True)
+class NoisyBodyPlan:
+    """A compiled noisy body: fused noise-free runs + individual sites.
+
+    ``steps`` interleaves :class:`~repro.sim.batch.FusedOp` entries
+    (maximal runs of zero-rate gates, fused) with :class:`NoisySite`
+    entries (one per gate carrying a depolarizing site, in circuit
+    order).  ``sites`` lists the noisy steps again for pattern sampling;
+    ``log_clean`` is the body's no-injection log-weight.
+    """
+
+    num_qubits: int
+    steps: Tuple[Union[FusedOp, NoisySite], ...]
+    sites: Tuple[NoisySite, ...]
+    log_clean: float
+
+
+#: Per-process plan memo — the noisy analogue of ``batch._FUSION_CACHE``:
+#: chunks of the same subcircuit landing on the same warm worker reuse
+#: the compiled (fused) body instead of re-planning per payload.
+_PLAN_CACHE: "OrderedDict[Tuple, NoisyBodyPlan]" = OrderedDict()
+_PLAN_CACHE_LIMIT = 128
+
+
+def noisy_body_plan(
+    circuit: Union[QuantumCircuit, Sequence[Gate]],
+    noise: NoiseModel,
+    num_qubits: int,
+    fusion_width: int = 2,
+) -> NoisyBodyPlan:
+    """Compile ``circuit`` into a :class:`NoisyBodyPlan` (memoized).
+
+    Depolarizing noise applies after *every* gate, so gates with a
+    non-zero rate cannot fuse across their noise site without changing
+    the channel; only maximal runs of zero-rate gates fold into fused
+    unitaries.  With a noiseless model the whole body becomes one fused
+    run (the exact-path plan).
+    """
+    gates = circuit.gates if isinstance(circuit, QuantumCircuit) else tuple(circuit)
+    key = (tuple(gates), noise.error_1q, noise.error_2q, num_qubits, fusion_width)
+    cached = _PLAN_CACHE.get(key)
+    if cached is not None:
+        try:
+            _PLAN_CACHE.move_to_end(key)
+        except KeyError:  # pragma: no cover - concurrent eviction
+            pass
+        return cached
+    steps: List[Union[FusedOp, NoisySite]] = []
+    sites: List[NoisySite] = []
+    run: List[Gate] = []
+
+    def flush() -> None:
+        if run:
+            steps.extend(fuse_gates(tuple(run), fusion_width))
+            run.clear()
+
+    for gate in gates:
+        rate = noise.error_2q if gate.is_multiqubit else noise.error_1q
+        if rate <= 0.0:
+            run.append(gate)
+            continue
+        flush()
+        site = NoisySite(
+            matrix=gate.matrix(), qubits=tuple(gate.qubits), rate=float(rate)
+        )
+        steps.append(site)
+        sites.append(site)
+    flush()
+    plan = NoisyBodyPlan(
+        num_qubits=int(num_qubits),
+        steps=tuple(steps),
+        sites=tuple(sites),
+        log_clean=clean_log_weight(gates, noise),
+    )
+    _PLAN_CACHE[key] = plan
+    while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Trajectory path: one shared injection pattern per batched pass
+# ----------------------------------------------------------------------
+
+def sample_injection_pattern(
+    plan: NoisyBodyPlan, rng: np.random.Generator
+) -> Tuple[Tuple[Optional[Tuple[str, ...]], ...], bool]:
+    """Draw one Pauli-injection pattern over the plan's noise sites.
+
+    Per site: with probability ``rate``, a uniformly random non-identity
+    Pauli (pair) — the same conditional draws as the serial
+    :class:`~repro.sim.noise.NoisySimulator`.  Returns
+    ``(pattern, injected)`` where ``pattern[i]`` is the Pauli name tuple
+    for site ``i`` (or ``None``) and ``injected`` says whether any site
+    fired.
+    """
+    pattern: List[Optional[Tuple[str, ...]]] = []
+    injected = False
+    for site in plan.sites:
+        if rng.random() < site.rate:
+            if site.is_2q:
+                choice = PAULI_PAIRS_2Q[rng.integers(len(PAULI_PAIRS_2Q))]
+            else:
+                choice = (PAULI_NAMES_1Q[rng.integers(3)],)
+            pattern.append(choice)
+            injected = True
+        else:
+            pattern.append(None)
+    return tuple(pattern), injected
+
+
+def apply_pauli_names(
+    state: BatchedStatevector,
+    names: Iterable[str],
+    qubits: Sequence[int],
+) -> None:
+    """Apply per-qubit Pauli names (``"i"`` entries skipped) batch-wide."""
+    for name, qubit in zip(names, qubits):
+        if name != "i":
+            state.apply_matrix(_PAULI_MATRICES[name], [qubit])
+
+
+def run_trajectory_body(
+    plan: NoisyBodyPlan,
+    state: BatchedStatevector,
+    pattern: Sequence[Optional[Tuple[str, ...]]],
+) -> BatchedStatevector:
+    """Advance a whole init batch through the body under one pattern.
+
+    The pattern fixes every injection, so the noisy body is a single
+    linear map applied once to all batch members — this is what turns
+    ``variants x trajectories`` body re-simulations into
+    ``trajectories`` batched passes.
+    """
+    site_index = 0
+    for step in plan.steps:
+        if isinstance(step, NoisySite):
+            state.apply_matrix(step.matrix, step.qubits)
+            choice = pattern[site_index]
+            site_index += 1
+            if choice is not None:
+                apply_pauli_names(state, choice, step.qubits)
+        else:
+            state.apply_matrix(step.matrix, step.qubits)
+    return state
+
+
+# ----------------------------------------------------------------------
+# Density path: the exact channel, batch-wide
+# ----------------------------------------------------------------------
+
+def run_density_body(
+    plan: NoisyBodyPlan, state: BatchedDensityMatrix
+) -> BatchedDensityMatrix:
+    """Advance a batch of density matrices through the noisy body.
+
+    Fused zero-rate runs apply as plain unitaries; every noisy gate is a
+    unitary followed by its depolarizing superoperator, batch-wide —
+    bit-for-bit the serial :class:`~repro.sim.density.DensityMatrixSimulator`
+    channel, paid once per batch instead of once per variant.
+    """
+    for step in plan.steps:
+        state.apply_matrix(step.matrix, step.qubits)
+        if isinstance(step, NoisySite):
+            state.apply_depolarizing(step.qubits, step.rate)
+    return state
+
+
+# ----------------------------------------------------------------------
+# Vectorized classical post-steps
+# ----------------------------------------------------------------------
+
+def apply_readout_error_rows(rows: np.ndarray, flip: float) -> np.ndarray:
+    """Symmetric per-qubit readout confusion over ``(V, 2^n)`` rows."""
+    rows = np.asarray(rows, dtype=float)
+    if flip == 0.0:
+        return rows
+    num_qubits = int(np.log2(rows.shape[1]))
+    if 1 << num_qubits != rows.shape[1]:
+        raise ValueError("row length is not a power of two")
+    confusion = np.array([[1.0 - flip, flip], [flip, 1.0 - flip]])
+    tensor = rows.reshape((rows.shape[0],) + (2,) * num_qubits)
+    for axis in range(1, num_qubits + 1):
+        moved = np.moveaxis(tensor, axis, -1)
+        shape = moved.shape
+        moved = np.ascontiguousarray(moved).reshape(-1, 2) @ confusion.T
+        tensor = np.moveaxis(moved.reshape(shape), -1, axis)
+    return tensor.reshape(rows.shape[0], -1)
+
+
+def marginalize_rows(
+    rows: np.ndarray, keep: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Marginalize ``(V, 2^n)`` rows down to ``keep`` (in given order)."""
+    keep = list(keep)
+    tensor = np.asarray(rows).reshape((-1,) + (2,) * num_qubits)
+    drop = tuple(1 + q for q in range(num_qubits) if q not in keep)
+    summed = tensor.sum(axis=drop) if drop else tensor
+    position_of = {q: axis for axis, q in enumerate(sorted(keep))}
+    axes = [0] + [1 + position_of[q] for q in keep]
+    return np.transpose(summed, axes=axes).reshape(rows.shape[0], -1)

@@ -32,8 +32,9 @@ class TestVariantExecutor:
                 )
 
     def test_serial_vs_parallel_bit_identical(self, bv_cut):
-        serial_exec = VariantExecutor(workers=1)
-        parallel_exec = VariantExecutor(workers=2)
+        # sim_batch=0: this test pins the per-variant transport modes.
+        serial_exec = VariantExecutor(workers=1, sim_batch=0)
+        parallel_exec = VariantExecutor(workers=2, sim_batch=0)
         serial = serial_exec.run(bv_cut.subcircuits)
         parallel = parallel_exec.run(bv_cut.subcircuits)
         assert serial_exec.last_report.mode == "serial"
@@ -120,7 +121,10 @@ class TestVariantExecutor:
 class TestPipelineWiring:
     def test_cutqc_parallel_evaluation_exact(self):
         circuit = bv(6)
-        pipeline = CutQC(circuit, max_subcircuit_qubits=5, workers=2)
+        # sim_batch=0: pins the legacy per-variant process transport.
+        pipeline = CutQC(
+            circuit, max_subcircuit_qubits=5, workers=2, sim_batch=0
+        )
         result = pipeline.fd_query()
         assert pipeline.execution_report is not None
         assert pipeline.execution_report.mode == "process"

@@ -1,0 +1,546 @@
+"""Parity and determinism suite for batched noisy evaluation (PR 6).
+
+Covers the tentpole's contract from three sides:
+
+* the batched density path is the *same exact channel* as the serial
+  :class:`~repro.sim.density.DensityMatrixSimulator`, per variant;
+* the batched trajectory path matches an independent serial replay of
+  the same keyed RNG streams to 1e-10, and is bit-identical under any
+  chunking or worker count (the deterministic-seeding satellite);
+* batching-by-default changes no query result, and the versioned
+  evaluation fingerprints force old artifacts to recompute (the
+  store-migration satellite).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CutQC, QuantumCircuit, cut_circuit, make_device
+from repro.circuits import Gate
+from repro.circuits.gates import gate_matrix
+from repro.core.executor import (
+    DEFAULT_SIM_BATCH,
+    VariantExecutor,
+    resolve_sim_batch,
+)
+from repro.cutting.variants import (
+    INIT_LABELS,
+    MEAS_BASES,
+    NoisyEvalSpec,
+    batched_noisy_variant_probabilities,
+    evaluate_subcircuit,
+    generate_variants,
+    variant_circuit,
+    _BASIS_GATES,
+    _PREP_GATES,
+)
+from repro.library import get_benchmark
+from repro.postprocess import WorkerPool
+from repro.sim import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    clean_log_weight,
+    fuse_gates,
+    noisy_body_plan,
+    sample_injection_pattern,
+    spawn_rng,
+)
+from repro.sim.noise import apply_readout_error
+from repro.sim.noisy_batch import PAULI_NAMES_1Q
+from repro.sim.sampler import sample_distribution
+from repro.sim.statevector import INITIAL_STATES, Statevector
+from tests.conftest import random_connected_circuit
+from tests.test_batch import random_small_cut
+
+
+NOISE = NoiseModel(error_1q=0.002, error_2q=0.01, readout=0.01)
+
+
+def bv(n):
+    return get_benchmark("bv", n)
+
+
+@pytest.fixture
+def fig4_cut():
+    circuit = QuantumCircuit(5)
+    for qubit in range(5):
+        circuit.h(qubit)
+    circuit.cz(0, 1).cz(1, 2)
+    circuit.t(2)
+    circuit.cz(2, 3).cz(3, 4)
+    return cut_circuit(circuit, [(2, 1)])
+
+
+# ----------------------------------------------------------------------
+# Density path: exact-channel parity with the serial simulator
+# ----------------------------------------------------------------------
+
+class TestDensityParity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.0, max_value=0.05),
+        st.floats(min_value=0.0, max_value=0.1),
+    )
+    def test_matches_serial_density_simulator(self, n, seed, e1, readout):
+        circuit = random_connected_circuit(n, 2 * n, seed)
+        cut = random_small_cut(circuit, seed + 1)
+        if cut is None:
+            return
+        noise = NoiseModel(error_1q=e1, error_2q=2 * e1, readout=readout)
+        spec = NoisyEvalSpec(noise=noise, method="density", shots=None)
+        serial = DensityMatrixSimulator(noise=noise)
+        for subcircuit in cut.subcircuits:
+            batched, passes = batched_noisy_variant_probabilities(
+                subcircuit, spec
+            )
+            assert passes == 1  # prep folding: one pass serves all inits
+            variants = generate_variants(subcircuit)
+            assert len(batched) == len(variants)
+            for variant in variants:
+                reference = serial.run(variant_circuit(subcircuit, variant))
+                got = batched[(variant.inits, variant.bases)]
+                assert np.abs(got - reference).max() <= 1e-10
+
+    def test_prep_folding_saves_passes(self, fig4_cut):
+        # rho = 1 downstream piece: all 4 init preps fold into the first
+        # body block — the whole variant set costs one density pass.
+        downstream = fig4_cut.subcircuits[1]
+        spec = NoisyEvalSpec(noise=NOISE, method="density", shots=None)
+        _, passes = batched_noisy_variant_probabilities(downstream, spec)
+        assert passes == 1
+
+
+# ----------------------------------------------------------------------
+# Trajectory path: serial replay of the same keyed RNG streams
+# ----------------------------------------------------------------------
+
+def _serial_trajectory_replay(subcircuit, spec, variant):
+    """Independent per-variant re-derivation of the batched estimator.
+
+    Rebuilds one variant's distribution with plain serial
+    :class:`Statevector` passes, drawing from the same
+    :func:`~repro.sim.noise.spawn_rng` keys the batched engine uses —
+    any drift in stream assignment or estimator mixing shows up as a
+    mismatch far beyond accumulation error.
+    """
+    noise = spec.noise
+    width = subcircuit.width
+    body = subcircuit.circuit.gates
+    plan = noisy_body_plan(body, noise, width, 2)
+    clean_ops = fuse_gates(body, 2)
+    init_positions = [line.line for line in subcircuit.init_lines]
+    meas_positions = [line.line for line in subcircuit.meas_lines]
+    index = subcircuit.index
+    seed = spec.seed
+    pauli = [gate_matrix(name) for name in PAULI_NAMES_1Q]
+
+    labels_code = 0
+    for label in variant.inits:
+        labels_code = labels_code * len(INIT_LABELS) + INIT_LABELS.index(label)
+    bases_code = 0
+    for name in variant.bases:
+        bases_code = bases_code * len(MEAS_BASES) + MEAS_BASES.index(name)
+
+    prep_gates = [
+        [Gate(spec_[0], (position,)) for spec_ in _PREP_GATES[label]]
+        for label, position in zip(variant.inits, init_positions)
+    ]
+    basis_gates = [
+        [Gate(spec_[0], (position,)) for spec_ in _BASIS_GATES[name]]
+        for name, position in zip(variant.bases, meas_positions)
+    ]
+
+    def clean_pass():
+        vectors = [INITIAL_STATES["zero"]] * width
+        for gates, position in zip(prep_gates, init_positions):
+            vector = INITIAL_STATES["zero"]
+            for gate in gates:
+                vector = gate.matrix() @ vector
+            vectors[position] = vector
+        state = Statevector.from_product(vectors)
+        for op in clean_ops:
+            state.apply_matrix(op.matrix, op.qubits)
+        for gates in basis_gates:
+            for gate in gates:
+                state.apply_gate(gate)
+        return state.probabilities()
+
+    clean = clean_pass()
+    if noise.error_1q == 0.0 and noise.error_2q == 0.0:
+        mixed = clean
+    else:
+        sums = np.zeros_like(clean)
+        count = 0
+        for trajectory in range(spec.trajectories):
+            pattern, injected = sample_injection_pattern(
+                plan, spawn_rng(seed, 0, index, trajectory)
+            )
+            vectors = [INITIAL_STATES["zero"]] * width
+            rng = spawn_rng(seed, 1, index, trajectory, labels_code)
+            for gates, position in zip(prep_gates, init_positions):
+                vector = INITIAL_STATES["zero"]
+                for gate in gates:
+                    vector = gate.matrix() @ vector
+                    if rng.random() < noise.error_1q:
+                        vector = pauli[rng.integers(3)] @ vector
+                        injected = True
+                vectors[position] = vector
+            state = Statevector.from_product(vectors)
+            site = 0
+            for step in plan.steps:
+                state.apply_matrix(step.matrix, step.qubits)
+                if hasattr(step, "rate"):
+                    choice = pattern[site]
+                    site += 1
+                    if choice is not None:
+                        for name, qubit in zip(choice, step.qubits):
+                            if name != "i":
+                                state.apply_matrix(gate_matrix(name), [qubit])
+            code = 0
+            for line_index, (name, gates) in enumerate(
+                zip(variant.bases, basis_gates)
+            ):
+                code = code * len(MEAS_BASES) + MEAS_BASES.index(name)
+                if not gates:
+                    continue
+                rng = spawn_rng(seed, 2, index, trajectory, line_index, code)
+                for gate in gates:
+                    state.apply_gate(gate)
+                    if rng.random() < noise.error_1q:
+                        state.apply_matrix(pauli[rng.integers(3)], gate.qubits)
+                        injected = True
+            if injected:
+                sums += state.probabilities()
+                count += 1
+        log_weight = plan.log_clean
+        for gates in prep_gates:
+            log_weight += clean_log_weight(gates, noise)
+        for gates in basis_gates:
+            log_weight += clean_log_weight(gates, noise)
+        weight = float(np.exp(log_weight))
+        if count:
+            mixed = weight * clean + (1.0 - weight) * (sums / count)
+        else:
+            mixed = clean
+    result = apply_readout_error(mixed, noise.readout)
+    if spec.shots:
+        result = sample_distribution(
+            result,
+            spec.shots,
+            spawn_rng(seed, 3, index, labels_code, bases_code),
+        )
+    return result
+
+
+class TestTrajectoryParity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+        st.booleans(),
+    )
+    def test_matches_serial_replay(self, n, seed, with_shots):
+        circuit = random_connected_circuit(n, 2 * n, seed)
+        cut = random_small_cut(circuit, seed + 1)
+        if cut is None:
+            return
+        spec = NoisyEvalSpec(
+            noise=NOISE,
+            method="trajectory",
+            trajectories=6,
+            shots=256 if with_shots else None,
+            seed=seed % 97,
+        )
+        for subcircuit in cut.subcircuits:
+            batched, _ = batched_noisy_variant_probabilities(subcircuit, spec)
+            for variant in generate_variants(subcircuit):
+                reference = _serial_trajectory_replay(subcircuit, spec, variant)
+                got = batched[(variant.inits, variant.bases)]
+                assert np.abs(got - reference).max() <= 1e-10
+
+    def test_noiseless_trajectory_is_exact(self, fig4_cut):
+        spec = NoisyEvalSpec(
+            noise=NoiseModel(), method="trajectory", shots=None
+        )
+        for subcircuit in fig4_cut.subcircuits:
+            batched, passes = batched_noisy_variant_probabilities(
+                subcircuit, spec
+            )
+            assert passes == 1  # no gate noise: the clean pass suffices
+            exact = evaluate_subcircuit(subcircuit, sim_batch=64)
+            for key, vector in batched.items():
+                assert np.abs(vector - exact.probabilities[key]).max() <= 1e-10
+
+    def test_trajectory_converges_to_density(self, fig4_cut):
+        downstream = fig4_cut.subcircuits[1]
+        estimate, _ = batched_noisy_variant_probabilities(
+            downstream,
+            NoisyEvalSpec(
+                noise=NOISE,
+                method="trajectory",
+                trajectories=4000,
+                shots=None,
+                seed=3,
+            ),
+        )
+        exact, _ = batched_noisy_variant_probabilities(
+            downstream,
+            NoisyEvalSpec(noise=NOISE, method="density", shots=None),
+        )
+        for key in exact:
+            assert np.abs(estimate[key] - exact[key]).max() <= 5e-3
+
+    def test_chunking_is_bit_identical(self, fig4_cut):
+        downstream = fig4_cut.subcircuits[1]
+        spec = NoisyEvalSpec(
+            noise=NOISE, method="trajectory", trajectories=8, shots=512, seed=7
+        )
+        whole, _ = batched_noisy_variant_probabilities(downstream, spec)
+        chunked, _ = batched_noisy_variant_probabilities(
+            downstream, spec, max_batch=1
+        )
+        assert set(whole) == set(chunked)
+        for key in whole:
+            assert np.array_equal(whole[key], chunked[key])
+
+
+# ----------------------------------------------------------------------
+# Deterministic seeding under parallelism
+# ----------------------------------------------------------------------
+
+class TestWorkerCountInvariance:
+    def _device(self):
+        return make_device("inv", 5, "line", noise=NOISE, seed=11)
+
+    def test_one_vs_n_workers_bit_identical(self, fig4_cut):
+        results = {}
+        modes = {}
+        for workers in (1, 2):
+            executor = VariantExecutor(
+                device=self._device(), workers=workers, sim_batch=1, seed=5
+            )
+            results[workers] = executor.run(fig4_cut.subcircuits)
+            modes[workers] = executor.last_report.mode
+        assert modes[1] == "batched-noisy"
+        assert modes[2] == "batched-noisy-process"
+        for a, b in zip(results[1], results[2]):
+            assert a.probabilities.keys() == b.probabilities.keys()
+            for key in a.probabilities:
+                assert np.array_equal(
+                    a.probabilities[key], b.probabilities[key]
+                )
+
+    def test_worker_pool_transport_bit_identical(self, fig4_cut):
+        serial_exec = VariantExecutor(device=self._device(), sim_batch=1, seed=5)
+        serial = serial_exec.run(fig4_cut.subcircuits)
+        assert serial_exec.last_report.mode == "batched-noisy"
+        with WorkerPool(workers=2) as pool:
+            pooled_exec = VariantExecutor(
+                device=self._device(), worker_pool=pool, sim_batch=1, seed=5
+            )
+            pooled = pooled_exec.run(fig4_cut.subcircuits)
+            assert pooled_exec.last_report.mode == "batched-noisy-pool"
+            stats = pool.stats()
+            assert stats.tasks_by_kind.get("noisy-variant-batch", 0) >= 2
+        for a, b in zip(serial, pooled):
+            for key in a.probabilities:
+                assert np.array_equal(
+                    a.probabilities[key], b.probabilities[key]
+                )
+
+
+# ----------------------------------------------------------------------
+# Batching by default: resolution rules and query parity
+# ----------------------------------------------------------------------
+
+class TestBatchingDefault:
+    def test_resolution_rules(self):
+        assert resolve_sim_batch(None) == DEFAULT_SIM_BATCH
+        assert resolve_sim_batch(None, backend=lambda c: None) == 0
+        assert resolve_sim_batch(0) == 0
+        assert resolve_sim_batch(8) == 8
+        with pytest.raises(ValueError, match="sim_batch"):
+            resolve_sim_batch(-1)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            resolve_sim_batch(8, backend=lambda c: None)
+
+    def test_default_flip_changes_no_fd_result(self):
+        circuit = bv(6)
+        default = CutQC(circuit, max_subcircuit_qubits=5)
+        legacy = CutQC(circuit, max_subcircuit_qubits=5, sim_batch=0)
+        fd_default = default.fd_query()
+        fd_legacy = legacy.fd_query()
+        assert default.execution_report.mode == "batched"
+        assert default.execution_report.sim_batch == DEFAULT_SIM_BATCH
+        assert legacy.execution_report.mode == "serial"
+        assert (
+            np.abs(fd_default.probabilities - fd_legacy.probabilities).max()
+            <= 1e-10
+        )
+        top_default = default.fd_top_k(2, 3)
+        top_legacy = legacy.fd_top_k(2, 3)
+        # BV's distribution is one dominant state plus ~0 ties whose
+        # ordering is float-noise; pin the winner and the values.
+        assert top_default[0][0] == top_legacy[0][0]
+        for (_, p), (_, q) in zip(top_default, top_legacy):
+            assert abs(p - q) <= 1e-10
+
+    def test_default_flip_changes_no_dd_result(self):
+        circuit = bv(6)
+        default = CutQC(circuit, max_subcircuit_qubits=5).dd_query(
+            max_active_qubits=2
+        )
+        legacy = CutQC(circuit, max_subcircuit_qubits=5, sim_batch=0).dd_query(
+            max_active_qubits=2
+        )
+        assert [state for state, _ in default.solution_states()] == [
+            state for state, _ in legacy.solution_states()
+        ]
+
+    def test_device_defaults_to_batched_noisy(self):
+        device = make_device("flip", 5, "line", noise=NOISE, seed=3)
+        pipeline = CutQC(bv(6), max_subcircuit_qubits=5, device=device)
+        pipeline.fd_query()
+        assert pipeline.execution_report.mode == "batched-noisy"
+        assert pipeline.execution_report.sim_batch == DEFAULT_SIM_BATCH
+
+    def test_explicit_conflicts_still_rejected(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            CutQC(
+                bv(6),
+                max_subcircuit_qubits=5,
+                backend=lambda c: None,
+                sim_batch=8,
+            )
+        with pytest.raises(ValueError, match="not both"):
+            CutQC(
+                bv(6),
+                max_subcircuit_qubits=5,
+                backend=lambda c: None,
+                device=make_device("x", 5, "line", noise=NOISE),
+            )
+
+    def test_noisy_spec_validation(self, fig4_cut):
+        with pytest.raises(ValueError, match="method"):
+            NoisyEvalSpec(noise=NOISE, method="unitary")
+        with pytest.raises(ValueError, match="exactly one"):
+            NoisyEvalSpec()
+        with pytest.raises(ValueError, match="trajectories"):
+            NoisyEvalSpec(noise=NOISE, trajectories=0)
+        with pytest.raises(ValueError, match="sim_batch"):
+            evaluate_subcircuit(
+                fig4_cut.subcircuits[0],
+                sim_batch=0,
+                noisy=NoisyEvalSpec(noise=NOISE),
+            )
+        with pytest.raises(ValueError, match="backend"):
+            evaluate_subcircuit(
+                fig4_cut.subcircuits[0],
+                backend=lambda c: None,
+                sim_batch=16,
+                noisy=NoisyEvalSpec(noise=NOISE),
+            )
+
+
+# ----------------------------------------------------------------------
+# Store migration: versioned fingerprints force recomputation
+# ----------------------------------------------------------------------
+
+class TestStoreMigration:
+    def test_backend_tags_are_versioned(self):
+        from repro.service.scheduler import JobSpec
+
+        base = dict(device_size=5, benchmark="bv", qubits=6)
+        assert JobSpec(**base).backend_tag() == "statevector:batched:v2"
+        assert JobSpec(**base, sim_batch=0).backend_tag() == "statevector"
+        assert (
+            JobSpec(**base, device="bogota").backend_tag()
+            == "device:bogota:trajectory:batched:v1"
+        )
+        assert (
+            JobSpec(
+                **base, device="bogota", noisy_method="density"
+            ).backend_tag()
+            == "device:bogota:density:batched:v1"
+        )
+        assert (
+            JobSpec(**base, device="bogota", sim_batch=0).backend_tag()
+            == "device:bogota"
+        )
+
+    def test_fingerprint_config_and_version_fragment_keys(self):
+        from repro.service.store import evaluation_fingerprint
+
+        old = evaluation_fingerprint("cut", backend="statevector")
+        new = evaluation_fingerprint("cut", backend="statevector:batched:v2")
+        assert old != new
+        # config=None must leave historical digests untouched.
+        assert evaluation_fingerprint("cut", config=None) == (
+            evaluation_fingerprint("cut")
+        )
+        assert evaluation_fingerprint(
+            "cut", config={"trajectories": 24}
+        ) != evaluation_fingerprint("cut")
+        assert evaluation_fingerprint(
+            "cut", config={"trajectories": 24}
+        ) != evaluation_fingerprint("cut", config={"trajectories": 48})
+
+    def test_old_artifacts_recompute_after_bump(self, tmp_path):
+        from repro.service.store import ArtifactStore, evaluation_fingerprint
+
+        pipeline = CutQC(bv(6), max_subcircuit_qubits=5)
+        results = pipeline.evaluate()
+        store = ArtifactStore(tmp_path)
+        cut_key = pipeline.cut_fingerprint()
+        # An artifact cached under a pre-bump batched tag still answers
+        # its own key but never collides with the versioned key: jobs
+        # recompute instead of reusing stale batched semantics.
+        old_key = evaluation_fingerprint(cut_key, backend="statevector:batched")
+        store.put_evaluation(old_key, results)
+        assert store.get_evaluation(old_key, pipeline.cut()) is not None
+        new_key = evaluation_fingerprint(
+            cut_key, backend="statevector:batched:v2"
+        )
+        assert new_key != old_key
+        assert store.get_evaluation(new_key, pipeline.cut()) is None
+
+    def test_scheduler_records_batched_noisy_mode(self, tmp_path):
+        from repro.service.scheduler import JobScheduler, JobSpec
+        from repro.service.store import ArtifactStore
+
+        scheduler = JobScheduler(
+            ArtifactStore(tmp_path), workers=1, autostart=True
+        )
+        try:
+            base = dict(
+                device_size=5,
+                benchmark="bv",
+                qubits=6,
+                device="bogota",
+                shots=2048,
+            )
+            first = scheduler.wait(
+                scheduler.submit(JobSpec(**base, trajectories=8)),
+                timeout=180.0,
+            )
+            assert first.state == "done"
+            assert first.execution["mode"] == "batched-noisy"
+            assert first.execution["sim_batch"] == DEFAULT_SIM_BATCH
+            # Trajectory count is part of the artifact identity on the
+            # batched noisy path: a different count recomputes.
+            second = scheduler.wait(
+                scheduler.submit(JobSpec(**base, trajectories=16)),
+                timeout=180.0,
+            )
+            assert second.state == "done"
+            assert (
+                first.fingerprints["evaluate"]
+                != second.fingerprints["evaluate"]
+            )
+            assert second.cache_hits["evaluate"] is False
+        finally:
+            scheduler.shutdown()

@@ -280,8 +280,11 @@ class TestQueryPathParity:
             list(pooled.shards(2, shard_indices=[4]))
 
     def test_cutqc_worker_pool_end_to_end(self, pool):
-        serial = CutQC(bv(7), max_subcircuit_qubits=5)
-        pooled = CutQC(bv(7), max_subcircuit_qubits=5, worker_pool=pool)
+        # sim_batch=0: pins the per-variant worker-pool transport mode.
+        serial = CutQC(bv(7), max_subcircuit_qubits=5, sim_batch=0)
+        pooled = CutQC(
+            bv(7), max_subcircuit_qubits=5, worker_pool=pool, sim_batch=0
+        )
         assert np.allclose(
             pooled.fd_query().probabilities,
             serial.fd_query().probabilities,
