@@ -119,6 +119,18 @@ BENCHES: List[Bench] = [
         },
         artifacts=["results/BENCH_parallel.json", "results/bench_parallel.txt"],
     ),
+    Bench(
+        name="variational",
+        target="benchmarks/bench_variational.py",
+        capped_env={
+            "REPRO_BENCH_VAR_ITERATIONS": "2",
+        },
+        full_env={},  # module defaults: 4 SPSA iterations on qaoa-14
+        artifacts=[
+            "results/BENCH_variational.json",
+            "results/bench_variational.txt",
+        ],
+    ),
 ]
 
 

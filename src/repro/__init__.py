@@ -18,7 +18,14 @@ reproduced tables/figures.
 """
 
 from .circuits import Gate, QuantumCircuit, build_circuit_graph
-from .core import CutQC, ExecutionReport, VariantExecutor, evaluate_with_cutqc
+from .core import (
+    CutQC,
+    ExecutionReport,
+    RebindStats,
+    VariantExecutor,
+    VariationalSession,
+    evaluate_with_cutqc,
+)
 from .cutting import (
     CutCircuit,
     CutSearchError,
@@ -71,6 +78,8 @@ __all__ = [
     "CutQC",
     "ExecutionReport",
     "VariantExecutor",
+    "VariationalSession",
+    "RebindStats",
     "evaluate_with_cutqc",
     "CutCircuit",
     "CutSearchError",

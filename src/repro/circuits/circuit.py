@@ -221,6 +221,69 @@ class QuantumCircuit:
         return out
 
     # ------------------------------------------------------------------
+    # Parameters and rebinding
+    # ------------------------------------------------------------------
+    def parameters(self) -> Tuple[float, ...]:
+        """All free parameters, flattened in gate order.
+
+        Only parametric gates (rx/ry/rz/p/u/cp/rzz) contribute; a circuit
+        with ``u`` gates contributes three values per ``u``.  The tuple is
+        exactly what :meth:`bind` consumes.
+        """
+        values: List[float] = []
+        for gate in self._gates:
+            values.extend(gate.params)
+        return tuple(values)
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(len(gate.params) for gate in self._gates)
+
+    def structure(self) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
+        """The parameter-free skeleton: ``(name, qubits)`` per gate.
+
+        Two circuits with equal structure differ at most in rotation
+        angles — they share cuts, variant plans, and fusion partitions.
+        """
+        return tuple((gate.name, gate.qubits) for gate in self._gates)
+
+    def bind(
+        self, values: Sequence[float]
+    ) -> Tuple["QuantumCircuit", Tuple[int, ...]]:
+        """Rebind all free parameters; report which gates changed.
+
+        ``values`` must have length :attr:`num_parameters` and is consumed
+        in gate order (the same order :meth:`parameters` produces).
+        Returns ``(bound_circuit, changed_gate_indices)``.  Gates whose
+        parameters are bit-identical are **reused by object identity**, so
+        downstream identity/equality-keyed caches (fusion blocks, variant
+        bodies) still hit for the untouched parts of the circuit.
+        """
+        values = [float(v) for v in values]
+        if len(values) != self.num_parameters:
+            raise ValueError(
+                f"bind expects {self.num_parameters} parameter(s), "
+                f"got {len(values)}"
+            )
+        cursor = 0
+        new_gates: List[Gate] = []
+        changed: List[int] = []
+        for index, gate in enumerate(self._gates):
+            count = len(gate.params)
+            if count == 0:
+                new_gates.append(gate)
+                continue
+            params = tuple(values[cursor:cursor + count])
+            cursor += count
+            if params == gate.params:
+                new_gates.append(gate)
+            else:
+                new_gates.append(Gate(gate.name, gate.qubits, params))
+                changed.append(index)
+        bound = QuantumCircuit._unchecked(self.num_qubits, new_gates)
+        return bound, tuple(changed)
+
+    # ------------------------------------------------------------------
     # Structural queries
     # ------------------------------------------------------------------
     def gates_on_wire(self, qubit: int) -> List[Tuple[int, Gate]]:

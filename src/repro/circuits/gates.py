@@ -26,6 +26,7 @@ __all__ = [
     "SUPPORTED_GATES",
     "SINGLE_QUBIT_GATES",
     "TWO_QUBIT_GATES",
+    "PARAM_COUNTS",
     "PAULI_MATRICES",
 ]
 
@@ -72,6 +73,10 @@ PAULI_MATRICES: Dict[str, np.ndarray] = {
 
 _PARAM_COUNTS = {"rx": 1, "ry": 1, "rz": 1, "p": 1, "u": 3, "cp": 1, "rzz": 1}
 
+#: Public view of the per-gate parameter arities; every other supported
+#: gate is parameter-free, so a gate's *structure* is just (name, qubits).
+PARAM_COUNTS = dict(_PARAM_COUNTS)
+
 
 @dataclass(frozen=True)
 class Gate:
@@ -112,6 +117,19 @@ class Gate:
     @property
     def is_multiqubit(self) -> bool:
         return len(self.qubits) > 1
+
+    @property
+    def num_params(self) -> int:
+        return _PARAM_COUNTS.get(self.name, 0)
+
+    @property
+    def is_parametric(self) -> bool:
+        """Whether this gate carries free rotation parameters."""
+        return self.name in _PARAM_COUNTS
+
+    def with_params(self, params: Tuple[float, ...]) -> "Gate":
+        """The same gate with new parameter values (arity re-validated)."""
+        return Gate(self.name, self.qubits, tuple(params))
 
     def matrix(self) -> np.ndarray:
         """Unitary matrix for this gate (2x2 or 4x4)."""

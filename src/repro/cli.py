@@ -196,9 +196,18 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--max-cuts", type=int, default=10)
     submit.add_argument("--method",
                         choices=("auto", "mip", "heuristic"), default="auto")
-    submit.add_argument("--query", choices=("fd", "dd", "top_k"),
+    submit.add_argument("--query",
+                        choices=("fd", "dd", "top_k", "variational"),
                         default="fd")
     submit.add_argument("--top", type=int, default=5)
+    submit.add_argument("--iterations", type=int, default=20,
+                        help="variational: SPSA optimizer iterations "
+                             "(requires --benchmark qaoa)")
+    submit.add_argument("--layers", type=int, default=1,
+                        help="variational: QAOA ansatz depth p")
+    submit.add_argument("--degree", type=int, default=3,
+                        help="variational: random d-regular MaxCut "
+                             "instance (0 = ring graph)")
     submit.add_argument("--active", type=int, default=2,
                         help="dd: active qubits per recursion")
     submit.add_argument("--recursions", type=int, default=8)
@@ -736,6 +745,12 @@ def _submit_payload(args: argparse.Namespace) -> dict:
         )
     if args.query == "top_k" and args.shard_qubits is not None:
         query["shard_qubits"] = args.shard_qubits
+    if args.query == "variational":
+        query.update(
+            iterations=args.iterations,
+            layers=args.layers,
+            degree=args.degree,
+        )
     payload = {
         "circuit": circuit,
         "device_size": args.device_size,
@@ -773,8 +788,33 @@ def _print_job_document(document: dict, as_json: bool) -> None:
             print(f"  {stage}: {timings[stage]:.3f}s{suffix}")
     if document.get("error"):
         print(f"  error: {document['error']}")
+    iterations = document.get("iterations") or []
+    if iterations:
+        latest = iterations[-1]
+        print(
+            f"  optimizer: {len(iterations)} iteration(s), "
+            f"best <C> = {latest.get('best_cost', float('nan')):.4f}"
+        )
     result = document.get("result")
     if result:
+        if result.get("mode") == "variational":
+            print(
+                f"  variational: <C> {result['initial_cost']:.4f} -> "
+                f"{result['best_cost']:.4f} over {result['iterations']} "
+                f"SPSA iterations ({result['num_subcircuits']} subcircuits, "
+                f"{result['num_cuts']} cuts)"
+            )
+            session = result.get("session") or {}
+            if session:
+                print(
+                    "  reuse: "
+                    f"{session.get('cut_cache_hits', 0)} cut hits, "
+                    f"{session.get('subcircuit_evaluations', 0)} subcircuit "
+                    "evaluations, "
+                    f"{session.get('tensors_reused', 0)} tensors reused, "
+                    f"{session.get('fusion_blocks_built', 0)}/"
+                    f"{session.get('fusion_blocks_total', 0)} blocks rebuilt"
+                )
         states = result.get("top_states") or result.get("solution_states") or []
         if states:
             print(f"  top states ({result.get('mode')}):")

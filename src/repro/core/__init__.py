@@ -2,6 +2,7 @@
 
 from .executor import ExecutionReport, VariantExecutor, circuit_fingerprint
 from .pipeline import CutQC, evaluate_with_cutqc
+from .variational import RebindStats, VariationalSession, spsa_gains
 
 __all__ = [
     "CutQC",
@@ -9,4 +10,7 @@ __all__ = [
     "ExecutionReport",
     "VariantExecutor",
     "circuit_fingerprint",
+    "RebindStats",
+    "VariationalSession",
+    "spsa_gains",
 ]

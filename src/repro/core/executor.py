@@ -68,21 +68,24 @@ def resolve_sim_batch(
     """Resolve the ``sim_batch`` default: batching unless it can't apply.
 
     ``None`` (unset) resolves to :data:`DEFAULT_SIM_BATCH`, except when a
-    custom ``backend`` callable or a :class:`DevicePool` executes whole
-    circuits — those paths cannot batch, so unset quietly resolves to
-    ``0``.  An *explicit* positive ``sim_batch`` combined with either
-    still raises, preserving the strict conflict check.
+    custom ``backend`` callable executes whole circuits — that path
+    cannot batch, so unset quietly resolves to ``0``.  A
+    :class:`DevicePool` batches too (each body-key group is pinned to one
+    pool device and evaluated through the batched noisy engine), so unset
+    stays at the default there; ``0`` forces the legacy per-circuit pool
+    dispatch.  An *explicit* positive ``sim_batch`` combined with a
+    ``backend`` still raises, preserving the strict conflict check.
     """
     if sim_batch is None:
-        if backend is not None or pool is not None:
+        if backend is not None:
             return 0
         return DEFAULT_SIM_BATCH
     if sim_batch < 0:
         raise ValueError("sim_batch must be >= 0")
-    if sim_batch and (backend is not None or pool is not None):
+    if sim_batch and backend is not None:
         raise ValueError(
             "sim_batch requires the exact statevector backend; it is "
-            "mutually exclusive with backend/pool execution"
+            "mutually exclusive with a custom backend callable"
         )
     return int(sim_batch)
 
@@ -98,7 +101,8 @@ class ExecutionReport:
     #: "serial" | "process" | "pool" | "worker-pool" on the per-variant
     #: path; "batched" | "batched-process" | "batched-pool" on the fused
     #: init-batch path; the same three with a "batched-noisy" prefix on
-    #: the batched device (noisy) path.
+    #: the batched device (noisy) path and a "batched-devicepool" prefix
+    #: when a DevicePool executes the groups.
     mode: str
     elapsed_seconds: float
     #: Modelled quantum wall-clock when a pool executed the batch.
@@ -182,9 +186,19 @@ class VariantExecutor:
         noise streams are correlated across workers — run noisy backends
         serially or through a seeded ``pool``.
     pool:
-        A :class:`~repro.devices.pool.DevicePool`; each unique circuit is
-        placed on the least-loaded fitting device and the modelled quantum
-        makespan is recorded in the report.
+        A :class:`~repro.devices.pool.DevicePool`.  With batching on (the
+        default) each *body-key group* of subcircuits is pinned to the
+        least-loaded fitting device (LPT over the groups' modelled
+        variant seconds) and evaluated there through the batched noisy
+        engine — one device geometry per group, fused bodies memoized per
+        process (mode ``"batched-devicepool"``).  With ``sim_batch=0``
+        the legacy per-circuit dispatch runs instead.  The modelled
+        quantum makespan is recorded in the report either way.  Set
+        :attr:`pool_affinity` (subcircuit index -> device index, e.g.
+        from a previous run's :attr:`last_pool_placement`) to pin groups
+        to devices across partial re-evaluations — a variational rebind
+        that re-runs only dirty subcircuits then reproduces the full
+        batch's placement bit-for-bit.
     pool_shots:
         Shots per job when executing on a pool (``None`` = device default,
         ``0`` = exact, noise-model-only execution).
@@ -268,6 +282,13 @@ class VariantExecutor:
         self.sim_batch = resolve_sim_batch(sim_batch, backend=backend, pool=pool)
         self.fusion_width = int(fusion_width)
         self.device = device
+        self.trajectories = int(trajectories)
+        self.noisy_method = noisy_method
+        #: Optional subcircuit-index -> pool-device-index pinning for the
+        #: batched pool path; ``last_pool_placement`` records what the
+        #: most recent run chose (for every group member).
+        self.pool_affinity: Optional[Dict[int, int]] = None
+        self.last_pool_placement: Optional[Dict[int, int]] = None
         self.noisy_spec: Optional[NoisyEvalSpec] = None
         if device is not None and self.sim_batch:
             self.noisy_spec = NoisyEvalSpec(
@@ -409,6 +430,15 @@ class VariantExecutor:
                 group_heads.append(subcircuit)
             member_group.append(group_of[body_key])
 
+        group_specs: List[Optional[NoisyEvalSpec]]
+        makespan = serial_seconds = None
+        if self.pool is not None:
+            group_specs, makespan, serial_seconds = self._place_pool_groups(
+                group_heads, member_group, subcircuits
+            )
+        else:
+            group_specs = [self.noisy_spec] * len(group_heads)
+
         # One payload per (group, init chunk): workers receive whole
         # init-batches, never individual circuits.  On the noisy path
         # the spec rides along; geometry compiles once per process.
@@ -421,17 +451,22 @@ class VariantExecutor:
                     INIT_LABELS, repeat=len(head.init_lines)
                 )
             ]
+            spec = group_specs[index]
             for start in range(0, len(combos), self.sim_batch):
                 chunk = combos[start : start + self.sim_batch]
-                if self.noisy_spec is not None:
-                    payloads.append(
-                        (head, chunk, self.fusion_width, self.noisy_spec)
-                    )
+                if spec is not None:
+                    payloads.append((head, chunk, self.fusion_width, spec))
                 else:
                     payloads.append((head, chunk, self.fusion_width))
                 payload_group.append(index)
 
-        outputs, mode = self._execute_batched(payloads)
+        if self.pool is not None:
+            prefix = "batched-devicepool"
+        elif self.noisy_spec is not None:
+            prefix = "batched-noisy"
+        else:
+            prefix = "batched"
+        outputs, mode = self._execute_batched(payloads, prefix)
 
         group_probabilities: List[Dict] = [{} for _ in group_heads]
         group_passes = [0] * len(group_heads)
@@ -439,7 +474,6 @@ class VariantExecutor:
             group_probabilities[index].update(probabilities)
             group_passes[index] += passes
 
-        result_mode = "batched-noisy" if self.noisy_spec is not None else "batched"
         results: List[SubcircuitResult] = []
         for subcircuit, index in zip(subcircuits, member_group):
             probabilities = group_probabilities[index]
@@ -449,7 +483,7 @@ class VariantExecutor:
                     probabilities=probabilities,
                     num_variants=len(probabilities),
                     num_unique_circuits=len(probabilities),
-                    mode=result_mode,
+                    mode=prefix,
                     num_body_passes=group_passes[index],
                 )
             )
@@ -462,17 +496,92 @@ class VariantExecutor:
             workers=self.workers,
             mode=mode,
             elapsed_seconds=time.perf_counter() - began,
+            pool_makespan_seconds=makespan,
+            pool_serial_seconds=serial_seconds,
             num_body_passes=sum(group_passes),
             sim_batch=self.sim_batch,
             fusion_width=self.fusion_width,
         )
         return results
 
+    def _place_pool_groups(
+        self,
+        group_heads: Sequence[Subcircuit],
+        member_group: Sequence[int],
+        subcircuits: Sequence[Subcircuit],
+    ) -> Tuple[List[NoisyEvalSpec], float, float]:
+        """Pin each body-key group to one pool device; build its spec.
+
+        Placement is LPT over the groups' modelled variant seconds (the
+        same per-job timing model as the legacy per-circuit dispatch, so
+        makespan accounting stays comparable) — unless
+        :attr:`pool_affinity` pins a group's subcircuit index to a
+        device, in which case the pin wins.  Group-level placement keeps
+        one compiled device geometry per subcircuit body and makes the
+        noise streams a deterministic function of ``(device, seed,
+        subcircuit)``, independent of which other groups share the batch.
+        """
+        from ..cutting.variants import num_physical_variants
+
+        devices = self.pool.devices
+        loads = [0.0] * len(devices)
+        chosen_of: List[Optional[int]] = [None] * len(group_heads)
+        seconds: List[float] = []
+        for head in group_heads:
+            shots = (
+                self.pool_shots
+                if self.pool_shots is not None
+                else devices[0].shots
+            )
+            seconds.append(
+                num_physical_variants(head)
+                * self.pool.estimate_job_seconds(head.circuit, shots or 0)
+            )
+        pinned = self.pool_affinity or {}
+        order = sorted(range(len(group_heads)), key=lambda i: -seconds[i])
+        for index in order:
+            head = group_heads[index]
+            if head.index in pinned:
+                chosen = pinned[head.index]
+            else:
+                candidates = [
+                    device_index
+                    for device_index, device in enumerate(devices)
+                    if device.num_qubits >= head.width
+                ]
+                if not candidates:
+                    raise ValueError(
+                        f"no pool device fits a {head.width}-qubit subcircuit"
+                    )
+                chosen = min(candidates, key=lambda i: loads[i])
+            loads[chosen] += seconds[index]
+            chosen_of[index] = chosen
+        placement: Dict[int, int] = {}
+        for subcircuit, group in zip(subcircuits, member_group):
+            placement[subcircuit.index] = chosen_of[group]
+        self.last_pool_placement = placement
+        specs: List[NoisyEvalSpec] = []
+        for index, head in enumerate(group_heads):
+            device = devices[chosen_of[index]]
+            specs.append(
+                NoisyEvalSpec(
+                    device=device,
+                    method=self.noisy_method,
+                    trajectories=self.trajectories,
+                    shots=(
+                        device.shots
+                        if self.pool_shots is None
+                        else self.pool_shots
+                    ),
+                    seed=self.seed,
+                )
+            )
+        return specs, max(loads, default=0.0), float(sum(loads))
+
     def _execute_batched(
-        self, payloads: Sequence[Tuple]
+        self, payloads: Sequence[Tuple], prefix: str
     ) -> Tuple[List[Tuple[Dict, int]], str]:
         """Run init-batch payloads serially, on the warm pool, or forked."""
-        prefix = "batched-noisy" if self.noisy_spec is not None else "batched"
         parallel_wanted = (
             self.worker_pool is not None or self.workers > 1
         ) and len(payloads) > 1

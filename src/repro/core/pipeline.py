@@ -85,11 +85,12 @@ class CutQC:
         each subcircuit body runs once per init batch of at most
         ``sim_batch`` members and all measurement bases derive from the
         retained states.  ``None`` (the default) turns batching **on**
-        — exact statevector batching, or batched noisy evaluation when
-        a ``device`` is set — resolving to ``0`` only under a custom
-        ``backend`` or ``pool``.  An explicit positive value with
-        ``backend``/``pool`` raises; ``0`` forces the legacy
-        per-variant path (the ``--no-sim-batch`` escape hatch).
+        — exact statevector batching, batched noisy evaluation when a
+        ``device`` is set, and per-group batched dispatch over a
+        ``pool`` — resolving to ``0`` only under a custom ``backend``.
+        An explicit positive value with ``backend`` raises; ``0``
+        forces the legacy per-variant path (the ``--no-sim-batch``
+        escape hatch, including per-circuit pool dispatch).
     fusion_width:
         Max fused-unitary width for the batched strategy's fusion pass.
     device_shots:
@@ -214,7 +215,9 @@ class CutQC:
         executed (e.g. ``"statevector:batched:v2"``,
         ``"device:bogota:trajectory:batched:v1"``) — the callable itself
         cannot be hashed.  ``config`` carries extra result-shaping knobs
-        (e.g. trajectory counts) into the digest.
+        (e.g. trajectory counts) into the digest.  The circuit's bound
+        parameter values always enter the digest: the cut fingerprint is
+        parameter-invariant, so the angles disambiguate rebinds.
         """
         from ..service.store import evaluation_fingerprint
 
@@ -224,6 +227,7 @@ class CutQC:
             shots=shots,
             seed=seed,
             config=config,
+            params=self.circuit.parameters(),
         )
 
     def load_cut(

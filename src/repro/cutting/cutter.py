@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from ..circuits import CircuitGraph, QuantumCircuit, build_circuit_graph
+from ..circuits import CircuitGraph, Gate, QuantumCircuit, build_circuit_graph
 
 __all__ = ["WireCut", "SubcircuitLine", "Subcircuit", "CutCircuit", "cut_circuit",
            "cut_circuit_from_assignment"]
@@ -109,12 +109,17 @@ class CutCircuit:
         assignment: List[int],
         subcircuits: List[Subcircuit],
         cuts: List[WireCut],
+        gate_placements: Optional[List[Tuple[int, int]]] = None,
     ):
         self.circuit = circuit
         self.graph = graph
         self.assignment = assignment
         self.subcircuits = subcircuits
         self.cuts = cuts
+        #: Per full-circuit gate index: ``(subcircuit index, position in
+        #: that subcircuit's gate list)``.  Recorded during gate emission;
+        #: lets a parameter rebind patch exactly the dirty subcircuits.
+        self.gate_placements = gate_placements
 
     @property
     def num_cuts(self) -> int:
@@ -145,6 +150,60 @@ class CutCircuit:
         for index in order:
             wires.extend(line.wire for line in self.subcircuits[index].output_lines)
         return wires
+
+    def rebound(
+        self, circuit: QuantumCircuit, changed: Sequence[int]
+    ) -> Tuple["CutCircuit", List[int]]:
+        """The same cut applied to a parameter rebind of the circuit.
+
+        ``circuit`` must be structurally identical to ``self.circuit``
+        (same gates on the same qubits — only rotation angles may differ)
+        and ``changed`` lists the full-circuit indices of the gates whose
+        parameters moved (what :meth:`QuantumCircuit.bind` reports).
+
+        Returns ``(new_cut, dirty_subcircuits)``.  Only subcircuits
+        containing a changed gate are rebuilt; clean :class:`Subcircuit`
+        objects — and therefore their gate tuples, variant plans and
+        fused blocks — are shared **by reference** with ``self``, so
+        every downstream identity/equality-keyed cache still hits.
+        """
+        if self.gate_placements is None:
+            raise ValueError(
+                "this CutCircuit carries no gate placements; re-cut via "
+                "cut_circuit_from_assignment to enable rebinding"
+            )
+        updates: Dict[int, List[Tuple[int, Gate]]] = {}
+        for index in changed:
+            cluster, position = self.gate_placements[index]
+            updates.setdefault(cluster, []).append(
+                (position, circuit.gates[index])
+            )
+        subcircuits = list(self.subcircuits)
+        for cluster, patches in updates.items():
+            old = self.subcircuits[cluster]
+            gate_list = list(old.circuit.gates)
+            for position, source in patches:
+                # The emitted gate lives on remapped line qubits; only its
+                # parameters move.
+                gate_list[position] = Gate(
+                    source.name, gate_list[position].qubits, source.params
+                )
+            subcircuits[cluster] = Subcircuit(
+                index=old.index,
+                circuit=QuantumCircuit._unchecked(
+                    old.circuit.num_qubits, gate_list
+                ),
+                lines=old.lines,
+            )
+        rebound = CutCircuit(
+            circuit,
+            self.graph,
+            self.assignment,
+            subcircuits,
+            self.cuts,
+            gate_placements=self.gate_placements,
+        )
+        return rebound, sorted(updates)
 
     def summary(self) -> str:
         """Human-readable description, used by examples and benches."""
@@ -307,6 +366,7 @@ def cut_circuit_from_assignment(
             segment += 1
         return segment
 
+    gate_placements: List[Tuple[int, int]] = []
     for gate in circuit:
         if gate.is_multiqubit:
             placements = []
@@ -318,6 +378,9 @@ def cut_circuit_from_assignment(
             if len(clusters) != 1:  # pragma: no cover - internal invariant
                 raise AssertionError("multiqubit gate split across subcircuits")
             cluster = clusters.pop()
+            gate_placements.append(
+                (cluster, len(subcircuit_circuits[cluster]))
+            )
             subcircuit_circuits[cluster].append(
                 gate.on(*(line for _, line in placements))
             )
@@ -327,13 +390,19 @@ def cut_circuit_from_assignment(
             anchor = max(0, multi_seen[qubit] - 1)
             segment = segment_for(qubit, anchor)
             cluster, line = line_of[(qubit, segment)]
+            gate_placements.append(
+                (cluster, len(subcircuit_circuits[cluster]))
+            )
             subcircuit_circuits[cluster].append(gate.on(line))
 
     subcircuits = [
         Subcircuit(index=c, circuit=subcircuit_circuits[c], lines=lines_meta[c])
         for c in range(num_clusters)
     ]
-    return CutCircuit(circuit, graph, assignment, subcircuits, cuts)
+    return CutCircuit(
+        circuit, graph, assignment, subcircuits, cuts,
+        gate_placements=gate_placements,
+    )
 
 
 def _relabel_clusters(assignment: List[int]) -> List[int]:

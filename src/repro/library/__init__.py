@@ -47,7 +47,7 @@ __all__ = [
     "ring_graph",
 ]
 
-BENCHMARKS = ("supremacy", "aqft", "grover", "bv", "adder", "hwea")
+BENCHMARKS = ("supremacy", "aqft", "grover", "bv", "adder", "hwea", "qaoa")
 
 _GENERATORS: Dict[str, Callable[..., QuantumCircuit]] = {
     "supremacy": supremacy,
@@ -56,6 +56,7 @@ _GENERATORS: Dict[str, Callable[..., QuantumCircuit]] = {
     "bv": bv,
     "adder": adder,
     "hwea": hwea,
+    "qaoa": qaoa_maxcut,
 }
 
 
@@ -87,6 +88,9 @@ def _size_ok(name: str, num_qubits: int) -> bool:
         return num_qubits >= 3 and num_qubits % 2 == 1
     if name == "adder":
         return num_qubits >= 4 and num_qubits % 2 == 0
+    if name == "qaoa":
+        # The default ring graph needs at least 3 nodes.
+        return num_qubits >= 3
     if name in ("aqft", "bv", "hwea"):
         # The paper examines even sizes for these three (§6.1); the
         # generators themselves accept any size >= 2.

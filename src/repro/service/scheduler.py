@@ -1,7 +1,9 @@
 """Async job scheduler: queued CutQC jobs over a shared artifact store.
 
 A *job* is one end-to-end CutQC evaluation — cut search, variant
-execution, and a query (FD, DD or streamed top-k) — described by a
+execution, and a query (FD, DD, streamed top-k, or a server-side
+*variational* optimizer loop over a warm
+:class:`~repro.core.variational.VariationalSession`) — described by a
 :class:`JobSpec` and tracked by a :class:`JobRecord` through the states::
 
     queued -> cutting -> evaluating -> querying -> done
@@ -42,7 +44,7 @@ JOB_STATES = (
     "queued", "cutting", "evaluating", "querying", "done", "failed",
     "cancelled",
 )
-QUERY_TYPES = ("fd", "dd", "top_k")
+QUERY_TYPES = ("fd", "dd", "top_k", "variational")
 
 #: States a job can never leave.
 _TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
@@ -72,6 +74,12 @@ class JobSpec:
     zoom_width: int = 1
     threshold: float = 0.25
     shard_qubits: Optional[int] = None
+    # variational (query == "variational", benchmark == "qaoa") ----------
+    iterations: int = 20
+    layers: int = 1
+    #: MaxCut instance: ``degree``-regular random graph on ``qubits``
+    #: nodes (``0`` = the default ring graph).
+    degree: int = 3
     # execution ----------------------------------------------------------
     device: Optional[str] = None
     shots: Optional[int] = None
@@ -107,6 +115,23 @@ class JobSpec:
             )
         if self.query == "dd" and (self.active < 1 or self.recursions < 1):
             raise ValueError("dd queries need active >= 1, recursions >= 1")
+        if self.query == "variational":
+            if self.benchmark != "qaoa":
+                raise ValueError(
+                    "variational jobs run the server-side MaxCut optimizer "
+                    "and require benchmark='qaoa'"
+                )
+            if self.iterations < 1:
+                raise ValueError("iterations must be positive")
+            if self.layers < 1:
+                raise ValueError("layers must be positive")
+            if self.degree < 0:
+                raise ValueError("degree must be >= 0 (0 = ring graph)")
+            if self.degree:
+                if self.degree >= self.qubits:
+                    raise ValueError("degree must be smaller than qubits")
+                if (self.degree * self.qubits) % 2:
+                    raise ValueError("degree * qubits must be even")
         if self.zoom_width < 1:
             raise ValueError("zoom_width must be positive")
         if self.top < 1:
@@ -135,7 +160,21 @@ class JobSpec:
         kwargs = {}
         if self.benchmark in ("supremacy", "adder"):
             kwargs["seed"] = self.seed
+        elif self.benchmark == "qaoa":
+            kwargs["seed"] = self.seed
+            kwargs["layers"] = self.layers
+            kwargs["edges"] = self.qaoa_edges()
         return get_benchmark(self.benchmark, self.qubits, **kwargs)
+
+    def qaoa_edges(self) -> List:
+        """The MaxCut instance this spec optimizes over."""
+        from ..library.qaoa import random_regular_graph, ring_graph
+
+        if self.degree:
+            return random_regular_graph(
+                self.qubits, degree=self.degree, seed=self.seed
+            )
+        return ring_graph(self.qubits)
 
     @property
     def batched(self) -> bool:
@@ -188,6 +227,9 @@ class JobRecord:
     #: Variant-execution accounting (mode, dedup, body passes) when the
     #: evaluate stage actually ran (None on a store cache hit).
     execution: Optional[Dict] = None
+    #: Variational jobs append one entry per optimizer iteration *while
+    #: running* — ``GET /jobs/<id>`` streams live progress.
+    iterations: List[Dict] = field(default_factory=list)
     result: Optional[Dict] = None
     error: Optional[str] = None
     cancel_requested: bool = False
@@ -210,6 +252,10 @@ class JobRecord:
             "execution": self.execution,
             "error": self.error,
         }
+        if self.iterations or self.spec.query == "variational":
+            # list() snapshots under the GIL; the worker appends entries
+            # while pollers serialize the record.
+            document["iterations"] = list(self.iterations)
         if include_result:
             document["result"] = self.result
         return document
@@ -439,6 +485,9 @@ class JobScheduler:
 
     def _execute(self, record: JobRecord) -> None:
         spec = record.spec
+        if spec.query == "variational":
+            self._execute_variational(record)
+            return
         circuit = spec.build_circuit()
         device = None
         if spec.device is not None:
@@ -528,6 +577,149 @@ class JobScheduler:
         began = time.perf_counter()
         record.result = self._run_query(pipeline, spec)
         record.timings["query"] = time.perf_counter() - began
+        record.state = "done"
+
+    def _execute_variational(self, record: JobRecord) -> None:
+        """Server-side SPSA MaxCut loop over one warm
+        :class:`~repro.core.variational.VariationalSession`.
+
+        The cut is obtained once (store-checkpointed under the
+        parameter-invariant fingerprint); every optimizer iteration then
+        *rebinds* the two SPSA probe points instead of re-running the
+        pipeline, re-evaluating only subcircuits whose angles moved.  One
+        entry per iteration is appended to ``record.iterations`` as it
+        completes, so pollers watch the cost trace live.
+        """
+        import numpy as np
+
+        from ..core.variational import VariationalSession, spsa_gains
+        from ..library.qaoa import maxcut_cost, qaoa_maxcut
+
+        spec = record.spec
+        num_qubits = spec.qubits
+        edges = spec.qaoa_edges()
+
+        def flat(theta):
+            # Expand per-layer (gamma, beta) to the flat per-gate vector
+            # through the generator itself, so the layout always matches.
+            return qaoa_maxcut(
+                num_qubits, edges, layers=spec.layers, parameters=list(theta)
+            ).parameters()
+
+        rng = np.random.default_rng(spec.seed)
+        theta = rng.uniform(0.1, np.pi - 0.1, size=2 * spec.layers)
+
+        if self._cancelled(record):
+            return
+        record.state = "cutting"
+        device = None
+        if spec.device is not None:
+            from ..devices import get_device
+
+            device = get_device(spec.device, seed=spec.seed)
+        session = VariationalSession(
+            spec.build_circuit(),
+            max_subcircuit_qubits=spec.device_size,
+            store=self.store,
+            max_subcircuits=spec.max_subcircuits,
+            max_cuts=spec.max_cuts,
+            method=spec.method,
+            device=device,
+            device_shots=spec.shots,
+            trajectories=spec.trajectories,
+            noisy_method=spec.noisy_method,
+            workers=spec.workers,
+            strategy=spec.strategy,
+            seed=spec.seed,
+            worker_pool=self.worker_pool,
+            sim_batch=spec.sim_batch,
+            fusion_width=spec.fusion_width,
+        )
+        record.fingerprints["cut"] = session.cut_fingerprint()
+
+        # Warm-up: first rebind cuts (or restores) and evaluates all.
+        record.state = "evaluating"
+        warmup = session.rebind(flat(theta))
+        record.cache_hits["cut"] = bool(session.cut_store_hit)
+        record.timings["cut"] = warmup.cut_seconds
+        record.timings["evaluate"] = (
+            warmup.evaluate_seconds + warmup.tensor_seconds
+        )
+        record.execution = {"mode": warmup.execution_mode}
+        cost = maxcut_cost(session.probabilities(), edges, num_qubits)
+        initial_cost = best_cost = cost
+        best_theta = theta.copy()
+
+        record.state = "querying"
+        loop_began = time.perf_counter()
+        for k in range(spec.iterations):
+            if self._cancelled(record):
+                return
+            began = time.perf_counter()
+            a_k, c_k = spsa_gains(k)
+            delta = rng.choice((-1.0, 1.0), size=theta.size)
+            stats_plus = session.rebind(flat(theta + c_k * delta))
+            cost_plus = maxcut_cost(
+                session.probabilities(), edges, num_qubits
+            )
+            stats_minus = session.rebind(flat(theta - c_k * delta))
+            cost_minus = maxcut_cost(
+                session.probabilities(), edges, num_qubits
+            )
+            if cost_plus > best_cost:
+                best_cost = cost_plus
+                best_theta = theta + c_k * delta
+            if cost_minus > best_cost:
+                best_cost = cost_minus
+                best_theta = theta - c_k * delta
+            # Maximize <C>: ascend the simultaneous-perturbation gradient
+            # estimate (1/delta == delta for Rademacher perturbations).
+            theta = theta + a_k * (cost_plus - cost_minus) / (2 * c_k) * delta
+            record.iterations.append({
+                "iteration": k,
+                "cost_plus": cost_plus,
+                "cost_minus": cost_minus,
+                "best_cost": best_cost,
+                "theta": [float(t) for t in theta],
+                "seconds": time.perf_counter() - began,
+                "reuse": {
+                    "cut_cache_hits": sum(
+                        1
+                        for s in (stats_plus, stats_minus)
+                        if s.cut_cache_hit
+                    ),
+                    "subcircuit_evaluations": (
+                        len(stats_plus.dirty_subcircuits)
+                        + len(stats_minus.dirty_subcircuits)
+                    ),
+                    "tensors_reused": (
+                        stats_plus.tensors_reused + stats_minus.tensors_reused
+                    ),
+                    "fusion_blocks_built": (
+                        stats_plus.fusion_blocks_built
+                        + stats_minus.fusion_blocks_built
+                    ),
+                    "fusion_blocks_reused": (
+                        stats_plus.fusion_blocks_reused
+                        + stats_minus.fusion_blocks_reused
+                    ),
+                },
+            })
+        record.timings["query"] = time.perf_counter() - loop_began
+        record.result = {
+            "mode": "variational",
+            "num_qubits": num_qubits,
+            "num_cuts": session.cut.num_cuts,
+            "num_subcircuits": session.cut.num_subcircuits,
+            "num_edges": len(edges),
+            "layers": spec.layers,
+            "iterations": spec.iterations,
+            "initial_cost": initial_cost,
+            "best_cost": best_cost,
+            "best_theta": [float(t) for t in best_theta],
+            "final_theta": [float(t) for t in theta],
+            "session": session.summary(),
+        }
         record.state = "done"
 
     def _run_query(self, pipeline: CutQC, spec: JobSpec) -> Dict:

@@ -23,6 +23,16 @@ Fingerprints are order-insensitive where identity is order-insensitive:
 option dictionaries hash the same regardless of key order, and explicit
 cut-point lists hash as a sorted set.  Gate order naturally *does*
 matter — it changes the circuit.
+
+Parameter invariance: cut artifacts are keyed by the circuit's
+*structure* (:func:`structural_digest` — gate names and qubits, rotation
+angles masked), because the cut search never looks at angles.  A
+variational rebind therefore hits the cut cache on every iteration.
+Evaluation artifacts, whose tensors *do* depend on the angles, digest the
+bound parameter values at full double precision so rebinds never collide.
+Both tags are versioned (``cut:v2`` / ``evaluation:v2``): artifacts
+written under the pre-variational semantics simply become unreachable and
+recompute.
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ __all__ = [
     "ArtifactStore",
     "StoreStats",
     "circuit_digest",
+    "structural_digest",
     "cut_fingerprint",
     "evaluation_fingerprint",
 ]
@@ -87,6 +98,28 @@ def circuit_digest(circuit: QuantumCircuit) -> str:
     )
 
 
+def structural_digest(circuit: QuantumCircuit) -> str:
+    """Stable content hash of a circuit's *structure* (angles masked).
+
+    Two circuits digest equal iff they have the same width and the same
+    ``(name, qubits)`` gate sequence — i.e. iff one is a parameter rebind
+    of the other.  Every cut-level artifact is keyed on this digest so
+    variational rebinds reuse the cut.
+    """
+    return _digest(
+        {
+            "num_qubits": circuit.num_qubits,
+            "gates": [
+                [gate.name, list(gate.qubits)] for gate in circuit
+            ],
+        }
+    )
+
+
+def _params_hex(params: Sequence[float]) -> List[str]:
+    return [float(p).hex() for p in params]
+
+
 def _canonical_options(options: Dict) -> Dict:
     """Normalize a cut-option dict: drop Nones, sort explicit cut sets."""
     canonical = {}
@@ -108,11 +141,15 @@ def cut_fingerprint(circuit: QuantumCircuit, options: Dict) -> str:
     ``options`` is the canonical cut-search option dict (device budget,
     subcircuit/cut limits, method, optional explicit cuts).  Key order is
     irrelevant; ``None`` values are treated as absent.
+
+    The digest is **parameter-invariant** (``cut:v2``): it hashes the
+    circuit's structure, not its rotation angles, because the cut search
+    only sees connectivity.  Rebinding parameters keeps the key stable.
     """
     return _digest(
         {
-            "kind": "cut",
-            "circuit": circuit_digest(circuit),
+            "kind": "cut:v2",
+            "circuit": structural_digest(circuit),
             "options": _canonical_options(options),
         }
     )
@@ -124,21 +161,32 @@ def evaluation_fingerprint(
     shots: Optional[int] = None,
     seed: Optional[int] = None,
     config: Optional[Dict] = None,
+    params: Optional[Sequence[float]] = None,
 ) -> str:
-    """Fingerprint of ``(cut, backend config, shots, seed)`` — the
+    """Fingerprint of ``(cut, params, backend config, shots, seed)`` — the
     evaluation-artifact key.  ``backend`` is a config *tag*, not a
     callable; batched execution modes carry a versioned tag (e.g.
     ``"statevector:batched:v2"``, ``"device:bogota:trajectory:batched:v1"``)
     so artifacts produced by older evaluation semantics recompute
     instead of silently colliding.  ``config`` holds extra
     result-shaping knobs (e.g. trajectory counts); it enters the digest
-    only when set, keeping historical unversioned keys stable."""
+    only when set, keeping historical unversioned keys stable.
+
+    ``params`` are the circuit's **bound parameter values** (the flat
+    tuple :meth:`QuantumCircuit.parameters` produces), hashed at full
+    double precision.  The cut key above is parameter-invariant, so the
+    angles must enter here — otherwise two rebinds of one circuit would
+    collide on the same evaluation artifact.  The tag is versioned
+    (``evaluation:v2``) so artifacts written under the old
+    parameter-blind semantics recompute.
+    """
     payload = {
-        "kind": "evaluation",
+        "kind": "evaluation:v2",
         "cut": cut_key,
         "backend": backend,
         "shots": shots,
         "seed": seed,
+        "params": _params_hex(params if params is not None else ()),
     }
     if config is not None:
         payload["config"] = config
@@ -255,11 +303,12 @@ class ArtifactStore:
     ) -> Path:
         """Persist a cut: the assignment (enough to re-derive every
         subcircuit deterministically) plus the priced solution if the
-        search produced one."""
+        search produced one.  The artifact records the *structural*
+        digest — any parameter rebind of ``circuit`` restores it."""
         payload = {
             "assignment": list(cut_circuit.assignment),
             "num_cuts": cut_circuit.num_cuts,
-            "circuit": circuit_digest(circuit),
+            "structure": structural_digest(circuit),
             "solution": solution.to_dict() if solution is not None else None,
         }
         document = {
@@ -288,7 +337,7 @@ class ArtifactStore:
             if (
                 document.get("version") != _FORMAT_VERSION
                 or document.get("checksum") != _digest(payload)
-                or payload.get("circuit") != circuit_digest(circuit)
+                or payload.get("structure") != structural_digest(circuit)
             ):
                 raise ValueError("cut artifact failed verification")
             assignment = [int(a) for a in payload["assignment"]]

@@ -7,7 +7,13 @@ from .statevector import (
     simulate_probabilities,
     simulate_statevector,
 )
-from .batch import BatchedStatevector, FusedOp, fuse_gates, simulate_batch
+from .batch import (
+    BatchedStatevector,
+    FusedOp,
+    fuse_gates,
+    fusion_stats,
+    simulate_batch,
+)
 from .sampler import (
     ShotSampler,
     counts_to_probabilities,
@@ -42,6 +48,7 @@ __all__ = [
     "BatchedStatevector",
     "FusedOp",
     "fuse_gates",
+    "fusion_stats",
     "simulate_batch",
     "ShotSampler",
     "counts_to_probabilities",

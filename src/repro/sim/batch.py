@@ -37,6 +37,7 @@ __all__ = [
     "FusedOp",
     "MAX_FUSION_WIDTH",
     "fuse_gates",
+    "fusion_stats",
     "BatchedStatevector",
     "simulate_batch",
 ]
@@ -112,6 +113,81 @@ class _Block:
 _FUSION_CACHE: "OrderedDict[Tuple, List[FusedOp]]" = OrderedDict()
 _FUSION_CACHE_LIMIT = 128
 
+#: Structural partition memo: *which gates fold into which block* depends
+#: only on the gates' qubit tuples and the fusion width — never on the
+#: rotation angles.  A parameter rebind therefore reuses the partition
+#: verbatim and only rebuilds the unitaries of blocks whose gates moved.
+_PARTITION_CACHE: "OrderedDict[Tuple, Tuple[Tuple[int, ...], ...]]" = (
+    OrderedDict()
+)
+_PARTITION_CACHE_LIMIT = 128
+
+#: Per-block unitary memo keyed on the block's exact gate tuple.  Blocks
+#: untouched by a rebind hit here; only blocks containing a changed gate
+#: pay the ``2^k x 2^k`` rebuild.
+_BLOCK_CACHE: "OrderedDict[Tuple[Gate, ...], FusedOp]" = OrderedDict()
+_BLOCK_CACHE_LIMIT = 2048
+
+#: Per-process fusion counters (see :func:`fusion_stats`).
+_STATS = {
+    "calls": 0,
+    "full_hits": 0,
+    "partitions_built": 0,
+    "blocks_total": 0,
+    "blocks_built": 0,
+}
+
+
+def fusion_stats() -> dict:
+    """Snapshot of the per-process fusion counters.
+
+    * ``calls`` / ``full_hits`` — :func:`fuse_gates` invocations and how
+      many were answered by the exact ``(gates, width)`` memo;
+    * ``partitions_built`` — structural block partitions computed (a
+      rebind never increments this);
+    * ``blocks_total`` / ``blocks_built`` — blocks assembled on the slow
+      path vs. block unitaries actually (re)constructed.  The gap is the
+      per-block reuse a rebind gets for free.
+
+    Counters are process-local: pooled/process execution modes only
+    reflect the parent's share.  Diff two snapshots to measure one
+    evaluation.
+    """
+    return dict(_STATS)
+
+
+def _partition_gates(
+    qubit_tuples: Sequence[Tuple[int, ...]], fusion_width: int
+) -> Tuple[Tuple[int, ...], ...]:
+    """Group gate indices into fusion blocks from qubit supports alone."""
+    blocks: List[Tuple[set, List[int]]] = []
+    for position, qubits in enumerate(qubit_tuples):
+        support = set(qubits)
+        placed = False
+        # Walk back to the last block sharing a qubit with this gate; the
+        # gate commutes with every block after it (disjoint supports), so
+        # merging there — or appending at the end — preserves semantics.
+        for index in range(len(blocks) - 1, -1, -1):
+            block_qubits, members = blocks[index]
+            if block_qubits & support:
+                if len(block_qubits | support) <= fusion_width:
+                    block_qubits.update(support)
+                    members.append(position)
+                    placed = True
+                break
+        if not placed:
+            tail = blocks[-1] if blocks else None
+            if (
+                tail is not None
+                and not (tail[0] & support)
+                and len(tail[0] | support) <= fusion_width
+            ):
+                tail[0].update(support)
+                tail[1].append(position)
+            else:
+                blocks.append((support, [position]))
+    return tuple(tuple(members) for _, members in blocks)
+
 
 def fuse_gates(
     circuit: Union[QuantumCircuit, Sequence[Gate]],
@@ -126,9 +202,12 @@ def fuse_gates(
     (``fusion_width=1`` therefore still folds single-qubit runs while
     leaving two-qubit gates unfused).
 
-    Results are memoized on ``(gates, fusion_width)`` — the same body is
-    re-fused by every init-batch chunk and recursion, and building the
-    block unitaries costs more than applying them.
+    Memoization is layered for the variational warm path.  Exact repeats
+    hit the ``(gates, fusion_width)`` memo.  A parameter rebind misses it
+    but reuses (a) the structural partition, keyed only on the gates'
+    qubit tuples, and (b) every per-block unitary whose gates are
+    bit-identical — so a rebind re-fuses *only the blocks whose
+    parameters moved*.  :func:`fusion_stats` exposes the counters.
     """
     if not 1 <= fusion_width <= MAX_FUSION_WIDTH:
         raise ValueError(
@@ -136,38 +215,44 @@ def fuse_gates(
             f"got {fusion_width}"
         )
     gates = circuit.gates if isinstance(circuit, QuantumCircuit) else circuit
+    _STATS["calls"] += 1
     key = (tuple(gates), fusion_width)
     cached = _FUSION_CACHE.get(key)
     if cached is not None:
+        _STATS["full_hits"] += 1
         try:
             _FUSION_CACHE.move_to_end(key)
         except KeyError:  # pragma: no cover - concurrent eviction
             pass
         return cached
-    blocks: List[_Block] = []
-    for gate in gates:
-        placed = False
-        # Walk back to the last block sharing a qubit with this gate; the
-        # gate commutes with every block after it (disjoint supports), so
-        # merging there — or appending at the end — preserves semantics.
-        for index in range(len(blocks) - 1, -1, -1):
-            block = blocks[index]
-            if block.qubits & set(gate.qubits):
-                if len(block.qubits | set(gate.qubits)) <= fusion_width:
-                    block.absorb(gate)
-                    placed = True
-                break
-        if not placed:
-            tail = blocks[-1] if blocks else None
-            if (
-                tail is not None
-                and not (tail.qubits & set(gate.qubits))
-                and len(tail.qubits | set(gate.qubits)) <= fusion_width
-            ):
-                tail.absorb(gate)
-            else:
-                blocks.append(_Block(gate))
-    ops = [block.to_op() for block in blocks]
+    gates = key[0]
+    structure = (tuple(gate.qubits for gate in gates), fusion_width)
+    partition = _PARTITION_CACHE.get(structure)
+    if partition is None:
+        partition = _partition_gates(structure[0], fusion_width)
+        _PARTITION_CACHE[structure] = partition
+        _STATS["partitions_built"] += 1
+        while len(_PARTITION_CACHE) > _PARTITION_CACHE_LIMIT:
+            _PARTITION_CACHE.popitem(last=False)
+    else:
+        _PARTITION_CACHE.move_to_end(structure)
+    ops: List[FusedOp] = []
+    for members in partition:
+        block_gates = tuple(gates[index] for index in members)
+        _STATS["blocks_total"] += 1
+        op = _BLOCK_CACHE.get(block_gates)
+        if op is None:
+            block = _Block(block_gates[0])
+            for gate in block_gates[1:]:
+                block.absorb(gate)
+            op = block.to_op()
+            _BLOCK_CACHE[block_gates] = op
+            _STATS["blocks_built"] += 1
+            while len(_BLOCK_CACHE) > _BLOCK_CACHE_LIMIT:
+                _BLOCK_CACHE.popitem(last=False)
+        else:
+            _BLOCK_CACHE.move_to_end(block_gates)
+        ops.append(op)
     _FUSION_CACHE[key] = ops
     while len(_FUSION_CACHE) > _FUSION_CACHE_LIMIT:
         _FUSION_CACHE.popitem(last=False)

@@ -45,21 +45,58 @@ class TestVariantExecutor:
                 assert np.array_equal(a.probabilities[key], b.probabilities[key])
 
     def test_pool_mode_exact_and_reported(self, bv_cut):
+        # Batching is the default on the pool path too: each body-key
+        # group is pinned to one device and evaluated batched.
         executor = VariantExecutor(
             pool=DevicePool([_ideal("a", 5, seed=1), _ideal("b", 5, seed=2)]),
             pool_shots=0,
         )
         pooled = executor.run(bv_cut.subcircuits)
         report = executor.last_report
-        assert report.mode == "pool"
+        assert report.mode == "batched-devicepool"
         assert report.pool_makespan_seconds > 0
         assert report.pool_makespan_seconds <= report.pool_serial_seconds
+        assert executor.last_pool_placement is not None
+        assert set(executor.last_pool_placement) == {
+            s.index for s in bv_cut.subcircuits
+        }
         serial = VariantExecutor().run(bv_cut.subcircuits)
         for a, b in zip(pooled, serial):
             for key in a.probabilities:
                 assert np.allclose(
                     a.probabilities[key], b.probabilities[key], atol=1e-9
                 )
+
+    def test_pool_legacy_per_circuit_mode(self, bv_cut):
+        # sim_batch=0 keeps the per-circuit dispatch (--no-sim-batch).
+        executor = VariantExecutor(
+            pool=DevicePool([_ideal("a", 5, seed=1), _ideal("b", 5, seed=2)]),
+            pool_shots=0,
+            sim_batch=0,
+        )
+        pooled = executor.run(bv_cut.subcircuits)
+        assert executor.last_report.mode == "pool"
+        batched = VariantExecutor(
+            pool=DevicePool([_ideal("a", 5, seed=1), _ideal("b", 5, seed=2)]),
+            pool_shots=0,
+        ).run(bv_cut.subcircuits)
+        for a, b in zip(pooled, batched):
+            for key in a.probabilities:
+                assert np.allclose(
+                    a.probabilities[key], b.probabilities[key], atol=1e-9
+                )
+
+    def test_pool_affinity_pins_placement(self, bv_cut):
+        pool = DevicePool([_ideal("a", 5, seed=1), _ideal("b", 5, seed=2)])
+        executor = VariantExecutor(pool=pool, pool_shots=0)
+        executor.run(bv_cut.subcircuits)
+        placement = executor.last_pool_placement
+        # Re-running a subset with the recorded affinity reproduces the
+        # full batch's placement for those subcircuits.
+        executor.pool_affinity = placement
+        executor.run(bv_cut.subcircuits[:1])
+        only = bv_cut.subcircuits[0].index
+        assert executor.last_pool_placement[only] == placement[only]
 
     def test_cross_subcircuit_dedup(self, bv_cut):
         # The same subcircuit twice: every physical circuit is shared.
@@ -138,7 +175,7 @@ class TestPipelineWiring:
             circuit, max_subcircuit_qubits=5, pool=pool, pool_shots=0
         )
         result = pipeline.fd_query()
-        assert pipeline.execution_report.mode == "pool"
+        assert pipeline.execution_report.mode == "batched-devicepool"
         assert pipeline.execution_report.pool_makespan_seconds > 0
         truth = simulate_probabilities(circuit)
         assert np.allclose(result.probabilities, truth, atol=1e-8)

@@ -318,6 +318,7 @@ class TestRegistry:
             "bv",
             "adder",
             "hwea",
+            "qaoa",
         }
 
     def test_get_benchmark_dispatch(self):
