@@ -14,6 +14,7 @@ and some configurations cannot be cut within 10 cuts / 5 subcircuits at
 all ("--" rows, like the paper's early-terminated curves).
 """
 
+import json
 import os
 import time
 
@@ -28,7 +29,7 @@ from repro.postprocess import (
     reconstruction_flops,
 )
 
-from conftest import report
+from conftest import RESULTS_DIR, report
 
 # CI smoke runs cap the sweep via these env vars (see .github/workflows).
 _DEVICES = tuple(
@@ -123,6 +124,32 @@ def test_fig6_fd_postprocessing_vs_simulation(benchmark):
         (row[0], row[1], row[2]): float(row[6].rstrip("x")) for row in ok
     }
     bv_like = [v for (n, _, _), v in speedups.items() if n in ("bv", "hwea")]
+    document = {
+        "generated_by": "bench_fig6_fd_runtime.py",
+        "devices": list(_DEVICES),
+        "benchmarks": list(_BENCHMARKS),
+        "strategy": _STRATEGY,
+        "configs_run": len(rows),
+        "configs_ok": len(ok),
+        "speedup": max(bv_like) if bv_like else 0.0,
+        "rows": [
+            {
+                "benchmark": row[0],
+                "qubits": row[1],
+                "device": row[2],
+                "cuts": row[3],
+                "postprocess_seconds": row[4],
+                "simulation_seconds": row[5],
+                "speedup": row[6],
+                "status": row[7],
+            }
+            for row in rows
+        ],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fd.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
     assert bv_like and max(bv_like) > 1.0, "cheap cuts must beat simulation"
 
 

@@ -61,7 +61,7 @@ BENCHES: List[Bench] = [
             "REPRO_BENCH_BENCHMARKS": "bv,hwea,supremacy",
         },
         full_env={},  # module defaults are the full fig6 sweep
-        artifacts=["results/fig6_measured.txt"],
+        artifacts=["results/BENCH_fd.json", "results/fig6_measured.txt"],
     ),
     Bench(
         name="dd-engine",
@@ -129,6 +129,19 @@ BENCHES: List[Bench] = [
         artifacts=[
             "results/BENCH_variational.json",
             "results/bench_variational.txt",
+        ],
+    ),
+    Bench(
+        name="obs-overhead",
+        target="benchmarks/bench_obs_overhead.py",
+        capped_env={},  # module defaults are already CI-sized (~10s)
+        full_env={
+            "REPRO_BENCH_OBS_PAIRS": "9",
+            "REPRO_BENCH_OBS_SAMPLES": "5",
+        },
+        artifacts=[
+            "results/BENCH_obs.json",
+            "results/bench_obs_overhead.txt",
         ],
     ),
 ]

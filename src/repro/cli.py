@@ -40,6 +40,7 @@ from .cutting import CutSearchError
 from .devices import DEVICE_PRESETS, get_device
 from .library import BENCHMARKS, get_benchmark
 from .metrics import chi_square_loss
+from .obs import trace
 from .sim import simulate_probabilities
 
 __all__ = ["main", "build_parser"]
@@ -104,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--fusion-width", type=int, default=2, metavar="K",
             help="max fused-unitary width for --sim-batch's gate-fusion "
                  "pass (default: 2)",
+        )
+        sub.add_argument(
+            "--trace", action="store_true",
+            help="record spans across the whole pipeline and print the "
+                 "span tree (wall time + per-stage percentages)",
         )
 
     cut = commands.add_parser("cut", help="find cuts and print the plan")
@@ -242,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="poll until the job finishes and print the result")
     submit.add_argument("--timeout", type=float, default=300.0,
                         help="--wait polling timeout in seconds")
+    submit.add_argument("--trace", action="store_true",
+                        help="with --wait: fetch the job's span tree from "
+                             "GET /jobs/<id>/trace and print it")
 
     status = commands.add_parser(
         "status", help="show one job's state, stage timings and cache hits"
@@ -334,6 +343,22 @@ def _close_worker_pool(pipeline: Optional[CutQC]) -> None:
     """The CLI owns the pool it created in :func:`_build_pipeline`."""
     if pipeline is not None and pipeline.worker_pool is not None:
         pipeline.worker_pool.close()
+
+
+def _print_trace_tree(document: dict, as_json: bool) -> None:
+    """Render a span tree; on stderr under --json so stdout stays parseable."""
+    stream = sys.stderr if as_json else sys.stdout
+    print(trace.format_tree(document), file=stream)
+
+
+def _run_traced_command(args: argparse.Namespace, name: str, body) -> int:
+    """Run a CLI command body, optionally under a root span."""
+    if not getattr(args, "trace", False):
+        return body()
+    with trace.start(name) as root:
+        code = body()
+    _print_trace_tree(root.to_dict(), args.json)
+    return code
 
 
 def _command_cut(args: argparse.Namespace) -> int:
@@ -440,7 +465,9 @@ def _command_run(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:
-        return _command_run_body(args, pipeline)
+        return _run_traced_command(
+            args, "cli.run", lambda: _command_run_body(args, pipeline)
+        )
     finally:
         _close_worker_pool(pipeline)
 
@@ -579,7 +606,9 @@ def _command_dd(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:
-        return _command_dd_body(args, pipeline)
+        return _run_traced_command(
+            args, "cli.dd", lambda: _command_dd_body(args, pipeline)
+        )
     finally:
         _close_worker_pool(pipeline)
 
@@ -841,6 +870,8 @@ def _command_submit(args: argparse.Namespace) -> int:
         return 1
     job_id = created["job_id"]
     if not args.wait:
+        if args.trace:
+            print("note: --trace needs --wait; ignoring", file=sys.stderr)
         if args.json:
             print(json.dumps(created, indent=2))
         else:
@@ -868,6 +899,13 @@ def _command_submit(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     _print_job_document(result, args.json)
+    if args.trace:
+        try:
+            traced = request_json("GET", f"{args.url}/jobs/{job_id}/trace")
+        except ServiceClientError as error:
+            print(f"error fetching trace: {error}", file=sys.stderr)
+            return 1
+        _print_trace_tree(traced["trace"], args.json)
     return 0
 
 

@@ -39,6 +39,8 @@ from ..cutting.variants import (
 )
 from ..devices.device import VirtualDevice
 from ..devices.pool import DevicePool
+from ..obs import trace
+from ..obs.metrics import get_registry
 from ..sim.statevector import simulate_probabilities
 
 __all__ = [
@@ -58,6 +60,29 @@ _MIN_PARALLEL_CIRCUITS = 4
 #: Batching is the default execution mode — both for the exact
 #: statevector path and for ``--device`` noisy evaluation.
 DEFAULT_SIM_BATCH = 256
+
+_EVAL_VARIANTS = get_registry().counter(
+    "repro_eval_variants_total",
+    "Subcircuit variants evaluated, by execution mode.",
+    ("mode",),
+)
+_EVAL_BODY_PASSES = get_registry().counter(
+    "repro_eval_body_passes_total",
+    "Fused body passes simulated by the batched strategy.",
+)
+_EVAL_SECONDS = get_registry().histogram(
+    "repro_eval_seconds",
+    "Variant-evaluation batch latency by execution mode.",
+    ("mode",),
+)
+
+
+def _observe_report(report: "ExecutionReport") -> None:
+    """Feed one finished evaluation's report into the metrics registry."""
+    _EVAL_VARIANTS.inc(report.num_variants, mode=report.mode)
+    _EVAL_SECONDS.observe(report.elapsed_seconds, mode=report.mode)
+    if report.num_body_passes:
+        _EVAL_BODY_PASSES.inc(report.num_body_passes)
 
 
 def resolve_sim_batch(
@@ -372,6 +397,7 @@ class VariantExecutor:
             pool_makespan_seconds=makespan,
             pool_serial_seconds=serial_seconds,
         )
+        _observe_report(self.last_report)
         return results
 
     # ------------------------------------------------------------------
@@ -502,6 +528,7 @@ class VariantExecutor:
             sim_batch=self.sim_batch,
             fusion_width=self.fusion_width,
         )
+        _observe_report(self.last_report)
         return results
 
     def _place_pool_groups(
@@ -586,19 +613,35 @@ class VariantExecutor:
             self.worker_pool is not None or self.workers > 1
         ) and len(payloads) > 1
         if parallel_wanted and self.worker_pool is not None:
-            outputs = self.worker_pool.map_variant_batches(payloads)
+            with trace.span(
+                "evaluate.dispatch",
+                {"mode": f"{prefix}-pool", "payloads": len(payloads)},
+            ):
+                outputs = self.worker_pool.map_variant_batches(payloads)
+            # Pull the workers' fusion/geometry cache counters home while
+            # the pool is warm — scrapes then read gauges, never dispatch.
+            from ..postprocess.parallel import publish_cache_gauges
+
+            publish_cache_gauges(self.worker_pool)
             return outputs, f"{prefix}-pool"
         if parallel_wanted:
             import multiprocessing
 
-            pool = multiprocessing.Pool(processes=self.workers)
-            try:
-                outputs = pool.map(_run_init_batch, list(payloads))
-            finally:
-                pool.terminate()
-                pool.join()
+            with trace.span(
+                "evaluate.dispatch",
+                {"mode": f"{prefix}-process", "payloads": len(payloads)},
+            ):
+                pool = multiprocessing.Pool(processes=self.workers)
+                try:
+                    outputs = pool.map(_run_init_batch, list(payloads))
+                finally:
+                    pool.terminate()
+                    pool.join()
             return outputs, f"{prefix}-process"
-        return [_run_init_batch(payload) for payload in payloads], prefix
+        with trace.span(
+            "evaluate.dispatch", {"mode": prefix, "payloads": len(payloads)}
+        ):
+            return [_run_init_batch(payload) for payload in payloads], prefix
 
     def _execute_parallel(
         self, backend: Backend, circuits: Sequence[QuantumCircuit]

@@ -11,11 +11,14 @@ contraction engine.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits import QuantumCircuit
+from ..obs import trace
+from ..obs.metrics import get_registry
 from ..cutting import (
     CutCircuit,
     CutSolution,
@@ -40,6 +43,14 @@ from .executor import ExecutionReport, VariantExecutor, resolve_sim_batch
 __all__ = ["CutQC", "evaluate_with_cutqc"]
 
 Backend = Callable[[QuantumCircuit], np.ndarray]
+
+#: Reconstruction-query latency by mode (fd/dd/top_k) — the pipeline-level
+#: histogram ``GET /metrics`` exposes.
+_QUERY_SECONDS = get_registry().histogram(
+    "repro_query_seconds",
+    "End-to-end reconstruction query latency by mode.",
+    ("mode",),
+)
 
 
 class CutQC:
@@ -280,13 +291,18 @@ class CutQC:
             if self._explicit_cuts is not None:
                 self._cut = cut_circuit(self.circuit, self._explicit_cuts)
             else:
-                self._solution = find_cuts(
-                    self.circuit,
-                    self.max_subcircuit_qubits,
-                    max_subcircuits=self.max_subcircuits,
-                    max_cuts=self.max_cuts,
-                    method=self.method,
-                )
+                with trace.span(
+                    "cut.search",
+                    {"qubits": self.circuit.num_qubits,
+                     "method": self.method},
+                ):
+                    self._solution = find_cuts(
+                        self.circuit,
+                        self.max_subcircuit_qubits,
+                        max_subcircuits=self.max_subcircuits,
+                        max_cuts=self.max_cuts,
+                        method=self.method,
+                    )
                 self._cut = self._solution.apply(self.circuit)
             width = self._cut.max_subcircuit_width()
             if width > self.max_subcircuit_qubits:
@@ -315,7 +331,10 @@ class CutQC:
                 trajectories=self.trajectories,
                 noisy_method=self.noisy_method,
             )
-            self._results = executor.run(cut.subcircuits)
+            with trace.span(
+                "evaluate", {"subcircuits": cut.num_subcircuits}
+            ):
+                self._results = executor.run(cut.subcircuits)
             self.execution_report = executor.last_report
         return self._results
 
@@ -328,15 +347,21 @@ class CutQC:
         strategy: Optional[str] = None,
     ) -> ReconstructionResult:
         """Full-definition query: the complete 2**n output distribution."""
-        reconstructor = Reconstructor(
-            self.cut(), results=self.evaluate(), engine=self.engine
-        )
-        return reconstructor.reconstruct(
-            workers=workers,
-            greedy_order=greedy_order,
-            early_termination=early_termination,
-            strategy=strategy,
-        )
+        began = time.perf_counter()
+        with trace.span(
+            "query.fd", {"strategy": strategy or self.strategy}
+        ):
+            reconstructor = Reconstructor(
+                self.cut(), results=self.evaluate(), engine=self.engine
+            )
+            result = reconstructor.reconstruct(
+                workers=workers,
+                greedy_order=greedy_order,
+                early_termination=early_termination,
+                strategy=strategy,
+            )
+        _QUERY_SECONDS.observe(time.perf_counter() - began, mode="fd")
+        return result
 
     def dd_query(
         self,
@@ -400,7 +425,14 @@ class CutQC:
             engine=self.engine,
             zoom_width=zoom_width,
         )
-        query.run(max_recursions)
+        began = time.perf_counter()
+        with trace.span(
+            "query.dd",
+            {"active_qubits": max_active_qubits,
+             "recursions": max_recursions},
+        ):
+            query.run(max_recursions)
+        _QUERY_SECONDS.observe(time.perf_counter() - began, mode="dd")
         return query
 
     # ------------------------------------------------------------------
@@ -439,9 +471,15 @@ class CutQC:
         shard_indices: Optional[Sequence[int]] = None,
     ) -> List[Tuple[str, float]]:
         """The k highest-probability output states, at streaming memory."""
-        return self._streaming_reconstructor().top_k(
-            shard_qubits, k, shard_indices
-        )
+        began = time.perf_counter()
+        with trace.span(
+            "query.top_k", {"shard_qubits": shard_qubits, "k": k}
+        ):
+            result = self._streaming_reconstructor().top_k(
+                shard_qubits, k, shard_indices
+            )
+        _QUERY_SECONDS.observe(time.perf_counter() - began, mode="top_k")
+        return result
 
     @property
     def stream_stats(self) -> Optional[StreamStats]:

@@ -40,12 +40,26 @@ import numpy as np
 from ..circuits import QuantumCircuit
 from ..cutting.cutter import CutCircuit
 from ..cutting.variants import SubcircuitResult
+from ..obs import trace
+from ..obs.metrics import get_registry
 from ..postprocess.attribution import TermTensor, build_term_tensor
 from ..postprocess.reconstruct import ReconstructionResult, Reconstructor
 from ..sim.batch import fusion_stats
 from .pipeline import CutQC
 
 __all__ = ["RebindStats", "VariationalSession", "spsa_gains"]
+
+_REBINDS = get_registry().counter(
+    "repro_rebinds_total", "Variational rebind iterations executed."
+)
+_REBIND_DIRTY = get_registry().counter(
+    "repro_rebind_subcircuits_total",
+    "Subcircuits touched per rebind by disposition.",
+    ("disposition",),
+)
+_REBIND_SECONDS = get_registry().histogram(
+    "repro_rebind_seconds", "Per-stage rebind wall time.", ("stage",)
+)
 
 
 def spsa_gains(
@@ -220,6 +234,24 @@ class VariationalSession:
     # ------------------------------------------------------------------
     def rebind(self, values: Sequence[float]) -> RebindStats:
         """Bind new parameters and re-evaluate only what they touched."""
+        with trace.span(
+            "variational.rebind", {"iteration": len(self.history)}
+        ):
+            stats = self._rebind_impl(values)
+        _REBINDS.inc()
+        if stats.dirty_subcircuits:
+            _REBIND_DIRTY.inc(
+                len(stats.dirty_subcircuits), disposition="dirty"
+            )
+        if stats.reused_subcircuits:
+            _REBIND_DIRTY.inc(stats.reused_subcircuits, disposition="reused")
+        for stage in ("bind", "cut", "evaluate", "tensor"):
+            _REBIND_SECONDS.observe(
+                getattr(stats, f"{stage}_seconds"), stage=stage
+            )
+        return stats
+
+    def _rebind_impl(self, values: Sequence[float]) -> RebindStats:
         began = time.perf_counter()
         bound, changed = self.circuit.bind(values)
         bind_seconds = time.perf_counter() - began

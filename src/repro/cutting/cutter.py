@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import networkx as nx
 
 from ..circuits import CircuitGraph, Gate, QuantumCircuit, build_circuit_graph
+from ..obs import trace
 
 __all__ = ["WireCut", "SubcircuitLine", "Subcircuit", "CutCircuit", "cut_circuit",
            "cut_circuit_from_assignment"]
@@ -277,6 +278,15 @@ def cut_circuit_from_assignment(
     graph: Optional[CircuitGraph] = None,
 ) -> CutCircuit:
     """Cut ``circuit`` according to a vertex->cluster assignment."""
+    with trace.span("cut.split", {"gates": len(circuit.gates)}):
+        return _build_cut_circuit(circuit, assignment, graph)
+
+
+def _build_cut_circuit(
+    circuit: QuantumCircuit,
+    assignment: Sequence[int],
+    graph: Optional[CircuitGraph] = None,
+) -> CutCircuit:
     graph = graph or build_circuit_graph(circuit)
     if len(assignment) != graph.num_vertices:
         raise ValueError(

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..circuits import Gate, QuantumCircuit
 from ..circuits.gates import gate_matrix
+from ..obs import trace
 from ..sim.noise import NoiseModel, clean_log_weight
 from ..sim.statevector import INITIAL_STATES, simulate_probabilities
 from .cutter import Subcircuit
@@ -273,16 +274,21 @@ def batched_variant_probabilities(
     num_passes = 0
     for start in range(0, len(init_combos), chunk):
         combos = init_combos[start : start + chunk]
-        members = []
-        for labels in combos:
-            per_qubit = [zero] * width
-            for label, position in zip(labels, init_positions):
-                per_qubit[position] = INITIAL_STATES[label]
-            members.append(per_qubit)
-        state = BatchedStatevector.from_product_batch(members)
-        state.apply_fused(ops)
-        num_passes += 1
-        emit(state, 0, (), combos)
+        with trace.span(
+            "evaluate.variant_batch",
+            {"subcircuit": subcircuit.index, "width": width,
+             "members": len(combos)},
+        ):
+            members = []
+            for labels in combos:
+                per_qubit = [zero] * width
+                for label, position in zip(labels, init_positions):
+                    per_qubit[position] = INITIAL_STATES[label]
+                members.append(per_qubit)
+            state = BatchedStatevector.from_product_batch(members)
+            state.apply_fused(ops)
+            num_passes += 1
+            emit(state, 0, (), combos)
     return probabilities, num_passes
 
 
@@ -373,6 +379,22 @@ class _NoisyGeometry:
 #: planned and fused body instead of re-transpiling/re-fusing per payload.
 _GEOMETRY_CACHE: "OrderedDict[Tuple, _NoisyGeometry]" = OrderedDict()
 _GEOMETRY_CACHE_LIMIT = 64
+_GEOMETRY_STATS = {"hits": 0, "misses": 0}
+
+
+def geometry_stats() -> dict:
+    """Per-process noisy-geometry memo counters plus live size.
+
+    Mirrors :func:`repro.sim.batch.fusion_stats`: counters are local to
+    the calling process, so pool workers report their own copies via
+    ``WorkerPool.cache_stats()`` and land as pid-labelled gauges in the
+    metrics registry.
+    """
+    return {
+        "hits": _GEOMETRY_STATS["hits"],
+        "misses": _GEOMETRY_STATS["misses"],
+        "size": len(_GEOMETRY_CACHE),
+    }
 
 
 def _fold_matrices(gates: Sequence[Gate]) -> np.ndarray:
@@ -425,11 +447,13 @@ def _compiled_noisy_geometry(
     )
     cached = _GEOMETRY_CACHE.get(key)
     if cached is not None:
+        _GEOMETRY_STATS["hits"] += 1
         try:
             _GEOMETRY_CACHE.move_to_end(key)
         except KeyError:  # pragma: no cover - concurrent eviction
             pass
         return cached
+    _GEOMETRY_STATS["misses"] += 1
 
     if spec.device is not None:
         from ..devices.transpiler import _native_1q, compact_circuit, transpile
@@ -765,10 +789,15 @@ def batched_noisy_variant_probabilities(
     chunk = max_batch if max_batch else max(1, len(init_combos))
     for start in range(0, len(init_combos), chunk):
         combos = init_combos[start : start + chunk]
-        if spec.method == "density":
-            leaves, passes = density_chunk(combos)
-        else:
-            leaves, passes = trajectory_chunk(combos)
+        with trace.span(
+            "evaluate.noisy_variant_batch",
+            {"subcircuit": index, "method": spec.method,
+             "members": len(combos)},
+        ):
+            if spec.method == "density":
+                leaves, passes = density_chunk(combos)
+            else:
+                leaves, passes = trajectory_chunk(combos)
         num_passes += passes
         for bases, rows in leaves.items():
             rows = apply_readout_error_rows(rows, noise.readout)

@@ -1,0 +1,28 @@
+"""Unified observability: span tracing + process-wide metrics registry.
+
+Import idiom used across the pipeline::
+
+    from ..obs import trace
+    from ..obs.metrics import get_registry
+
+See :mod:`repro.obs.trace` for the span naming scheme and
+:mod:`repro.obs.metrics` for the registry/merge/scrape machinery.
+"""
+
+from . import trace  # noqa: F401
+from .metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]

@@ -1,0 +1,240 @@
+"""Span-based tracing for the cut → evaluate → reconstruct pipeline.
+
+A *span* is a named, timed region with attributes and children; a trace is
+the span tree rooted at one job/CLI invocation.  Tracing is *ambient*: a
+root is activated with :func:`start` and every :func:`span` call underneath
+(same thread, or same task in a pool worker) attaches to the current span
+via a :mod:`contextvars` variable — no plumbing of trace handles through
+call signatures.
+
+The disabled path is allocation-free by construction: when no root is
+active, :func:`span` returns a shared no-op singleton without creating a
+``Span``, so hot loops (per-gate fused matmuls, per-bin DD rounds) pay one
+``ContextVar.get`` and nothing else.  ``bench_obs_overhead.py`` gates this.
+
+Spans serialize to plain dicts (:meth:`Span.to_dict`) so they cross
+``WorkerPool`` process boundaries: workers run their task under a local
+root and return it with the result; the parent grafts it back with
+:func:`attach`, which is how a shard's reduction-tree merge shows up under
+its parent query span.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "span",
+    "start",
+    "enabled",
+    "current",
+    "attach",
+    "format_tree",
+]
+
+
+class Span:
+    """One timed region: name, attributes, wall/CPU time, children."""
+
+    __slots__ = (
+        "name", "attrs", "start", "wall_seconds", "cpu_seconds", "error",
+        "children", "_perf0", "_cpu0",
+    )
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
+        self.start = 0.0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.error: Optional[str] = None
+        self.children: List["Span"] = []
+        self._perf0 = 0.0
+        self._cpu0 = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span; chainable, mirrored by the no-op."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.children:
+            doc["children"] = [child.to_dict() for child in self.children]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        span = cls(doc["name"], dict(doc.get("attrs", {})))
+        span.start = doc.get("start", 0.0)
+        span.wall_seconds = doc.get("wall_seconds", 0.0)
+        span.cpu_seconds = doc.get("cpu_seconds", 0.0)
+        span.error = doc.get("error")
+        span.children = [cls.from_dict(child) for child in doc.get("children", [])]
+        return span
+
+
+_CURRENT: ContextVar[Optional[Span]] = ContextVar("repro_obs_span", default=None)
+
+
+class _NoopSpan:
+    """Shared do-nothing span: returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager that times a real span and maintains the ambient stack."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, span: Span):
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        span = self._span
+        span.start = time.time()
+        span._perf0 = time.perf_counter()
+        span._cpu0 = time.process_time()
+        self._token = _CURRENT.set(span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.wall_seconds = time.perf_counter() - span._perf0
+        span.cpu_seconds = time.process_time() - span._cpu0
+        if exc_type is not None and span.error is None:
+            span.error = f"{exc_type.__name__}: {exc}"
+        _CURRENT.reset(self._token)
+        return False
+
+
+def span(name: str, attrs: Optional[Dict[str, Any]] = None):
+    """Open a child span under the current one, or a no-op when disabled.
+
+    Usage::
+
+        with trace.span("evaluate.variant_batch", attrs={"variants": n}):
+            ...
+
+    When no trace is active this allocates nothing and returns a shared
+    singleton, so it is safe on hot paths.
+    """
+    parent = _CURRENT.get()
+    if parent is None:
+        return _NOOP
+    child = Span(name, dict(attrs) if attrs else {})
+    parent.children.append(child)
+    return _ActiveSpan(child)
+
+
+def start(name: str, attrs: Optional[Dict[str, Any]] = None) -> "_ActiveSpan":
+    """Open a *root* span, enabling tracing for everything underneath.
+
+    Unlike :func:`span` this always creates a real span (it is the opt-in
+    switch).  The context manager yields the :class:`Span`; keep a
+    reference and call :meth:`Span.to_dict` after exit to serialize the
+    finished tree.  Nested ``start`` calls attach to the active trace like
+    ordinary spans, so a traced CLI run that drives the scheduler in-process
+    produces one tree.
+    """
+    root_attrs = dict(attrs) if attrs else {}
+    root_attrs.setdefault("pid", os.getpid())
+    parent = _CURRENT.get()
+    root = Span(name, root_attrs)
+    if parent is not None:
+        parent.children.append(root)
+    return _ActiveSpan(root)
+
+
+def enabled() -> bool:
+    """True when a trace is active in this context (thread/task)."""
+    return _CURRENT.get() is not None
+
+
+def current() -> Optional[Span]:
+    """The innermost active span, or None when tracing is disabled."""
+    return _CURRENT.get()
+
+
+def attach(doc: Optional[dict]) -> None:
+    """Graft a serialized span tree (e.g. from a pool worker) onto the
+    current span.  A no-op when tracing is disabled or ``doc`` is falsy."""
+    if not doc:
+        return
+    parent = _CURRENT.get()
+    if parent is None:
+        return
+    parent.children.append(Span.from_dict(doc))
+
+
+def format_tree(doc, total_seconds: Optional[float] = None) -> str:
+    """Render a span tree (dict or :class:`Span`) with per-stage percentages.
+
+    Percentages are relative to the root's wall time, so the output reads
+    as a per-stage latency budget::
+
+        job:fd (bv-14)                    1.234s 100.0%
+        |- cut                            0.101s   8.2%
+        |- evaluate                       0.693s  56.2%
+        |  `- evaluate.variant_batch      0.691s  56.0%
+        `- query.fd                       0.437s  35.4%
+    """
+    if isinstance(doc, Span):
+        doc = doc.to_dict()
+    root_wall = doc.get("wall_seconds", 0.0)
+    total = total_seconds if total_seconds else (root_wall or 1.0)
+    lines: List[str] = []
+
+    def _label(node: dict) -> str:
+        name = node["name"]
+        attrs = node.get("attrs") or {}
+        shown = {k: v for k, v in attrs.items() if k != "pid"}
+        suffix = ""
+        if shown:
+            inner = ", ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+            suffix = f" ({inner})"
+        if node.get("error"):
+            suffix += f" !{node['error']}"
+        return name + suffix
+
+    def _walk(node: dict, prefix: str, branch: str) -> None:
+        wall = node.get("wall_seconds", 0.0)
+        pct = 100.0 * wall / total if total else 0.0
+        label = prefix + branch + _label(node)
+        lines.append(f"{label:<56s} {wall:>9.3f}s {pct:>5.1f}%")
+        children = node.get("children", [])
+        child_prefix = prefix + ("   " if branch.startswith("`") else
+                                 "|  " if branch else "")
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            _walk(child, child_prefix, "`- " if last else "|- ")
+
+    _walk(doc, "", "")
+    return "\n".join(lines)

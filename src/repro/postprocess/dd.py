@@ -36,6 +36,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import trace
+from ..obs.metrics import get_registry
 from .engine import ContractionEngine
 from .plan import (
     CachingTensorProvider,
@@ -55,6 +57,15 @@ __all__ = [
     "PrecomputedTensorProvider",
     "DynamicDefinitionQuery",
 ]
+
+_DD_ROUNDS = get_registry().counter(
+    "repro_dd_rounds_total", "Dynamic-definition zoom rounds executed."
+)
+_DD_CACHE = get_registry().counter(
+    "repro_dd_cache_total",
+    "DD collapse-cache lookups by outcome (hit/miss).",
+    ("outcome",),
+)
 
 
 @dataclass
@@ -224,6 +235,22 @@ class DynamicDefinitionQuery:
 
     def _expand_round(self, width: int) -> List[DDRecursion]:
         """Expand up to ``width`` frontier bins as one batched round."""
+        cache = getattr(self.provider, "cache_stats", None)
+        hits0 = cache.hits if cache is not None else 0
+        misses0 = cache.misses if cache is not None else 0
+        with trace.span("query.dd.round", {"width": width}):
+            recursions = self._expand_round_impl(width)
+        _DD_ROUNDS.inc()
+        if cache is not None:
+            hit_delta = cache.hits - hits0
+            miss_delta = cache.misses - misses0
+            if hit_delta:
+                _DD_CACHE.inc(hit_delta, outcome="hit")
+            if miss_delta:
+                _DD_CACHE.inc(miss_delta, outcome="miss")
+        return recursions
+
+    def _expand_round_impl(self, width: int) -> List[DDRecursion]:
         parents: List[Optional[Bin]] = []
         if not self.recursions:
             parents.append(None)  # the root recursion has no parent bin

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import trace
 from .attribution import TermTensor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -395,15 +396,20 @@ def contract_terms(
     Returns the raw sum; callers apply the ``1/2^K`` scale.
     """
     resolved = resolve_strategy(strategy, tensors, order, num_cuts)
-    if resolved == "tensor_network":
-        vector = _contract_network(tensors, order)
-        return ContractionResult(vector=vector, num_skipped=0, strategy=resolved)
-    vector, skipped = _enumerate_kron(
-        tensors, order, num_cuts, workers, early_termination
-    )
-    return ContractionResult(
-        vector=vector, num_skipped=skipped, strategy=resolved
-    )
+    with trace.span(
+        "contract", {"strategy": resolved, "num_cuts": num_cuts}
+    ):
+        if resolved == "tensor_network":
+            vector = _contract_network(tensors, order)
+            return ContractionResult(
+                vector=vector, num_skipped=0, strategy=resolved
+            )
+        vector, skipped = _enumerate_kron(
+            tensors, order, num_cuts, workers, early_termination
+        )
+        return ContractionResult(
+            vector=vector, num_skipped=skipped, strategy=resolved
+        )
 
 
 @dataclass

@@ -43,6 +43,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import trace
+from ..obs.metrics import get_registry
 from .attribution import TermTensor
 from .engine import (
     ContractionEngine,
@@ -53,7 +55,12 @@ from .engine import (
 )
 from .plan import PrecomputedTensorProvider, QueryPlan
 
-__all__ = ["ParallelStats", "PublishedTensors", "WorkerPool"]
+__all__ = [
+    "ParallelStats",
+    "PublishedTensors",
+    "WorkerPool",
+    "publish_cache_gauges",
+]
 
 #: Tensors below this many bytes ride inline in the task pickle; larger
 #: ones go through shared memory.
@@ -303,6 +310,112 @@ def _run_backend_chunk(payload):
     return vectors, meta
 
 
+#: Task kind -> module-level function; the traced wrapper dispatches by
+#: kind so payload tuples keep their exact untraced shapes.
+_TASK_FNS = {
+    "contract": _run_contract,
+    "plan": _run_plan,
+    "kron-range": _run_kron_range,
+    "reduce": _run_reduce,
+    "variant-batch": _run_variant_batch,
+    "noisy-variant-batch": _run_variant_batch,
+    "backend": _run_backend_chunk,
+}
+
+
+def _run_traced(payload):
+    """Run a task under a worker-local root span; ship the tree home.
+
+    Used only when the *submitting* context is traced: the worker opens
+    ``worker.<kind>`` as its own root (tagging the worker pid), runs the
+    ordinary task function — whose internal ``trace.span`` calls now
+    record — and returns ``(result, span_tree_dict)``.  The parent grafts
+    the tree under the span that submitted the task, so cross-process
+    work shows up inside the job's trace.
+    """
+    kind, inner = payload
+    with trace.start(f"worker.{kind}") as root:
+        result = _TASK_FNS[kind](inner)
+    return result, root.to_dict()
+
+
+def _run_cache_stats(_payload):
+    """Report this worker's hidden per-process cache counters.
+
+    Covers the fused-body memo (:func:`repro.sim.batch.fusion_stats`)
+    and the noisy-geometry cache
+    (:func:`repro.cutting.variants.geometry_stats`); the parent folds
+    the reports into pid-labelled registry gauges.
+    """
+    from ..cutting.variants import geometry_stats
+    from ..sim.batch import fusion_stats
+
+    return {
+        "pid": os.getpid(),
+        "fusion": fusion_stats(),
+        "geometry": geometry_stats(),
+    }
+
+
+def _publish_cache_report(report: Dict) -> None:
+    """Fold one process's cache report into pid-labelled gauges."""
+    registry = get_registry()
+    pid = str(report.get("pid", os.getpid()))
+    fusion = report.get("fusion", {})
+    geometry = report.get("geometry", {})
+    size_gauge = registry.gauge(
+        "repro_cache_size",
+        "Live entries in per-process caches (fusion memo layers, noisy "
+        "geometry).",
+        ("cache", "pid"),
+    )
+    hit_gauge = registry.gauge(
+        "repro_cache_hit_rate",
+        "Lifetime hit rate of per-process caches.",
+        ("cache", "pid"),
+    )
+    size_gauge.set(fusion.get("fusion_cache_size", 0), cache="fusion", pid=pid)
+    size_gauge.set(
+        fusion.get("partition_cache_size", 0), cache="fusion_partition",
+        pid=pid,
+    )
+    size_gauge.set(
+        fusion.get("block_cache_size", 0), cache="fusion_block", pid=pid
+    )
+    size_gauge.set(geometry.get("size", 0), cache="geometry", pid=pid)
+    calls = fusion.get("calls", 0)
+    if calls:
+        hit_gauge.set(
+            fusion.get("full_hits", 0) / calls, cache="fusion", pid=pid
+        )
+    geometry_total = geometry.get("hits", 0) + geometry.get("misses", 0)
+    if geometry_total:
+        hit_gauge.set(
+            geometry.get("hits", 0) / geometry_total, cache="geometry",
+            pid=pid,
+        )
+
+
+def publish_cache_gauges(pool: Optional["WorkerPool"] = None) -> None:
+    """Refresh the pid-labelled cache gauges.
+
+    Always publishes the calling (parent) process's fusion/geometry
+    cache stats; with ``pool`` given, additionally pulls every
+    responding pool worker's report (:meth:`WorkerPool.cache_stats`).
+    The executor calls this at the end of pooled evaluations so scrapes
+    never have to dispatch pool tasks themselves.
+    """
+    _publish_cache_report(_run_cache_stats(None))
+    if pool is not None:
+        for report in pool.cache_stats():
+            _publish_cache_report(report)
+
+
+# Parent-process cache gauges refresh lazily on every scrape/snapshot;
+# worker gauges refresh when an evaluation pulls them (see above).
+get_registry().add_collector(lambda _registry: publish_cache_gauges(None))
+
+
 # ----------------------------------------------------------------------
 # Parent-side pool
 # ----------------------------------------------------------------------
@@ -405,6 +518,21 @@ class WorkerPool:
         self._closed = False
         self._started_at: Optional[float] = None
         self._stats = ParallelStats(workers=self.workers)
+        registry = get_registry()
+        self._metric_tasks = registry.counter(
+            "repro_pool_tasks_total",
+            "Worker-pool tasks by kind and outcome.",
+            ("kind", "status"),
+        )
+        self._metric_task_seconds = registry.histogram(
+            "repro_pool_task_seconds",
+            "Worker-side busy seconds per pool task.",
+            ("kind",),
+        )
+        self._metric_bytes = registry.counter(
+            "repro_pool_bytes_published_total",
+            "Bytes copied into shared-memory segments by the pool.",
+        )
 
     # -- lifecycle ------------------------------------------------------
     def _ensure_pool(self):
@@ -451,6 +579,9 @@ class WorkerPool:
 
     # -- accounting -----------------------------------------------------
     def _record(self, kind: str, meta: Optional[_TaskMeta], ok: bool) -> None:
+        self._metric_tasks.inc(kind=kind, status="ok" if ok else "error")
+        if meta is not None:
+            self._metric_task_seconds.observe(meta.elapsed_seconds, kind=kind)
         with self._lock:
             stats = self._stats
             if ok:
@@ -490,6 +621,52 @@ class WorkerPool:
         stats.utilization = stats.busy_seconds / budget if budget > 0 else 0.0
         return stats
 
+    def cache_stats(self) -> List[Dict]:
+        """Best-effort per-worker cache reports (deduped by pid).
+
+        Submits ``2 * workers`` probe tasks so every worker is likely to
+        answer at least once; workers that never pick one up are simply
+        absent this round.  Returns an empty list when the pool has not
+        started — no cold start just to read empty caches.
+        """
+        with self._lock:
+            if self._pool is None or self._closed:
+                return []
+            pool = self._pool
+        pending = [
+            pool.apply_async(_run_cache_stats, (None,))
+            for _ in range(2 * self.workers)
+        ]
+        reports: Dict[int, Dict] = {}
+        for task in pending:
+            try:
+                report = task.get(self.task_timeout)
+            except Exception:  # pragma: no cover - worker death
+                continue
+            reports.setdefault(report["pid"], report)
+        return [reports[pid] for pid in sorted(reports)]
+
+    # -- task dispatch (trace-aware) ------------------------------------
+    def _submit(self, pool, kind: str, payload):
+        """``apply_async`` with ambient-trace propagation.
+
+        Returns ``(async_result, traced)``.  When the submitting context
+        is traced the task runs under :func:`_run_traced` so the worker
+        records a span tree; :meth:`_reap` unwraps and grafts it.  The
+        untraced path is byte-identical to a direct ``apply_async``.
+        """
+        if trace.enabled():
+            return pool.apply_async(_run_traced, ((kind, payload),)), True
+        return pool.apply_async(_TASK_FNS[kind], (payload,)), False
+
+    def _reap(self, task, traced: bool):
+        """Wait for a submitted task; graft its worker span tree if any."""
+        result = task.get(self.task_timeout)
+        if traced:
+            result, span_doc = result
+            trace.attach(span_doc)
+        return result
+
     # -- shared-memory transport ---------------------------------------
     def _new_segment(self, size: int):
         from multiprocessing import shared_memory
@@ -498,6 +675,7 @@ class WorkerPool:
         with self._lock:
             self._segments[segment.name] = segment
             self._stats.bytes_published += size
+        self._metric_bytes.inc(size)
         return segment
 
     def _adopt_segment(self, name: str):
@@ -618,12 +796,12 @@ class WorkerPool:
             refs, names = self._tensor_refs(tensors)
             fresh.extend(names)
             payload = (refs, list(order), num_cuts, strategy, early_termination)
-            pending.append(pool.apply_async(_run_contract, (payload,)))
+            pending.append(self._submit(pool, "contract", payload))
         results: List[ContractionResult] = []
         try:
-            for task in pending:
+            for task, traced in pending:
                 try:
-                    result, meta = task.get(self.task_timeout)
+                    result, meta = self._reap(task, traced)
                 except Exception:
                     self._record("contract", None, ok=False)
                     raise
@@ -672,12 +850,12 @@ class WorkerPool:
                         early_termination,
                         top_k,
                     )
-                    pending.append(pool.apply_async(_run_plan, (payload,)))
+                    pending.append(self._submit(pool, "plan", payload))
                     submitted += 1
-                task = pending.popleft()
+                task, traced = pending.popleft()
                 try:
-                    shipped, hits, misses, nbytes, meta = task.get(
-                        self.task_timeout
+                    shipped, hits, misses, nbytes, meta = self._reap(
+                        task, traced
                     )
                 except Exception:
                     self._record("plan", None, ok=False)
@@ -699,11 +877,14 @@ class WorkerPool:
             # Abandoned stream (or a failed task): reap what is already
             # in flight so worker-created result segments are unlinked.
             while pending:
-                task = pending.popleft()
+                task, traced = pending.popleft()
                 try:
-                    shipped, *_ = task.get(self.task_timeout)
+                    result = task.get(self.task_timeout)
                 except Exception:
                     continue
+                if traced:
+                    result = result[0]
+                shipped = result[0]
                 if shipped[0] == "shm":
                     try:
                         self._adopt_segment(shipped[1])
@@ -738,15 +919,16 @@ class WorkerPool:
         partials: List[Tuple] = []  # vector refs, in completion order
         try:
             pending = [
-                pool.apply_async(
-                    _run_kron_range,
-                    ((refs, order, num_cuts, start, stop, early_termination),),
+                self._submit(
+                    pool,
+                    "kron-range",
+                    (refs, order, num_cuts, start, stop, early_termination),
                 )
                 for start, stop in bounds
             ]
-            for task in pending:
+            for task, traced in pending:
                 try:
-                    shipped, part_skipped, meta = task.get(self.task_timeout)
+                    shipped, part_skipped, meta = self._reap(task, traced)
                 except Exception:
                     self._record("kron-range", None, ok=False)
                     raise
@@ -765,17 +947,14 @@ class WorkerPool:
                 reductions = []
                 for left, right in zip(shm_refs[::2], shm_refs[1::2]):
                     reductions.append(
-                        (
-                            pool.apply_async(_run_reduce, ((left, right),)),
-                            right,
-                        )
+                        (self._submit(pool, "reduce", (left, right)), right)
                     )
                     next_round.append(left)
                 if len(shm_refs) % 2:
                     next_round.append(shm_refs[-1])
-                for task, right in reductions:
+                for (task, traced), right in reductions:
                     try:
-                        _, meta = task.get(self.task_timeout)
+                        _, meta = self._reap(task, traced)
                     except Exception:
                         self._record("reduce", None, ok=False)
                         raise
@@ -817,17 +996,16 @@ class WorkerPool:
         ``(probabilities, num_body_passes)`` per payload, in order.
         """
         pool = self._ensure_pool()
-        pending = [
-            (
-                "noisy-variant-batch" if len(payload) == 4 else "variant-batch",
-                pool.apply_async(_run_variant_batch, (payload,)),
+        pending = []
+        for payload in payloads:
+            kind = (
+                "noisy-variant-batch" if len(payload) == 4 else "variant-batch"
             )
-            for payload in payloads
-        ]
+            pending.append((kind, self._submit(pool, kind, payload)))
         outputs: List[Tuple[Dict, int]] = []
-        for kind, task in pending:
+        for kind, (task, traced) in pending:
             try:
-                probabilities, passes, meta = task.get(self.task_timeout)
+                probabilities, passes, meta = self._reap(task, traced)
             except Exception:
                 self._record(kind, None, ok=False)
                 raise
@@ -850,11 +1028,11 @@ class WorkerPool:
         pending = []
         for start in range(0, len(circuits), chunk):
             payload = (backend, circuits[start : start + chunk])
-            pending.append(pool.apply_async(_run_backend_chunk, (payload,)))
+            pending.append(self._submit(pool, "backend", payload))
         vectors: List[np.ndarray] = []
-        for task in pending:
+        for task, traced in pending:
             try:
-                chunk_vectors, meta = task.get(self.task_timeout)
+                chunk_vectors, meta = self._reap(task, traced)
             except Exception:
                 self._record("backend", None, ok=False)
                 raise

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..cutting.cutter import CutCircuit, Subcircuit
 from ..cutting.variants import SubcircuitResult
+from ..obs import trace
 from ..utils import permute_qubits
 from .attribution import TermTensor, build_term_tensor
 from .engine import ContractionEngine, ContractionResult
@@ -420,12 +421,15 @@ class QueryPlan:
         early_termination: Optional[bool] = None,
     ) -> PlanExecution:
         """Prepare and contract in one call."""
-        return self.prepared(provider, order=order).contract(
-            engine,
-            strategy=strategy,
-            workers=workers,
-            early_termination=early_termination,
-        )
+        with trace.span(
+            "query.plan.execute", {"active": len(self.active)}
+        ):
+            return self.prepared(provider, order=order).contract(
+                engine,
+                strategy=strategy,
+                workers=workers,
+                early_termination=early_termination,
+            )
 
 
 @dataclass

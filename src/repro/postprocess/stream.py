@@ -38,6 +38,7 @@ import numpy as np
 
 from ..cutting.cutter import CutCircuit
 from ..cutting.variants import SubcircuitResult
+from ..obs import trace
 from ..utils import index_to_bitstring
 from .attribution import TermTensor
 from .engine import ContractionEngine
@@ -335,8 +336,9 @@ class StreamingReconstructor:
                 wire: (index >> (shard_qubits - 1 - wire)) & 1
                 for wire in range(shard_qubits)
             }
-            plan = QueryPlan.binned(total, num_cuts, fixed, remaining)
-            execution = plan.execute(self.provider, self.engine)
+            with trace.span("query.stream.shard", {"shard": index}):
+                plan = QueryPlan.binned(total, num_cuts, fixed, remaining)
+                execution = plan.execute(self.provider, self.engine)
             stats.elapsed_seconds += time.perf_counter() - began
             stats.num_shards_emitted += 1
             stats.peak_shard_bytes = max(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..obs.metrics import get_registry
 from .scheduler import JobScheduler, JobSpec
 
 __all__ = ["ApiError", "JobServiceAPI"]
@@ -109,6 +110,18 @@ class JobServiceAPI:
             "state": record.state,
         }
 
+    def job_trace(self, job_id: str) -> Dict:
+        """The job's span tree (in-memory first, store fallback)."""
+        record = self._record(job_id)
+        document = record.trace
+        if document is None:
+            document = self.scheduler.store.get_trace(job_id)
+        if document is None:
+            raise ApiError(
+                409, f"job is {record.state!r}; trace not ready"
+            )
+        return {"job_id": job_id, "trace": document}
+
     def list_jobs(self) -> Dict:
         return {
             "jobs": [
@@ -118,3 +131,7 @@ class JobServiceAPI:
 
     def stats(self) -> Dict:
         return self.scheduler.stats()
+
+    def metrics(self) -> str:
+        """The process-wide registry in Prometheus text format."""
+        return get_registry().render()

@@ -28,17 +28,28 @@ import threading
 import time
 import uuid
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..circuits import QuantumCircuit
 from ..circuits.qasm import from_qasm
 from ..core import CutQC
 from ..cutting.searcher import DEFAULT_MAX_CUTS, DEFAULT_MAX_SUBCIRCUITS
 from ..library import BENCHMARKS, get_benchmark
+from ..obs import trace
+from ..obs.metrics import get_registry
 from ..postprocess.parallel import WorkerPool
 from .store import ArtifactStore
 
 __all__ = ["JobSpec", "JobRecord", "JobScheduler", "JOB_STATES", "QUERY_TYPES"]
+
+_JOB_STAGE_SECONDS = get_registry().histogram(
+    "repro_job_stage_seconds",
+    "Scheduler job stage wall time by stage (cut/evaluate/query/total).",
+    ("stage",),
+)
+_JOBS = get_registry().counter(
+    "repro_jobs_total", "Jobs reaching a terminal state.", ("state",)
+)
 
 JOB_STATES = (
     "queued", "cutting", "evaluating", "querying", "done", "failed",
@@ -233,31 +244,76 @@ class JobRecord:
     result: Optional[Dict] = None
     error: Optional[str] = None
     cancel_requested: bool = False
+    #: The job's span tree (set once the job reaches a terminal state).
+    trace: Optional[Dict] = None
+    #: Guards the mutable fields: the worker thread updates state,
+    #: timings and cache hits at stage boundaries while pollers
+    #: serialize the record — without the lock a reader can observe a
+    #: half-written stage transition (state advanced, timing missing).
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     @property
     def done(self) -> bool:
         return self.state in _TERMINAL_STATES
 
+    # -- locked mutators (worker thread) -------------------------------
+    def update(self, **fields) -> None:
+        """Atomically set record attributes."""
+        with self._lock:
+            for name, value in fields.items():
+                setattr(self, name, value)
+
+    def set_timing(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self.timings[stage] = seconds
+        _JOB_STAGE_SECONDS.observe(seconds, stage=stage)
+
+    def set_cache_hit(self, stage: str, hit: bool) -> None:
+        with self._lock:
+            self.cache_hits[stage] = bool(hit)
+
+    def set_fingerprint(self, stage: str, key: str) -> None:
+        with self._lock:
+            self.fingerprints[stage] = key
+
+    def append_iteration(self, entry: Dict) -> None:
+        with self._lock:
+            self.iterations.append(entry)
+
+    # -- locked snapshots (poller threads) -----------------------------
+    def stats_view(
+        self,
+    ) -> Tuple[str, Dict[str, float], Dict[str, bool], Optional[Dict]]:
+        """A consistent (state, timings, cache_hits, execution) snapshot."""
+        with self._lock:
+            return (
+                self.state,
+                dict(self.timings),
+                dict(self.cache_hits),
+                self.execution,
+            )
+
     def as_dict(self, include_result: bool = False) -> Dict:
-        document = {
-            "job_id": self.job_id,
-            "state": self.state,
-            "spec": self.spec.to_dict(),
-            "submitted_at": self.submitted_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "timings": dict(self.timings),
-            "cache_hits": dict(self.cache_hits),
-            "fingerprints": dict(self.fingerprints),
-            "execution": self.execution,
-            "error": self.error,
-        }
-        if self.iterations or self.spec.query == "variational":
-            # list() snapshots under the GIL; the worker appends entries
-            # while pollers serialize the record.
-            document["iterations"] = list(self.iterations)
-        if include_result:
-            document["result"] = self.result
+        with self._lock:
+            document = {
+                "job_id": self.job_id,
+                "state": self.state,
+                "spec": self.spec.to_dict(),
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "timings": dict(self.timings),
+                "cache_hits": dict(self.cache_hits),
+                "fingerprints": dict(self.fingerprints),
+                "execution": self.execution,
+                "error": self.error,
+            }
+            if self.iterations or self.spec.query == "variational":
+                document["iterations"] = list(self.iterations)
+            if include_result:
+                document["result"] = self.result
         return document
 
 
@@ -371,12 +427,13 @@ class JobScheduler:
         its next stage boundary.
         """
         record = self.get(job_id)
-        if record.done:
-            return False
-        record.cancel_requested = True
-        if record.state == "queued":
-            record.state = "cancelled"
-            record.finished_at = time.time()
+        with record._lock:
+            if record.state in _TERMINAL_STATES:
+                return False
+            record.cancel_requested = True
+            if record.state == "queued":
+                record.state = "cancelled"
+                record.finished_at = time.time()
         return True
 
     def wait(
@@ -405,18 +462,19 @@ class JobScheduler:
         evaluate_modes: Dict[str, int] = {}
         total_seconds = 0.0
         for record in records:
-            by_state[record.state] = by_state.get(record.state, 0) + 1
-            execution = record.execution
+            # One consistent snapshot per record, taken under the record
+            # lock — the worker thread cannot advance the state between
+            # the reads that build one row of the aggregate.
+            state, timings, cache_hits, execution = record.stats_view()
+            by_state[state] = by_state.get(state, 0) + 1
             if execution is not None:
                 mode = execution.get("mode", "unknown")
                 evaluate_modes[mode] = evaluate_modes.get(mode, 0) + 1
-            # Snapshot: workers insert keys at stage boundaries while we
-            # iterate (dict(d) is atomic under the GIL, iteration is not).
-            for stage, seconds in dict(record.timings).items():
+            for stage, seconds in timings.items():
                 stage_seconds.setdefault(stage, []).append(seconds)
                 if stage != "total":
                     total_seconds += seconds
-            for stage, hit in dict(record.cache_hits).items():
+            for stage, hit in cache_hits.items():
                 table = stage_hits if hit else stage_misses
                 table[stage] = table.get(stage, 0) + 1
         uptime = time.time() - self.started_at
@@ -462,25 +520,41 @@ class JobScheduler:
                 continue
             if record.state != "queued":
                 continue  # cancelled while queued
-            record.started_at = time.time()
+            record.update(started_at=time.time())
+            tracer = trace.start(
+                "job", {"job_id": job_id, "query": record.spec.query}
+            )
             try:
-                self._execute(record)
+                with tracer as root:
+                    self._execute(record)
             except Exception as error:  # noqa: BLE001 - job isolation
-                record.state = "failed"
-                record.error = f"{type(error).__name__}: {error}"
+                record.update(
+                    state="failed",
+                    error=f"{type(error).__name__}: {error}",
+                )
             finally:
                 if not record.done:  # pragma: no cover - defensive
-                    record.state = "failed"
-                    record.error = record.error or "worker exited mid-job"
-                record.finished_at = time.time()
-                record.timings["total"] = (
-                    record.finished_at - record.started_at
+                    record.update(
+                        state="failed",
+                        error=record.error or "worker exited mid-job",
+                    )
+                record.update(finished_at=time.time())
+                record.set_timing(
+                    "total", record.finished_at - record.started_at
                 )
+                _JOBS.inc(state=record.state)
+                document = root.to_dict()
+                record.update(trace=document)
+                try:
+                    self.store.put_trace(job_id, document)
+                except Exception:  # pragma: no cover - store teardown
+                    pass
 
     def _cancelled(self, record: JobRecord) -> bool:
-        if record.cancel_requested:
-            record.state = "cancelled"
-            return True
+        with record._lock:
+            if record.cancel_requested:
+                record.state = "cancelled"
+                return True
         return False
 
     def _execute(self, record: JobRecord) -> None:
@@ -515,69 +589,75 @@ class JobScheduler:
         # -- stage 1: cut (checkpointed) --------------------------------
         if self._cancelled(record):
             return
-        record.state = "cutting"
+        record.update(state="cutting")
         began = time.perf_counter()
-        cut_key = pipeline.cut_fingerprint()
-        record.fingerprints["cut"] = cut_key
-        restored = self.store.get_cut(cut_key, circuit)
-        if restored is not None:
-            pipeline.load_cut(*restored)
-            record.cache_hits["cut"] = True
-        else:
-            cut = pipeline.cut()
-            self.store.put_cut(cut_key, circuit, cut, pipeline.solution)
-            record.cache_hits["cut"] = False
-        record.timings["cut"] = time.perf_counter() - began
+        with trace.span("job.cut"):
+            cut_key = pipeline.cut_fingerprint()
+            record.set_fingerprint("cut", cut_key)
+            restored = self.store.get_cut(cut_key, circuit)
+            if restored is not None:
+                pipeline.load_cut(*restored)
+                record.set_cache_hit("cut", True)
+            else:
+                cut = pipeline.cut()
+                self.store.put_cut(cut_key, circuit, cut, pipeline.solution)
+                record.set_cache_hit("cut", False)
+        record.set_timing("cut", time.perf_counter() - began)
 
         # -- stage 2: evaluate (checkpointed) ---------------------------
         if self._cancelled(record):
             return
-        record.state = "evaluating"
+        record.update(state="evaluating")
         began = time.perf_counter()
-        # shots/seed only shape the tensors when a sampling backend is
-        # configured; for the deterministic statevector backend they are
-        # inert and would only fragment the warm cache.
-        sampling = spec.device is not None
-        config = None
-        if sampling and spec.batched:
-            # Trajectory count shapes the estimated distributions on the
-            # batched noisy path; fold it into the artifact identity.
-            config = {"trajectories": spec.trajectories}
-        evaluation_key = pipeline.evaluation_fingerprint(
-            backend=spec.backend_tag(),
-            shots=spec.shots if sampling else None,
-            seed=spec.seed if sampling else None,
-            config=config,
-        )
-        record.fingerprints["evaluate"] = evaluation_key
-        results = self.store.get_evaluation(evaluation_key, pipeline.cut())
-        if results is not None:
-            pipeline.load_results(results)
-            record.cache_hits["evaluate"] = True
-        else:
-            results = pipeline.evaluate()
-            self.store.put_evaluation(evaluation_key, results)
-            record.cache_hits["evaluate"] = False
-            report = pipeline.execution_report
-            if report is not None:
-                record.execution = {
-                    "mode": report.mode,
-                    "num_variants": report.num_variants,
-                    "num_unique_circuits": report.num_unique_circuits,
-                    "dedup_ratio": report.dedup_ratio,
-                    "num_body_passes": report.num_body_passes,
-                    "sim_batch": report.sim_batch,
-                }
-        record.timings["evaluate"] = time.perf_counter() - began
+        with trace.span("job.evaluate"):
+            # shots/seed only shape the tensors when a sampling backend is
+            # configured; for the deterministic statevector backend they
+            # are inert and would only fragment the warm cache.
+            sampling = spec.device is not None
+            config = None
+            if sampling and spec.batched:
+                # Trajectory count shapes the estimated distributions on
+                # the batched noisy path; fold it into the artifact
+                # identity.
+                config = {"trajectories": spec.trajectories}
+            evaluation_key = pipeline.evaluation_fingerprint(
+                backend=spec.backend_tag(),
+                shots=spec.shots if sampling else None,
+                seed=spec.seed if sampling else None,
+                config=config,
+            )
+            record.set_fingerprint("evaluate", evaluation_key)
+            results = self.store.get_evaluation(
+                evaluation_key, pipeline.cut()
+            )
+            if results is not None:
+                pipeline.load_results(results)
+                record.set_cache_hit("evaluate", True)
+            else:
+                results = pipeline.evaluate()
+                self.store.put_evaluation(evaluation_key, results)
+                record.set_cache_hit("evaluate", False)
+                report = pipeline.execution_report
+                if report is not None:
+                    record.update(execution={
+                        "mode": report.mode,
+                        "num_variants": report.num_variants,
+                        "num_unique_circuits": report.num_unique_circuits,
+                        "dedup_ratio": report.dedup_ratio,
+                        "num_body_passes": report.num_body_passes,
+                        "sim_batch": report.sim_batch,
+                    })
+        record.set_timing("evaluate", time.perf_counter() - began)
 
         # -- stage 3: query ---------------------------------------------
         if self._cancelled(record):
             return
-        record.state = "querying"
+        record.update(state="querying")
         began = time.perf_counter()
-        record.result = self._run_query(pipeline, spec)
-        record.timings["query"] = time.perf_counter() - began
-        record.state = "done"
+        with trace.span("job.query", {"mode": spec.query}):
+            result = self._run_query(pipeline, spec)
+        record.set_timing("query", time.perf_counter() - began)
+        record.update(result=result, state="done")
 
     def _execute_variational(self, record: JobRecord) -> None:
         """Server-side SPSA MaxCut loop over one warm
@@ -611,7 +691,7 @@ class JobScheduler:
 
         if self._cancelled(record):
             return
-        record.state = "cutting"
+        record.update(state="cutting")
         device = None
         if spec.device is not None:
             from ..devices import get_device
@@ -635,78 +715,88 @@ class JobScheduler:
             sim_batch=spec.sim_batch,
             fusion_width=spec.fusion_width,
         )
-        record.fingerprints["cut"] = session.cut_fingerprint()
+        record.set_fingerprint("cut", session.cut_fingerprint())
 
         # Warm-up: first rebind cuts (or restores) and evaluates all.
-        record.state = "evaluating"
-        warmup = session.rebind(flat(theta))
-        record.cache_hits["cut"] = bool(session.cut_store_hit)
-        record.timings["cut"] = warmup.cut_seconds
-        record.timings["evaluate"] = (
-            warmup.evaluate_seconds + warmup.tensor_seconds
+        record.update(state="evaluating")
+        with trace.span("job.evaluate"):
+            warmup = session.rebind(flat(theta))
+        record.set_cache_hit("cut", bool(session.cut_store_hit))
+        record.set_timing("cut", warmup.cut_seconds)
+        record.set_timing(
+            "evaluate", warmup.evaluate_seconds + warmup.tensor_seconds
         )
-        record.execution = {"mode": warmup.execution_mode}
+        record.update(execution={"mode": warmup.execution_mode})
         cost = maxcut_cost(session.probabilities(), edges, num_qubits)
         initial_cost = best_cost = cost
         best_theta = theta.copy()
 
-        record.state = "querying"
+        record.update(state="querying")
+        loop_span = trace.span(
+            "job.query", {"mode": "variational", "iterations": spec.iterations}
+        )
         loop_began = time.perf_counter()
-        for k in range(spec.iterations):
-            if self._cancelled(record):
-                return
-            began = time.perf_counter()
-            a_k, c_k = spsa_gains(k)
-            delta = rng.choice((-1.0, 1.0), size=theta.size)
-            stats_plus = session.rebind(flat(theta + c_k * delta))
-            cost_plus = maxcut_cost(
-                session.probabilities(), edges, num_qubits
-            )
-            stats_minus = session.rebind(flat(theta - c_k * delta))
-            cost_minus = maxcut_cost(
-                session.probabilities(), edges, num_qubits
-            )
-            if cost_plus > best_cost:
-                best_cost = cost_plus
-                best_theta = theta + c_k * delta
-            if cost_minus > best_cost:
-                best_cost = cost_minus
-                best_theta = theta - c_k * delta
-            # Maximize <C>: ascend the simultaneous-perturbation gradient
-            # estimate (1/delta == delta for Rademacher perturbations).
-            theta = theta + a_k * (cost_plus - cost_minus) / (2 * c_k) * delta
-            record.iterations.append({
-                "iteration": k,
-                "cost_plus": cost_plus,
-                "cost_minus": cost_minus,
-                "best_cost": best_cost,
-                "theta": [float(t) for t in theta],
-                "seconds": time.perf_counter() - began,
-                "reuse": {
-                    "cut_cache_hits": sum(
-                        1
-                        for s in (stats_plus, stats_minus)
-                        if s.cut_cache_hit
-                    ),
-                    "subcircuit_evaluations": (
-                        len(stats_plus.dirty_subcircuits)
-                        + len(stats_minus.dirty_subcircuits)
-                    ),
-                    "tensors_reused": (
-                        stats_plus.tensors_reused + stats_minus.tensors_reused
-                    ),
-                    "fusion_blocks_built": (
-                        stats_plus.fusion_blocks_built
-                        + stats_minus.fusion_blocks_built
-                    ),
-                    "fusion_blocks_reused": (
-                        stats_plus.fusion_blocks_reused
-                        + stats_minus.fusion_blocks_reused
-                    ),
-                },
-            })
-        record.timings["query"] = time.perf_counter() - loop_began
-        record.result = {
+        with loop_span:
+            for k in range(spec.iterations):
+                if self._cancelled(record):
+                    return
+                began = time.perf_counter()
+                a_k, c_k = spsa_gains(k)
+                delta = rng.choice((-1.0, 1.0), size=theta.size)
+                stats_plus = session.rebind(flat(theta + c_k * delta))
+                cost_plus = maxcut_cost(
+                    session.probabilities(), edges, num_qubits
+                )
+                stats_minus = session.rebind(flat(theta - c_k * delta))
+                cost_minus = maxcut_cost(
+                    session.probabilities(), edges, num_qubits
+                )
+                if cost_plus > best_cost:
+                    best_cost = cost_plus
+                    best_theta = theta + c_k * delta
+                if cost_minus > best_cost:
+                    best_cost = cost_minus
+                    best_theta = theta - c_k * delta
+                # Maximize <C>: ascend the simultaneous-perturbation
+                # gradient estimate (1/delta == delta for Rademacher
+                # perturbations).
+                theta = (
+                    theta
+                    + a_k * (cost_plus - cost_minus) / (2 * c_k) * delta
+                )
+                record.append_iteration({
+                    "iteration": k,
+                    "cost_plus": cost_plus,
+                    "cost_minus": cost_minus,
+                    "best_cost": best_cost,
+                    "theta": [float(t) for t in theta],
+                    "seconds": time.perf_counter() - began,
+                    "reuse": {
+                        "cut_cache_hits": sum(
+                            1
+                            for s in (stats_plus, stats_minus)
+                            if s.cut_cache_hit
+                        ),
+                        "subcircuit_evaluations": (
+                            len(stats_plus.dirty_subcircuits)
+                            + len(stats_minus.dirty_subcircuits)
+                        ),
+                        "tensors_reused": (
+                            stats_plus.tensors_reused
+                            + stats_minus.tensors_reused
+                        ),
+                        "fusion_blocks_built": (
+                            stats_plus.fusion_blocks_built
+                            + stats_minus.fusion_blocks_built
+                        ),
+                        "fusion_blocks_reused": (
+                            stats_plus.fusion_blocks_reused
+                            + stats_minus.fusion_blocks_reused
+                        ),
+                    },
+                })
+        record.set_timing("query", time.perf_counter() - loop_began)
+        record.update(result={
             "mode": "variational",
             "num_qubits": num_qubits,
             "num_cuts": session.cut.num_cuts,
@@ -719,8 +809,7 @@ class JobScheduler:
             "best_theta": [float(t) for t in best_theta],
             "final_theta": [float(t) for t in theta],
             "session": session.summary(),
-        }
-        record.state = "done"
+        }, state="done")
 
     def _run_query(self, pipeline: CutQC, spec: JobSpec) -> Dict:
         num_qubits = pipeline.circuit.num_qubits

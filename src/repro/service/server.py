@@ -6,8 +6,10 @@ Routes (all JSON)::
     GET  /jobs               list jobs + states
     GET  /jobs/<id>          job status (stages, timings, cache hits)
     GET  /jobs/<id>/result   query result           -> 409 until done
+    GET  /jobs/<id>/trace    span tree of the job   -> 409 until recorded
     POST /jobs/<id>/cancel   request cancellation
     GET  /stats              scheduler + artifact-store statistics
+    GET  /metrics            Prometheus text exposition (not JSON)
     GET  /healthz            liveness probe
 
 Built on :class:`http.server.ThreadingHTTPServer` — no third-party web
@@ -32,7 +34,9 @@ from .store import ArtifactStore
 
 __all__ = ["JobServer", "request_json", "ServiceClientError"]
 
-_JOB_PATH = re.compile(r"^/jobs/(?P<job_id>[\w.\-]+)(?P<tail>/result|/cancel)?$")
+_JOB_PATH = re.compile(
+    r"^/jobs/(?P<job_id>[\w.\-]+)(?P<tail>/result|/cancel|/trace)?$"
+)
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
@@ -48,8 +52,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, document: Dict) -> None:
         body = (json.dumps(document, indent=2) + "\n").encode()
+        self._send_bytes(status, body, "application/json")
+
+    def _send_bytes(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -67,6 +76,24 @@ class _Handler(BaseHTTPRequestHandler):
             raise ApiError(400, f"invalid JSON body: {error}") from None
 
     def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if method == "GET" and path == "/metrics":
+            # Prometheus text exposition, not JSON — separate send path.
+            try:
+                body = self.api.metrics().encode()
+            except Exception as error:  # noqa: BLE001 - never kill serving
+                self._send(
+                    500,
+                    {
+                        "error": f"{type(error).__name__}: {error}",
+                        "status": 500,
+                    },
+                )
+                return
+            self._send_bytes(
+                200, body, "text/plain; version=0.0.4; charset=utf-8"
+            )
+            return
         try:
             status, document = self._route(method)
         except ApiError as error:
@@ -96,6 +123,8 @@ class _Handler(BaseHTTPRequestHandler):
             job_id, tail = match.group("job_id"), match.group("tail")
             if tail == "/result" and method == "GET":
                 return 200, self.api.job_result(job_id)
+            if tail == "/trace" and method == "GET":
+                return 200, self.api.job_trace(job_id)
             if tail == "/cancel" and method == "POST":
                 return 200, self.api.cancel_job(job_id)
             if tail is None and method == "GET":

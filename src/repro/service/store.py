@@ -53,6 +53,7 @@ import numpy as np
 from ..circuits import QuantumCircuit
 from ..cutting import CutCircuit, CutSolution, SubcircuitResult
 from ..cutting.cutter import cut_circuit_from_assignment
+from ..obs.metrics import get_registry
 
 __all__ = [
     "ArtifactStore",
@@ -65,6 +66,24 @@ __all__ = [
 
 #: Bump when the on-disk layout changes; mismatched artifacts are misses.
 _FORMAT_VERSION = 1
+
+# Process-wide mirrors of the per-instance StoreStats counters: every
+# store feeds the same registry series, so ``GET /metrics`` reflects
+# lifetime totals regardless of how many stores a process created.
+_STORE_HITS = get_registry().counter(
+    "repro_store_hits_total", "Artifact-store cache hits by kind.", ("kind",)
+)
+_STORE_MISSES = get_registry().counter(
+    "repro_store_misses_total",
+    "Artifact-store cache misses by kind.",
+    ("kind",),
+)
+_STORE_CORRUPT = get_registry().counter(
+    "repro_store_corrupt_total", "Artifacts that failed verification."
+)
+_STORE_WRITES = get_registry().counter(
+    "repro_store_writes_total", "Artifacts written."
+)
 
 
 # ----------------------------------------------------------------------
@@ -240,8 +259,10 @@ class ArtifactStore:
         self.root = Path(root)
         self._cuts = self.root / "cuts"
         self._evaluations = self.root / "evaluations"
+        self._traces = self.root / "traces"
         self._cuts.mkdir(parents=True, exist_ok=True)
         self._evaluations.mkdir(parents=True, exist_ok=True)
+        self._traces.mkdir(parents=True, exist_ok=True)
         self.stats = StoreStats()
         self._stats_lock = threading.Lock()
 
@@ -266,6 +287,7 @@ class ArtifactStore:
         with self._stats_lock:
             self.stats.hits += 1
             self.stats._count(self.stats.hits_by_kind, kind)
+        _STORE_HITS.inc(kind=kind)
 
     def _record_miss(self, kind: str, corrupt: bool = False) -> None:
         with self._stats_lock:
@@ -273,10 +295,14 @@ class ArtifactStore:
             self.stats._count(self.stats.misses_by_kind, kind)
             if corrupt:
                 self.stats.corrupt += 1
+        _STORE_MISSES.inc(kind=kind)
+        if corrupt:
+            _STORE_CORRUPT.inc()
 
     def _record_write(self) -> None:
         with self._stats_lock:
             self.stats.writes += 1
+        _STORE_WRITES.inc()
 
     @staticmethod
     def _discard(*paths: Path) -> None:
@@ -496,11 +522,36 @@ class ArtifactStore:
         self._record_hit("evaluation")
         return results
 
+    # -- trace artifacts ------------------------------------------------
+    def trace_path(self, job_id: str) -> Path:
+        return self._traces / f"{job_id}.json"
+
+    def put_trace(self, job_id: str, document: Dict) -> Path:
+        """Persist a job's span tree (keyed by job id, not content)."""
+        path = self.trace_path(job_id)
+        self._write_atomic(
+            path, (json.dumps(document, indent=2) + "\n").encode()
+        )
+        self._record_write()
+        return path
+
+    def get_trace(self, job_id: str) -> Optional[Dict]:
+        """Restore a job's span tree; ``None`` if absent or unreadable."""
+        path = self.trace_path(job_id)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (ValueError, OSError):
+            self._discard(path)
+            return None
+
     # -- reporting ------------------------------------------------------
     def artifact_counts(self) -> Dict[str, int]:
         return {
             "cuts": len(list(self._cuts.glob("*.json"))),
             "evaluations": len(list(self._evaluations.glob("*.json"))),
+            "traces": len(list(self._traces.glob("*.json"))),
         }
 
     def as_dict(self) -> Dict:

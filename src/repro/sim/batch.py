@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..circuits import Gate, QuantumCircuit
+from ..obs import trace
 from .statevector import Statevector
 
 __all__ = [
@@ -151,9 +152,18 @@ def fusion_stats() -> dict:
 
     Counters are process-local: pooled/process execution modes only
     reflect the parent's share.  Diff two snapshots to measure one
-    evaluation.
+    evaluation.  ``WorkerPool.cache_stats()`` pulls the workers' copies
+    back for the metrics registry's pid-labelled gauges.
+
+    Besides the counters, the snapshot reports the live size of each
+    memo layer (``fusion_cache_size`` / ``partition_cache_size`` /
+    ``block_cache_size``).
     """
-    return dict(_STATS)
+    stats = dict(_STATS)
+    stats["fusion_cache_size"] = len(_FUSION_CACHE)
+    stats["partition_cache_size"] = len(_PARTITION_CACHE)
+    stats["block_cache_size"] = len(_BLOCK_CACHE)
+    return stats
 
 
 def _partition_gates(
@@ -226,36 +236,37 @@ def fuse_gates(
             pass
         return cached
     gates = key[0]
-    structure = (tuple(gate.qubits for gate in gates), fusion_width)
-    partition = _PARTITION_CACHE.get(structure)
-    if partition is None:
-        partition = _partition_gates(structure[0], fusion_width)
-        _PARTITION_CACHE[structure] = partition
-        _STATS["partitions_built"] += 1
-        while len(_PARTITION_CACHE) > _PARTITION_CACHE_LIMIT:
-            _PARTITION_CACHE.popitem(last=False)
-    else:
-        _PARTITION_CACHE.move_to_end(structure)
-    ops: List[FusedOp] = []
-    for members in partition:
-        block_gates = tuple(gates[index] for index in members)
-        _STATS["blocks_total"] += 1
-        op = _BLOCK_CACHE.get(block_gates)
-        if op is None:
-            block = _Block(block_gates[0])
-            for gate in block_gates[1:]:
-                block.absorb(gate)
-            op = block.to_op()
-            _BLOCK_CACHE[block_gates] = op
-            _STATS["blocks_built"] += 1
-            while len(_BLOCK_CACHE) > _BLOCK_CACHE_LIMIT:
-                _BLOCK_CACHE.popitem(last=False)
+    with trace.span("sim.fuse_body", {"gates": len(gates)}):
+        structure = (tuple(gate.qubits for gate in gates), fusion_width)
+        partition = _PARTITION_CACHE.get(structure)
+        if partition is None:
+            partition = _partition_gates(structure[0], fusion_width)
+            _PARTITION_CACHE[structure] = partition
+            _STATS["partitions_built"] += 1
+            while len(_PARTITION_CACHE) > _PARTITION_CACHE_LIMIT:
+                _PARTITION_CACHE.popitem(last=False)
         else:
-            _BLOCK_CACHE.move_to_end(block_gates)
-        ops.append(op)
-    _FUSION_CACHE[key] = ops
-    while len(_FUSION_CACHE) > _FUSION_CACHE_LIMIT:
-        _FUSION_CACHE.popitem(last=False)
+            _PARTITION_CACHE.move_to_end(structure)
+        ops: List[FusedOp] = []
+        for members in partition:
+            block_gates = tuple(gates[index] for index in members)
+            _STATS["blocks_total"] += 1
+            op = _BLOCK_CACHE.get(block_gates)
+            if op is None:
+                block = _Block(block_gates[0])
+                for gate in block_gates[1:]:
+                    block.absorb(gate)
+                op = block.to_op()
+                _BLOCK_CACHE[block_gates] = op
+                _STATS["blocks_built"] += 1
+                while len(_BLOCK_CACHE) > _BLOCK_CACHE_LIMIT:
+                    _BLOCK_CACHE.popitem(last=False)
+            else:
+                _BLOCK_CACHE.move_to_end(block_gates)
+            ops.append(op)
+        _FUSION_CACHE[key] = ops
+        while len(_FUSION_CACHE) > _FUSION_CACHE_LIMIT:
+            _FUSION_CACHE.popitem(last=False)
     return ops
 
 
@@ -378,8 +389,11 @@ class BatchedStatevector:
         return self.apply_matrix(gate.matrix(), gate.qubits)
 
     def apply_fused(self, ops: Sequence[FusedOp]) -> "BatchedStatevector":
-        for op in ops:
-            self.apply_matrix(op.matrix, op.qubits)
+        # One span per body pass, not per op: the per-gate matmul loop is
+        # the hot path the disabled tracer must not touch.
+        with trace.span("sim.batch.apply_fused"):
+            for op in ops:
+                self.apply_matrix(op.matrix, op.qubits)
         return self
 
     def apply_circuit(

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..circuits import Gate, QuantumCircuit
 from ..circuits.gates import gate_matrix
+from ..obs import trace
 from .batch import BatchedStatevector, FusedOp, fuse_gates
 from .density import BatchedDensityMatrix
 from .noise import NoiseModel, clean_log_weight
@@ -213,16 +214,18 @@ def run_trajectory_body(
     ``variants x trajectories`` body re-simulations into
     ``trajectories`` batched passes.
     """
-    site_index = 0
-    for step in plan.steps:
-        if isinstance(step, NoisySite):
-            state.apply_matrix(step.matrix, step.qubits)
-            choice = pattern[site_index]
-            site_index += 1
-            if choice is not None:
-                apply_pauli_names(state, choice, step.qubits)
-        else:
-            state.apply_matrix(step.matrix, step.qubits)
+    # One span per batched pass (the per-step loop is the hot path).
+    with trace.span("sim.noisy.trajectory_body"):
+        site_index = 0
+        for step in plan.steps:
+            if isinstance(step, NoisySite):
+                state.apply_matrix(step.matrix, step.qubits)
+                choice = pattern[site_index]
+                site_index += 1
+                if choice is not None:
+                    apply_pauli_names(state, choice, step.qubits)
+            else:
+                state.apply_matrix(step.matrix, step.qubits)
     return state
 
 
@@ -240,10 +243,11 @@ def run_density_body(
     bit-for-bit the serial :class:`~repro.sim.density.DensityMatrixSimulator`
     channel, paid once per batch instead of once per variant.
     """
-    for step in plan.steps:
-        state.apply_matrix(step.matrix, step.qubits)
-        if isinstance(step, NoisySite):
-            state.apply_depolarizing(step.qubits, step.rate)
+    with trace.span("sim.noisy.density_body"):
+        for step in plan.steps:
+            state.apply_matrix(step.matrix, step.qubits)
+            if isinstance(step, NoisySite):
+                state.apply_depolarizing(step.qubits, step.rate)
     return state
 
 

@@ -158,7 +158,9 @@ class TestJobExecution:
         assert stats["workers"] == 2
         assert stats["uptime_seconds"] > 0
         assert "cut" in stats["stage_seconds_mean"]
-        assert stats["store"]["artifacts"] == {"cuts": 1, "evaluations": 1}
+        assert stats["store"]["artifacts"] == {
+            "cuts": 1, "evaluations": 1, "traces": 1,
+        }
 
 
 class TestPipelinePreloading:

@@ -195,5 +195,7 @@ class TestEvaluationRoundTrip:
         store.put_evaluation(
             "e1", [evaluate_subcircuit(s) for s in cut.subcircuits]
         )
-        assert store.artifact_counts() == {"cuts": 1, "evaluations": 1}
+        assert store.artifact_counts() == {
+            "cuts": 1, "evaluations": 1, "traces": 0,
+        }
         assert store.as_dict()["writes"] == 2

@@ -68,7 +68,11 @@ def main(argv=None) -> int:
     for name, spec in sorted(config["benches"].items()):
         path = results_dir / spec["file"]
         baseline = float(spec["baseline"])
-        floor = baseline * (1.0 - tolerance)
+        # An entry may pin its own tolerance — the obs-overhead gate is a
+        # hard ceiling (tracing may cost at most 5%), not a perf floor
+        # that CI-runner variance should be allowed to erode.
+        entry_tolerance = float(spec.get("tolerance", tolerance))
+        floor = baseline * (1.0 - entry_tolerance)
         if not path.exists():
             if args.allow_missing:
                 rows.append((name, "--", baseline, floor, "SKIP (missing)"))
@@ -95,7 +99,7 @@ def main(argv=None) -> int:
             rows.append((name, measured, baseline, floor, "FAIL"))
             failures.append(
                 f"{name}: measured {measured:.2f}x is more than "
-                f"{tolerance:.0%} below the committed baseline "
+                f"{entry_tolerance:.0%} below the committed baseline "
                 f"{baseline:.2f}x (floor {floor:.2f}x)"
             )
 
