@@ -1,0 +1,233 @@
+"""Multi-tenant service under load: N replicas, mixed queries, p50/p99.
+
+The durability/scale-out acceptance bench: two (or more) stateless API
+servers share one artifact store and one job journal, a pool of client
+threads floods them with a mixed workload — FD, streamed top-k, DD and
+server-side variational jobs — spread across four tenants, and the bench
+reports end-to-end latency percentiles and sustained queries/sec.
+
+The workload runs *warm* (one cold job per distinct shape first), so the
+number measures the serving layer — HTTP, fair queue, journal claims,
+store restores — not cut search.  Results merge into the ``load``
+section of ``results/BENCH_service.json`` (the cold/warm section is
+owned by ``bench_service_throughput.py``); CI gates
+``load.queries_per_second`` through ``results/baselines.json``.
+
+Env knobs (capped / full profiles set these in ``run_benches.py``)::
+
+    REPRO_BENCH_LOAD_JOBS      total jobs submitted        (default 200)
+    REPRO_BENCH_LOAD_CLIENTS   concurrent client threads   (default 16)
+    REPRO_BENCH_LOAD_REPLICAS  API servers on one store    (default 2)
+    REPRO_BENCH_LOAD_WORKERS   scheduler workers/replica   (default 2)
+    REPRO_BENCH_LOAD_MIN_QPS   sustained-throughput floor  (default 2.0)
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+from repro.service import ArtifactStore, JobServer, request_json
+
+from conftest import RESULTS_DIR, report
+
+_TOTAL_JOBS = int(os.environ.get("REPRO_BENCH_LOAD_JOBS", "200"))
+_CLIENTS = int(os.environ.get("REPRO_BENCH_LOAD_CLIENTS", "16"))
+_REPLICAS = int(os.environ.get("REPRO_BENCH_LOAD_REPLICAS", "2"))
+_WORKERS = int(os.environ.get("REPRO_BENCH_LOAD_WORKERS", "2"))
+_MIN_QPS = float(os.environ.get("REPRO_BENCH_LOAD_MIN_QPS", "2.0"))
+
+_TENANTS = ("acme", "globex", "initech", "umbrella")
+#: acme gets a 2x dispatch share; umbrella is capped to smoke-test
+#: max_concurrent under real load.  Nobody has an admission quota — the
+#: bench measures throughput, not rejections.
+_TENANT_POLICIES = {
+    "acme": {"weight": 2.0},
+    "umbrella": {"weight": 1.0, "max_concurrent": 2},
+}
+
+_FD = {"circuit": {"benchmark": "bv", "qubits": 6, "seed": 0},
+       "device_size": 5, "query": {"type": "fd", "top": 3}}
+_TOP_K = {"circuit": {"benchmark": "bv", "qubits": 6, "seed": 0},
+          "device_size": 5, "query": {"type": "top_k", "top": 3}}
+_DD = {"circuit": {"benchmark": "bv", "qubits": 6, "seed": 0},
+       "device_size": 5,
+       "query": {"type": "dd", "active": 2, "recursions": 4, "top": 3}}
+_VARIATIONAL = {"circuit": {"benchmark": "qaoa", "qubits": 6, "seed": 0},
+                "device_size": 5,
+                "query": {"type": "variational", "iterations": 2},
+                "degree": 3}
+
+
+def _job_mix(total):
+    """The mixed workload: mostly FD, some top-k/DD, a few variational."""
+    jobs = []
+    for index in range(total):
+        if index % 25 == 0:
+            kind, payload = "variational", _VARIATIONAL
+        elif index % 9 == 0:
+            kind, payload = "dd", _DD
+        elif index % 4 == 0:
+            kind, payload = "top_k", _TOP_K
+        else:
+            kind, payload = "fd", _FD
+        payload = json.loads(json.dumps(payload))  # deep copy
+        payload["tenant"] = _TENANTS[index % len(_TENANTS)]
+        jobs.append((index, kind, payload))
+    return jobs
+
+
+def _run_one(server, payload, timeout=600.0):
+    """Submit + poll one job on one replica; returns (state, latency s)."""
+    began = time.perf_counter()
+    created = request_json("POST", f"{server.url}/jobs", payload=payload)
+    deadline = time.monotonic() + timeout
+    while True:
+        document = request_json(
+            "GET", f"{server.url}/jobs/{created['job_id']}"
+        )
+        if document["state"] in ("done", "failed", "cancelled"):
+            return document, time.perf_counter() - began
+        assert time.monotonic() < deadline, f"job stuck: {document}"
+        time.sleep(0.005)
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def test_service_load_multi_tenant_multi_replica():
+    store = ArtifactStore(tempfile.mkdtemp(prefix="cutqc-bench-load-"))
+    servers = [
+        JobServer(
+            store=store, port=0, workers=_WORKERS,
+            tenants=dict(_TENANT_POLICIES), journal_poll=0.05,
+        ).start()
+        for _ in range(_REPLICAS)
+    ]
+    try:
+        # Warm every distinct artifact shape once so the measured phase
+        # exercises the serving layer at steady state.
+        for payload in (_FD, _DD, _VARIATIONAL):
+            document, _ = _run_one(servers[0], dict(payload, tenant="acme"))
+            assert document["state"] == "done", document.get("error")
+
+        jobs = _job_mix(_TOTAL_JOBS)
+        cursor = {"next": 0}
+        cursor_lock = threading.Lock()
+        results = []
+        results_lock = threading.Lock()
+        failures = []
+
+        def client_loop():
+            while True:
+                with cursor_lock:
+                    position = cursor["next"]
+                    if position >= len(jobs):
+                        return
+                    cursor["next"] = position + 1
+                index, kind, payload = jobs[position]
+                server = servers[index % len(servers)]
+                try:
+                    document, latency = _run_one(server, payload)
+                except Exception as error:  # noqa: BLE001 - report, don't hang
+                    with results_lock:
+                        failures.append(f"{kind}: {error}")
+                    return
+                with results_lock:
+                    if document["state"] != "done":
+                        failures.append(
+                            f"{kind}: {document['state']} "
+                            f"({document.get('error')})"
+                        )
+                    results.append(
+                        (kind, payload["tenant"], latency)
+                    )
+
+        clients = [
+            threading.Thread(target=client_loop, name=f"client-{i}")
+            for i in range(_CLIENTS)
+        ]
+        began = time.perf_counter()
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join()
+        wall_seconds = time.perf_counter() - began
+
+        stats = request_json("GET", f"{servers[0].url}/stats")
+    finally:
+        for server in servers:
+            server.close()
+
+    assert not failures, failures[:5]
+    assert len(results) == _TOTAL_JOBS
+    queries_per_second = _TOTAL_JOBS / wall_seconds
+    latencies = sorted(latency for _, _, latency in results)
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+
+    by_tenant = {}
+    by_kind = {}
+    for kind, tenant, latency in results:
+        by_tenant[tenant] = by_tenant.get(tenant, 0) + 1
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    assert set(by_tenant) == set(_TENANTS)
+    assert set(by_kind) == {"fd", "top_k", "dd", "variational"}
+
+    assert queries_per_second >= _MIN_QPS, (
+        f"{queries_per_second:.2f} q/s below floor {_MIN_QPS} "
+        f"({_TOTAL_JOBS} jobs in {wall_seconds:.1f}s)"
+    )
+
+    load = {
+        "generated_by": "bench_service_load.py",
+        "jobs": _TOTAL_JOBS,
+        "clients": _CLIENTS,
+        "replicas": _REPLICAS,
+        "workers_per_replica": _WORKERS,
+        "tenants": sorted(by_tenant),
+        "jobs_by_tenant": by_tenant,
+        "jobs_by_kind": by_kind,
+        "wall_seconds": wall_seconds,
+        "queries_per_second": queries_per_second,
+        "latency_p50_seconds": p50,
+        "latency_p99_seconds": p99,
+        "latency_max_seconds": latencies[-1],
+        "scheduler_jobs": stats["jobs"]["by_state"],
+    }
+
+    # Merge into the artifact bench_service_throughput.py owns: the two
+    # benches share one file, each updating only its own section.
+    path = RESULTS_DIR / "BENCH_service.json"
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        document = {}
+    document["load"] = load
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+
+    report(
+        "bench_service_load",
+        f"Job service under load — {_TOTAL_JOBS} mixed jobs, "
+        f"{len(_TENANTS)} tenants, {_REPLICAS} replicas x {_WORKERS} workers",
+        ["metric", "value"],
+        [
+            ("jobs completed", str(len(results))),
+            ("mix", ", ".join(
+                f"{kind}={count}" for kind, count in sorted(by_kind.items())
+            )),
+            ("throughput", f"{queries_per_second:.2f} q/s"),
+            ("latency p50", f"{p50 * 1000:.0f} ms"),
+            ("latency p99", f"{p99 * 1000:.0f} ms"),
+            ("latency max", f"{latencies[-1] * 1000:.0f} ms"),
+            ("wall", f"{wall_seconds:.1f} s"),
+        ],
+    )

@@ -86,6 +86,22 @@ BENCHES: List[Bench] = [
         artifacts=["results/BENCH_service.json", "results/bench_service.txt"],
     ),
     Bench(
+        name="service-load",
+        target="benchmarks/bench_service_load.py",
+        capped_env={
+            "REPRO_BENCH_LOAD_JOBS": "200",
+            "REPRO_BENCH_LOAD_MIN_QPS": "1.0",
+        },
+        full_env={
+            "REPRO_BENCH_LOAD_JOBS": "1200",
+            "REPRO_BENCH_LOAD_CLIENTS": "24",
+        },
+        artifacts=[
+            "results/BENCH_service.json",
+            "results/bench_service_load.txt",
+        ],
+    ),
+    Bench(
         name="variant-batch",
         target="benchmarks/bench_variant_batch.py",
         capped_env={

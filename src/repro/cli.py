@@ -173,6 +173,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listen port (0 = ephemeral)")
     serve.add_argument("--store", default=".cutqc-store", metavar="DIR",
                        help="artifact-store directory (default: .cutqc-store)")
+    serve.add_argument("--replicas", type=int, default=1, metavar="N",
+                       help="number of stateless API servers sharing the "
+                            "store+journal (ports port..port+N-1; any "
+                            "replica accepts, exactly one executes)")
+    serve.add_argument("--store-bytes", default=None, metavar="BYTES",
+                       help="LRU byte budget for the artifact store "
+                            "(suffixes K/M/G; default: unbounded)")
+    serve.add_argument("--tenant", action="append", default=None,
+                       metavar="SPEC", dest="tenants",
+                       help="tenant policy "
+                            "name:weight[:max_queued[:max_concurrent]] "
+                            "(repeatable; e.g. acme:3, free:1:16:2, "
+                            "blocked:0)")
     serve.add_argument("--workers", type=int, default=2,
                        help="scheduler worker threads")
     serve.add_argument("--pool-workers", type=int, default=0, metavar="N",
@@ -197,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="submit this OpenQASM 2.0 file instead of a "
                              "library benchmark")
     submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--tenant", default=None, metavar="NAME",
+                        help="submit as this tenant (fair scheduling + "
+                             "quotas; default: 'default')")
     submit.add_argument("--device-size", type=int, required=True)
     submit.add_argument("--max-subcircuits", type=int, default=5)
     submit.add_argument("--max-cuts", type=int, default=10)
@@ -715,42 +731,77 @@ def _command_devices(args: argparse.Namespace) -> int:
 # Job-service verbs
 # ----------------------------------------------------------------------
 
-def _command_serve(args: argparse.Namespace) -> int:
-    from .service import JobServer
+def _parse_bytes(text: str) -> int:
+    """``"512M"`` -> bytes; bare integers pass through."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    text = str(text).strip()
+    scale = units.get(text[-1:].lower())
+    if scale is not None:
+        text = text[:-1]
+    return int(float(text) * (scale or 1))
 
-    server = JobServer(
-        store_dir=args.store,
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        pool_workers=args.pool_workers,
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import ArtifactStore, JobServer, TenantConfig
+
+    if args.replicas < 1:
+        print("error: --replicas must be >= 1", file=sys.stderr)
+        return 2
+    max_bytes = (
+        _parse_bytes(args.store_bytes)
+        if args.store_bytes is not None
+        else None
     )
+    tenants = TenantConfig.parse_specs(args.tenants)
+    store = ArtifactStore(args.store, max_bytes=max_bytes)
+    # N stateless replicas over one shared store: each runs its own
+    # scheduler, all tail the same journal, claims arbitrate execution.
+    servers = [
+        JobServer(
+            store=store,
+            host=args.host,
+            port=args.port + index if args.port else 0,
+            workers=args.workers,
+            pool_workers=args.pool_workers,
+            tenants=tenants,
+        )
+        for index in range(args.replicas)
+    ]
+    primary = servers[0]
     banner = {
         "command": "serve",
-        "url": server.url,
-        "store": str(server.store.root),
-        "workers": server.scheduler.num_workers,
+        "url": primary.url,
+        "urls": [server.url for server in servers],
+        "replicas": args.replicas,
+        "store": str(store.root),
+        "store_bytes": max_bytes,
+        "tenants": tenants.to_dict()["policies"],
+        "workers": primary.scheduler.num_workers,
         "pool_workers": (
-            server.scheduler.worker_pool.workers
-            if server.scheduler.worker_pool is not None
+            primary.scheduler.worker_pool.workers
+            if primary.scheduler.worker_pool is not None
             else 0
         ),
     }
     if args.json:
         print(json.dumps(banner, indent=2), flush=True)
     else:
-        print(
-            f"job service listening on {server.url} "
-            f"(store {server.store.root}, "
-            f"{server.scheduler.num_workers} workers)",
-            flush=True,
-        )
+        for server in servers:
+            print(
+                f"job service listening on {server.url} "
+                f"(store {store.root}, "
+                f"{server.scheduler.num_workers} workers)",
+                flush=True,
+            )
     try:
-        server.serve_forever()
+        for server in servers[1:]:
+            server.start()
+        primary.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
-        server.close()
+        for server in servers:
+            server.close()
     return 0
 
 
@@ -791,6 +842,8 @@ def _submit_payload(args: argparse.Namespace) -> dict:
         "fusion_width": args.fusion_width,
         "query": query,
     }
+    if args.tenant:
+        payload["tenant"] = args.tenant
     if args.device:
         payload.update(
             device=args.device,
@@ -941,7 +994,8 @@ def _command_jobs(args: argparse.Namespace) -> int:
         label = spec.get("benchmark") or "qasm"
         print(
             f"{job['job_id']}  {job['state']:<10} {label} "
-            f"q={spec.get('qubits')} query={spec.get('query')}"
+            f"q={spec.get('qubits')} query={spec.get('query')} "
+            f"tenant={job.get('tenant') or spec.get('tenant') or 'default'}"
         )
     by_state = stats["jobs"]["by_state"]
     cache = stats["cache"]

@@ -21,6 +21,15 @@ Layer               Responsibility
                     Every stage checkpoints through the store, so
                     repeat jobs skip cut search and variant execution
                     and sibling jobs share warm tensors.
+:mod:`.journal`     Durable append-only job journal inside the store
+                    (``jobs/journal.jsonl``) plus ``O_EXCL`` claim
+                    files: restarts replay it and resume interrupted
+                    jobs; N servers on one store dir coordinate through
+                    it (any accepts, exactly one executes).
+:mod:`.tenancy`     Per-tenant admission quotas and the weighted-fair
+                    (stride-scheduling) dispatch queue; over-quota
+                    submissions raise the typed ``QuotaExceededError``
+                    (HTTP 429, ``code: "quota_exceeded"``).
 :mod:`.api`         Transport-independent JSON handlers (dict in/out).
 :mod:`.server`      Stdlib ``ThreadingHTTPServer`` front-end
                     (``POST /jobs``, ``GET /jobs/<id>[/result]``,
@@ -36,6 +45,7 @@ checkpoints.
 """
 
 from .api import ApiError, JobServiceAPI
+from .journal import JobJournal
 from .scheduler import JOB_STATES, QUERY_TYPES, JobRecord, JobScheduler, JobSpec
 from .server import JobServer, ServiceClientError, request_json
 from .store import (
@@ -45,12 +55,19 @@ from .store import (
     cut_fingerprint,
     evaluation_fingerprint,
 )
+from .tenancy import (
+    FairQueue,
+    QuotaExceededError,
+    TenantConfig,
+    TenantPolicy,
+)
 
 __all__ = [
     "ApiError",
     "JobServiceAPI",
     "JOB_STATES",
     "QUERY_TYPES",
+    "JobJournal",
     "JobRecord",
     "JobScheduler",
     "JobSpec",
@@ -59,6 +76,10 @@ __all__ = [
     "request_json",
     "ArtifactStore",
     "StoreStats",
+    "FairQueue",
+    "QuotaExceededError",
+    "TenantConfig",
+    "TenantPolicy",
     "circuit_digest",
     "cut_fingerprint",
     "evaluation_fingerprint",

@@ -21,24 +21,32 @@ Request shape for job creation (``POST /jobs``)::
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..obs.metrics import get_registry
 from .scheduler import JobScheduler, JobSpec
+from .tenancy import QuotaExceededError
 
 __all__ = ["ApiError", "JobServiceAPI"]
 
 
 class ApiError(Exception):
-    """A client-visible error with an HTTP status code."""
+    """A client-visible error with an HTTP status code.
 
-    def __init__(self, status: int, message: str):
+    ``payload`` carries extra machine-readable fields merged into the
+    JSON error body (e.g. the typed quota-rejection document).
+    """
+
+    def __init__(
+        self, status: int, message: str, payload: Optional[Dict] = None
+    ):
         super().__init__(message)
         self.status = int(status)
         self.message = message
+        self.payload = dict(payload or {})
 
     def as_dict(self) -> Dict:
-        return {"error": self.message, "status": self.status}
+        return {"error": self.message, "status": self.status, **self.payload}
 
 
 def _flatten_payload(payload: Dict) -> Dict:
@@ -74,6 +82,11 @@ class JobServiceAPI:
             job_id = self.scheduler.submit(spec)
         except ApiError:
             raise
+        except QuotaExceededError as error:
+            # Typed admission rejection: 429 + code "quota_exceeded".
+            raise ApiError(
+                429, str(error), payload=error.as_dict()
+            ) from None
         except (TypeError, ValueError) as error:
             raise ApiError(400, str(error)) from None
         record = self.scheduler.get(job_id)
@@ -90,6 +103,9 @@ class JobServiceAPI:
 
     def job_result(self, job_id: str) -> Dict:
         record = self._record(job_id)
+        # Jobs executed by a peer server (or a previous process) carry
+        # their result in the store, not in this scheduler's memory.
+        self.scheduler.load_persisted(record)
         if record.state == "failed":
             raise ApiError(500, f"job failed: {record.error}")
         if record.state == "cancelled":

@@ -1,0 +1,221 @@
+"""Durable job journal: append-only log + file-lock-guarded claims.
+
+The journal is the persistence and coordination substrate of the job
+service.  It lives inside the :class:`~repro.service.store.ArtifactStore`
+root (``<store>/jobs/``)::
+
+    jobs/journal.jsonl    append-only event log (one JSON object per line)
+    jobs/claims/<job_id>  existence = some scheduler owns the job
+    jobs/claims.lock      serializes stale-claim stealing across processes
+
+Three event types flow through the log:
+
+* ``submit`` — a new job: id, tenant and the full ``JobSpec`` document.
+* ``state``  — a state transition, stamped with the owning scheduler;
+  terminal events also carry timings/cache hits so peer servers can
+  answer status queries without touching the executor.
+* ``cancel`` — a cancellation request (any server may record it; the
+  owning scheduler honors it at its next stage boundary).
+
+Appends take an exclusive ``flock`` on the log so concurrent writers
+(N servers, one store dir) never interleave partial lines; readers tail
+from their last byte offset, parsing only complete lines.  Writes are
+flushed but not fsynced by default — the journal survives process kills
+(the acceptance test SIGKILLs a scheduler mid-stage), while full
+power-loss durability costs one ``fsync=True`` flag.
+
+**Claims** make execution exclusive: before running a job a worker
+atomically creates ``claims/<job_id>`` (``O_CREAT | O_EXCL``) holding
+its owner id and pid.  Creation succeeds exactly once, so of N
+schedulers tailing the same journal only one executes each job.  A
+claim whose pid no longer exists is *stale* — a restarted scheduler
+steals it (under ``claims.lock``) and resumes the job from its last
+checkpointed stage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+try:  # pragma: no cover - always available on the POSIX CI targets
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["JobJournal"]
+
+
+def _flock(stream, exclusive: bool) -> None:
+    if fcntl is not None:
+        mode = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        fcntl.flock(stream.fileno(), mode)
+
+
+def _funlock(stream) -> None:
+    if fcntl is not None:
+        fcntl.flock(stream.fileno(), fcntl.LOCK_UN)
+
+
+def pid_alive(pid: Optional[int]) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if not pid:
+        return False
+    try:
+        os.kill(int(pid), 0)
+    except (ProcessLookupError, ValueError):
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return False
+    return True
+
+
+class JobJournal:
+    """Append-only event log plus claim files under one directory."""
+
+    def __init__(self, root, fsync: bool = False):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / "journal.jsonl"
+        self.claims_dir = self.root / "claims"
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        self.path.touch(exist_ok=True)
+        self._steal_lock_path = self.root / "claims.lock"
+        self._fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._offset = 0
+
+    # -- log ------------------------------------------------------------
+    def append(self, event_type: str, job_id: str, **fields) -> Dict:
+        """Append one event; returns the record as written."""
+        record = {"type": event_type, "job_id": job_id, "ts": time.time()}
+        record.update(fields)
+        data = (json.dumps(record, separators=(",", ":")) + "\n").encode()
+        with self._lock:
+            with open(self.path, "ab") as stream:
+                _flock(stream, exclusive=True)
+                try:
+                    stream.write(data)
+                    stream.flush()
+                    if self._fsync:
+                        os.fsync(stream.fileno())
+                finally:
+                    _funlock(stream)
+        return record
+
+    def read_new(self) -> List[Dict]:
+        """Events appended (by anyone) since the last read.
+
+        Only complete, newline-terminated lines are consumed; a line
+        another process is mid-append stays in the file for next time.
+        """
+        with self._lock:
+            try:
+                with open(self.path, "rb") as stream:
+                    _flock(stream, exclusive=False)
+                    try:
+                        stream.seek(self._offset)
+                        data = stream.read()
+                    finally:
+                        _funlock(stream)
+            except OSError:
+                return []
+            records: List[Dict] = []
+            consumed = 0
+            for line in data.split(b"\n")[:-1]:
+                consumed += len(line) + 1
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # tolerate a torn/garbage line
+                if isinstance(record, dict):
+                    records.append(record)
+            self._offset += consumed
+        return records
+
+    def rewind(self) -> None:
+        """Reset the tail offset so the next read replays from the top."""
+        with self._lock:
+            self._offset = 0
+
+    # -- claims ---------------------------------------------------------
+    def claim_path(self, job_id: str) -> Path:
+        return self.claims_dir / job_id
+
+    def claim(self, job_id: str, owner: str) -> bool:
+        """Atomically claim ``job_id`` for ``owner``.
+
+        True iff the claim was created now or is already held by this
+        very owner (idempotent re-entry after a steal).
+        """
+        payload = json.dumps(
+            {"owner": owner, "pid": os.getpid(), "ts": time.time()}
+        )
+        try:
+            handle = os.open(
+                self.claim_path(job_id),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            info = self.claim_info(job_id)
+            return bool(info and info.get("owner") == owner)
+        with os.fdopen(handle, "w") as stream:
+            stream.write(payload)
+        return True
+
+    def claim_info(self, job_id: str) -> Optional[Dict]:
+        """The claim document, or ``None`` if the job is unclaimed."""
+        try:
+            return json.loads(self.claim_path(job_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def claim_is_stale(self, info: Optional[Dict]) -> bool:
+        """A claim is stale when its holder's pid is gone."""
+        if info is None:
+            return False
+        return not pid_alive(info.get("pid"))
+
+    def steal_claim(self, job_id: str, owner: str) -> bool:
+        """Take over an unclaimed or stale claim (restart recovery).
+
+        Serialized across processes through ``claims.lock`` so two
+        recovering schedulers cannot both adopt one orphaned job.
+        Returns True iff ``owner`` now holds the claim.
+        """
+        with open(self._steal_lock_path, "ab") as guard:
+            _flock(guard, exclusive=True)
+            try:
+                info = self.claim_info(job_id)
+                if info is not None:
+                    if info.get("owner") == owner:
+                        return True
+                    if not self.claim_is_stale(info):
+                        return False
+                payload = json.dumps(
+                    {"owner": owner, "pid": os.getpid(), "ts": time.time()}
+                )
+                path = self.claim_path(job_id)
+                temp = path.with_suffix(".steal")
+                temp.write_text(payload)
+                os.replace(temp, path)
+                return True
+            finally:
+                _funlock(guard)
+
+    def release_claim(self, job_id: str, owner: str) -> None:
+        """Drop a claim we hold (used when a claimed job is requeued)."""
+        info = self.claim_info(job_id)
+        if info is not None and info.get("owner") == owner:
+            try:
+                self.claim_path(job_id).unlink()
+            except OSError:
+                pass

@@ -19,14 +19,30 @@ stage.  Per-stage wall-clock and cache-hit flags are recorded on the
 record, and :meth:`JobScheduler.stats` aggregates them across the job
 history — the serving-side observability the HTTP ``/stats`` endpoint
 exposes.
+
+Durability and scale-out (see :mod:`repro.service.journal` and
+:mod:`repro.service.tenancy`):
+
+* every submission, state transition and cancellation is appended to a
+  **journal** inside the store (``jobs/journal.jsonl``); a restarted
+  scheduler replays it, steals claims whose owner pid died, and resumes
+  interrupted jobs — the store checkpoints turn "resume" into cache
+  hits on every stage that already completed;
+* dispatch goes through a per-tenant **weighted-fair queue** with
+  admission quotas (:class:`~repro.service.tenancy.TenantConfig`);
+* N schedulers (``serve --replicas N``, or N processes on one store
+  dir) tail the same journal: any server accepts a submission, exactly
+  one executes it (``O_EXCL`` **claim files**), and terminal records are
+  persisted to the store so any server answers the result query.
 """
 
 from __future__ import annotations
 
-import queue
+import os
 import threading
 import time
 import uuid
+import weakref
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,17 +54,42 @@ from ..library import BENCHMARKS, get_benchmark
 from ..obs import trace
 from ..obs.metrics import get_registry
 from ..postprocess.parallel import WorkerPool
+from .journal import JobJournal
 from .store import ArtifactStore
+from .tenancy import (
+    DEFAULT_TENANT,
+    FairQueue,
+    QuotaExceededError,
+    TenantConfig,
+)
 
 __all__ = ["JobSpec", "JobRecord", "JobScheduler", "JOB_STATES", "QUERY_TYPES"]
 
 _JOB_STAGE_SECONDS = get_registry().histogram(
     "repro_job_stage_seconds",
-    "Scheduler job stage wall time by stage (cut/evaluate/query/total).",
-    ("stage",),
+    "Scheduler job stage wall time by stage (cut/evaluate/query/total) "
+    "and tenant.",
+    ("stage", "tenant"),
 )
 _JOBS = get_registry().counter(
-    "repro_jobs_total", "Jobs reaching a terminal state.", ("state",)
+    "repro_jobs_total",
+    "Jobs reaching a terminal state, by state and tenant.",
+    ("state", "tenant"),
+)
+_QUEUE_DEPTH = get_registry().gauge(
+    "repro_queue_depth",
+    "Jobs waiting in the scheduler's fair queue, per tenant.",
+    ("tenant",),
+)
+_JOBS_RUNNING = get_registry().gauge(
+    "repro_jobs_running",
+    "Jobs currently executing, per tenant.",
+    ("tenant",),
+)
+_QUOTA_REJECTIONS = get_registry().counter(
+    "repro_quota_rejections_total",
+    "Submissions rejected by per-tenant admission control.",
+    ("tenant", "reason"),
 )
 
 JOB_STATES = (
@@ -74,6 +115,8 @@ class JobSpec:
     qubits: Optional[int] = None
     qasm: Optional[str] = None
     seed: int = 0
+    #: Submitting tenant — the unit of fair scheduling and quotas.
+    tenant: str = DEFAULT_TENANT
     max_subcircuits: int = DEFAULT_MAX_SUBCIRCUITS
     max_cuts: int = DEFAULT_MAX_CUTS
     method: str = "auto"
@@ -119,6 +162,14 @@ class JobSpec:
                 raise ValueError("library circuits need qubits >= 2")
         if self.device_size < 2:
             raise ValueError("device_size must be >= 2")
+        if (
+            not isinstance(self.tenant, str)
+            or not 0 < len(self.tenant) <= 64
+            or not all(c.isalnum() or c in "._-" for c in self.tenant)
+        ):
+            raise ValueError(
+                "tenant must be 1-64 chars of [A-Za-z0-9._-]"
+            )
         if self.query not in QUERY_TYPES:
             raise ValueError(
                 f"unknown query type {self.query!r}; "
@@ -246,6 +297,13 @@ class JobRecord:
     cancel_requested: bool = False
     #: The job's span tree (set once the job reaches a terminal state).
     trace: Optional[Dict] = None
+    #: Owner id of the scheduler executing (or having executed) the job;
+    #: ``None`` while unclaimed.  Set from journal events for jobs run
+    #: by a peer server.
+    owner: Optional[str] = None
+    #: ``(kind, key)`` store artifacts pinned against LRU eviction while
+    #: this job runs; released by the worker at the terminal state.
+    pins: List[Tuple[str, str]] = field(default_factory=list)
     #: Guards the mutable fields: the worker thread updates state,
     #: timings and cache hits at stage boundaries while pollers
     #: serialize the record — without the lock a reader can observe a
@@ -268,7 +326,9 @@ class JobRecord:
     def set_timing(self, stage: str, seconds: float) -> None:
         with self._lock:
             self.timings[stage] = seconds
-        _JOB_STAGE_SECONDS.observe(seconds, stage=stage)
+        _JOB_STAGE_SECONDS.observe(
+            seconds, stage=stage, tenant=self.spec.tenant
+        )
 
     def set_cache_hit(self, stage: str, hit: bool) -> None:
         with self._lock:
@@ -300,6 +360,8 @@ class JobRecord:
             document = {
                 "job_id": self.job_id,
                 "state": self.state,
+                "tenant": self.spec.tenant,
+                "owner": self.owner,
                 "spec": self.spec.to_dict(),
                 "submitted_at": self.submitted_at,
                 "started_at": self.started_at,
@@ -336,6 +398,9 @@ class JobScheduler:
         autostart: bool = True,
         pool_workers: int = 0,
         worker_pool: Optional[WorkerPool] = None,
+        tenants=None,
+        journal: bool = True,
+        journal_poll: float = 0.25,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -347,16 +412,44 @@ class JobScheduler:
         if worker_pool is None and pool_workers > 0:
             worker_pool = WorkerPool(pool_workers)
         self.worker_pool = worker_pool
-        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self.tenants = TenantConfig.coerce(tenants)
+        self._queue = FairQueue(self.tenants)
         self._records: Dict[str, JobRecord] = {}
         self._order: List[str] = []
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = []
+        self._tail_thread: Optional[threading.Thread] = None
         self._started = False
         self._shutdown = False
         self.started_at = time.time()
+        #: Unique executor identity, stamped on claims and journal events.
+        self.owner_id = f"sched-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.journal = (
+            JobJournal(self.store.root / "jobs") if journal else None
+        )
+        self._journal_poll = max(0.01, float(journal_poll))
+        if self.journal is not None:
+            self._replay_journal()
+        self._register_depth_collector()
         if autostart:
             self.start()
+
+    def _register_depth_collector(self) -> None:
+        # Pull-style gauges via a weakly-bound collector: the registry
+        # outlives schedulers (tests create hundreds), so a strong ref
+        # here would pin every scheduler ever created.
+        ref = weakref.ref(self)
+
+        def collect(_registry) -> None:
+            scheduler = ref()
+            if scheduler is None or scheduler._shutdown:
+                return
+            running = scheduler._queue.running()
+            for tenant, depth in scheduler._queue.depths().items():
+                _QUEUE_DEPTH.set(depth, tenant=tenant)
+                _JOBS_RUNNING.set(running.get(tenant, 0), tenant=tenant)
+
+        get_registry().add_collector(collect)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -372,17 +465,23 @@ class JobScheduler:
             )
             thread.start()
             self._threads.append(thread)
+        if self.journal is not None:
+            self._tail_thread = threading.Thread(
+                target=self._tail_loop, name="cutqc-journal-tail", daemon=True
+            )
+            self._tail_thread.start()
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and (optionally) join the workers."""
         if self._shutdown:
             return
         self._shutdown = True
-        for _ in self._threads:
-            self._queue.put(None)
+        self._queue.close()
         if wait:
             for thread in self._threads:
                 thread.join(timeout=30)
+            if self._tail_thread is not None:
+                self._tail_thread.join(timeout=5)
         # Close the owned pool only once every job thread has exited —
         # tearing it down under a still-running job (wait=False, or a
         # join timeout) would fail that job with "worker pool is
@@ -396,17 +495,235 @@ class JobScheduler:
             self.worker_pool.close()
 
     # ------------------------------------------------------------------
+    # Journal: replay (restart recovery) and tail (peer discovery)
+    # ------------------------------------------------------------------
+    def _replay_journal(self) -> None:
+        """Rebuild the job table from the journal and adopt orphans.
+
+        Runs before the workers start.  Jobs whose last journaled state
+        is terminal become read-only history (results rehydrate lazily
+        from the store's job documents).  Non-terminal jobs are
+        re-enqueued when unclaimed, or when their claim's pid is dead
+        (the mid-stage-kill case) — stage checkpoints already in the
+        store make the rerun resume, not restart.  Jobs claimed by a
+        live peer stay as mirrors updated by the tail thread.
+        """
+        folded: Dict[str, Dict] = {}
+        order: List[str] = []
+        for event in self.journal.read_new():
+            job_id = event.get("job_id")
+            kind = event.get("type")
+            if not isinstance(job_id, str):
+                continue
+            if kind == "submit" and job_id not in folded:
+                folded[job_id] = {
+                    "spec": event.get("spec"),
+                    "state": "queued",
+                    "submitted_at": event.get("ts"),
+                }
+                order.append(job_id)
+            elif kind == "state" and job_id in folded:
+                entry = folded[job_id]
+                entry["state"] = event.get("state", entry["state"])
+                entry["owner"] = event.get("owner")
+                for field_name in ("error", "timings", "cache_hits"):
+                    if event.get(field_name) is not None:
+                        entry[field_name] = event[field_name]
+                if event.get("state") in _TERMINAL_STATES:
+                    entry["finished_at"] = event.get("ts")
+            elif kind == "cancel" and job_id in folded:
+                folded[job_id]["cancel"] = True
+        for job_id in order:
+            entry = folded[job_id]
+            try:
+                spec = JobSpec.from_dict(entry.get("spec") or {})
+            except (TypeError, ValueError):
+                continue  # unreadable record from an older format
+            record = JobRecord(
+                job_id=job_id,
+                spec=spec,
+                state=entry["state"],
+                owner=entry.get("owner"),
+            )
+            if entry.get("submitted_at"):
+                record.submitted_at = entry["submitted_at"]
+            if entry.get("finished_at"):
+                record.finished_at = entry["finished_at"]
+            if entry.get("error"):
+                record.error = entry["error"]
+            if isinstance(entry.get("timings"), dict):
+                record.timings = dict(entry["timings"])
+            if isinstance(entry.get("cache_hits"), dict):
+                record.cache_hits = {
+                    k: bool(v) for k, v in entry["cache_hits"].items()
+                }
+            with self._lock:
+                self._records[job_id] = record
+                self._order.append(job_id)
+            if record.done:
+                continue
+            if entry.get("cancel"):
+                record.cancel_requested = True
+            info = self.journal.claim_info(job_id)
+            if info is None:
+                requeue = True  # never started; any worker may claim
+            elif self.journal.claim_is_stale(info) or info.get(
+                "owner"
+            ) == self.owner_id:
+                requeue = self.journal.steal_claim(job_id, self.owner_id)
+            else:
+                requeue = False  # a live peer is executing it
+            if requeue:
+                record.update(state="queued", owner=None)
+                self.journal.append(
+                    "state", job_id, state="queued",
+                    owner=self.owner_id, resumed=True,
+                )
+                self._queue.push(spec.tenant, job_id)
+
+    def _tail_loop(self) -> None:
+        """Poll the journal for events appended by peer schedulers."""
+        while not self._shutdown:
+            try:
+                self._apply_events(self.journal.read_new())
+            except Exception:  # pragma: no cover - keep the tail alive
+                pass
+            time.sleep(self._journal_poll)
+
+    def _apply_events(self, events: List[Dict]) -> None:
+        for event in events:
+            job_id = event.get("job_id")
+            kind = event.get("type")
+            if not isinstance(job_id, str):
+                continue
+            if kind == "submit":
+                with self._lock:
+                    if job_id in self._records:
+                        continue  # our own submission echoing back
+                try:
+                    spec = JobSpec.from_dict(event.get("spec") or {})
+                except (TypeError, ValueError):
+                    continue
+                record = JobRecord(job_id=job_id, spec=spec)
+                if event.get("ts"):
+                    record.submitted_at = event["ts"]
+                with self._lock:
+                    if job_id in self._records:  # pragma: no cover - race
+                        continue
+                    self._records[job_id] = record
+                    self._order.append(job_id)
+                # Peer submissions enter our queue too: whichever
+                # scheduler pops first wins the claim, the others skip.
+                self._queue.push(spec.tenant, job_id)
+            elif kind == "state":
+                owner = event.get("owner")
+                if owner == self.owner_id:
+                    continue  # our own transition echoing back
+                with self._lock:
+                    record = self._records.get(job_id)
+                if record is None:
+                    continue
+                with record._lock:
+                    if record.owner == self.owner_id:
+                        continue  # we execute it; local state is truth
+                    state = event.get("state")
+                    if state in JOB_STATES:
+                        record.state = state
+                    record.owner = owner or record.owner
+                    if event.get("error"):
+                        record.error = event["error"]
+                    if isinstance(event.get("timings"), dict):
+                        record.timings = dict(event["timings"])
+                    if isinstance(event.get("cache_hits"), dict):
+                        record.cache_hits = {
+                            k: bool(v)
+                            for k, v in event["cache_hits"].items()
+                        }
+                    if (
+                        record.state in _TERMINAL_STATES
+                        and record.finished_at is None
+                    ):
+                        record.finished_at = event.get("ts", time.time())
+            elif kind == "cancel":
+                with self._lock:
+                    record = self._records.get(job_id)
+                if record is None:
+                    continue
+                with record._lock:
+                    if record.state not in _TERMINAL_STATES:
+                        record.cancel_requested = True
+
+    def _journal_state(self, record: JobRecord, **extra) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(
+                "state", record.job_id, state=record.state,
+                owner=self.owner_id, **extra,
+            )
+        except OSError:  # pragma: no cover - disk full / torn teardown
+            pass
+
+    def _advance(self, record: JobRecord, state: str) -> None:
+        """Set a non-terminal state and journal the transition."""
+        record.update(state=state)
+        self._journal_state(record)
+
+    def load_persisted(self, record: JobRecord) -> None:
+        """Rehydrate a terminal record from the store's job document.
+
+        Covers jobs executed by a peer server or a previous process:
+        the journal carries their states and timings, but the (large)
+        result document lives only in the store.
+        """
+        if self.journal is None or not record.done:
+            return
+        with record._lock:
+            if record.result is not None or record.owner == self.owner_id:
+                return
+        document = self.store.get_job_document(record.job_id)
+        if not document:
+            return
+        with record._lock:
+            if record.result is None:
+                record.result = document.get("result")
+            if not record.timings and document.get("timings"):
+                record.timings = dict(document["timings"])
+            if not record.cache_hits and document.get("cache_hits"):
+                record.cache_hits = {
+                    k: bool(v)
+                    for k, v in document["cache_hits"].items()
+                }
+            if record.execution is None:
+                record.execution = document.get("execution")
+            if not record.iterations and document.get("iterations"):
+                record.iterations = list(document["iterations"])
+
+    # ------------------------------------------------------------------
     def submit(self, spec: JobSpec) -> str:
-        """Validate and enqueue a job; returns its id immediately."""
+        """Validate, admission-check and enqueue a job; returns its id.
+
+        Raises :class:`~repro.service.tenancy.QuotaExceededError` when
+        the tenant is over quota (mapped to HTTP 429 by the API layer).
+        """
         if self._shutdown:
             raise RuntimeError("scheduler is shut down")
         spec.validate()
+        try:
+            self.tenants.admit(spec.tenant, self._queue.depth(spec.tenant))
+        except QuotaExceededError as error:
+            _QUOTA_REJECTIONS.inc(tenant=spec.tenant, reason=error.reason)
+            raise
         job_id = f"job-{uuid.uuid4().hex[:12]}"
         record = JobRecord(job_id=job_id, spec=spec)
         with self._lock:
             self._records[job_id] = record
             self._order.append(job_id)
-        self._queue.put(job_id)
+        if self.journal is not None:
+            self.journal.append(
+                "submit", job_id, tenant=spec.tenant, spec=spec.to_dict()
+            )
+        self._queue.push(spec.tenant, job_id)
         return job_id
 
     def get(self, job_id: str) -> JobRecord:
@@ -431,9 +748,15 @@ class JobScheduler:
             if record.state in _TERMINAL_STATES:
                 return False
             record.cancel_requested = True
+            became_cancelled = False
             if record.state == "queued":
                 record.state = "cancelled"
                 record.finished_at = time.time()
+                became_cancelled = True
+        if self.journal is not None:
+            self.journal.append("cancel", job_id)
+            if became_cancelled:
+                self._journal_state(record, terminal=True)
         return True
 
     def wait(
@@ -460,6 +783,7 @@ class JobScheduler:
         stage_hits: Dict[str, int] = {"cut": 0, "evaluate": 0}
         stage_misses: Dict[str, int] = {"cut": 0, "evaluate": 0}
         evaluate_modes: Dict[str, int] = {}
+        by_tenant: Dict[str, Dict[str, int]] = {}
         total_seconds = 0.0
         for record in records:
             # One consistent snapshot per record, taken under the record
@@ -467,6 +791,8 @@ class JobScheduler:
             # the reads that build one row of the aggregate.
             state, timings, cache_hits, execution = record.stats_view()
             by_state[state] = by_state.get(state, 0) + 1
+            tenant_states = by_tenant.setdefault(record.spec.tenant, {})
+            tenant_states[state] = tenant_states.get(state, 0) + 1
             if execution is not None:
                 mode = execution.get("mode", "unknown")
                 evaluate_modes[mode] = evaluate_modes.get(mode, 0) + 1
@@ -479,6 +805,8 @@ class JobScheduler:
                 table[stage] = table.get(stage, 0) + 1
         uptime = time.time() - self.started_at
         done = by_state.get("done", 0)
+        depths = self._queue.depths()
+        running = self._queue.running()
         pool_stats = (
             self.worker_pool.stats().as_dict()
             if self.worker_pool is not None
@@ -503,6 +831,16 @@ class JobScheduler:
             "jobs_per_second": done / uptime if uptime > 0 else 0.0,
             "busy_seconds": total_seconds,
             "workers": self.num_workers,
+            "owner": self.owner_id,
+            "tenants": {
+                tenant: {
+                    "by_state": states,
+                    "queued_depth": depths.get(tenant, 0),
+                    "running": running.get(tenant, 0),
+                    "policy": self.tenants.policy(tenant).to_dict(),
+                }
+                for tenant, states in sorted(by_tenant.items())
+            },
             "store": self.store.as_dict(),
         }
 
@@ -511,44 +849,81 @@ class JobScheduler:
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
-            job_id = self._queue.get()
-            if job_id is None:
-                return
+            popped = self._queue.pop()
+            if popped is None:
+                return  # queue closed: shutdown
+            tenant, job_id = popped
             try:
-                record = self.get(job_id)
-            except KeyError:  # pragma: no cover - defensive
-                continue
-            if record.state != "queued":
-                continue  # cancelled while queued
-            record.update(started_at=time.time())
-            tracer = trace.start(
-                "job", {"job_id": job_id, "query": record.spec.query}
+                self._run_claimed(job_id)
+            finally:
+                self._queue.task_done(tenant)
+
+    def _run_claimed(self, job_id: str) -> None:
+        try:
+            record = self.get(job_id)
+        except KeyError:  # pragma: no cover - defensive
+            return
+        if record.state != "queued":
+            return  # cancelled while queued, or claimed+started by a peer
+        if self.journal is not None and not self.journal.claim(
+            job_id, self.owner_id
+        ):
+            return  # a peer scheduler owns this job
+        record.update(started_at=time.time(), owner=self.owner_id)
+        tracer = trace.start(
+            "job",
+            {
+                "job_id": job_id,
+                "query": record.spec.query,
+                "tenant": record.spec.tenant,
+            },
+        )
+        try:
+            with tracer as root:
+                self._execute(record)
+        except Exception as error:  # noqa: BLE001 - job isolation
+            record.update(
+                state="failed",
+                error=f"{type(error).__name__}: {error}",
             )
-            try:
-                with tracer as root:
-                    self._execute(record)
-            except Exception as error:  # noqa: BLE001 - job isolation
+        finally:
+            if not record.done:  # pragma: no cover - defensive
                 record.update(
                     state="failed",
-                    error=f"{type(error).__name__}: {error}",
+                    error=record.error or "worker exited mid-job",
                 )
-            finally:
-                if not record.done:  # pragma: no cover - defensive
-                    record.update(
-                        state="failed",
-                        error=record.error or "worker exited mid-job",
-                    )
-                record.update(finished_at=time.time())
-                record.set_timing(
-                    "total", record.finished_at - record.started_at
-                )
-                _JOBS.inc(state=record.state)
-                document = root.to_dict()
-                record.update(trace=document)
+            record.update(finished_at=time.time())
+            record.set_timing(
+                "total", record.finished_at - record.started_at
+            )
+            _JOBS.inc(state=record.state, tenant=record.spec.tenant)
+            document = root.to_dict()
+            record.update(trace=document)
+            try:
+                self.store.put_trace(job_id, document)
+            except Exception:  # pragma: no cover - store teardown
+                pass
+            for kind, key in record.pins:
+                self.store.unpin(kind, key)
+            record.pins = []
+            _, timings, cache_hits, _ = record.stats_view()
+            self._journal_state(
+                record, terminal=True, error=record.error,
+                timings=timings, cache_hits=cache_hits,
+            )
+            if self.journal is not None:
                 try:
-                    self.store.put_trace(job_id, document)
+                    self.store.put_job_document(
+                        job_id, record.as_dict(include_result=True)
+                    )
                 except Exception:  # pragma: no cover - store teardown
                     pass
+
+    def _pin(self, record: JobRecord, kind: str, key: str) -> None:
+        """Pin a store artifact for the lifetime of this job."""
+        self.store.pin(kind, key)
+        with record._lock:
+            record.pins.append((kind, key))
 
     def _cancelled(self, record: JobRecord) -> bool:
         with record._lock:
@@ -589,11 +964,12 @@ class JobScheduler:
         # -- stage 1: cut (checkpointed) --------------------------------
         if self._cancelled(record):
             return
-        record.update(state="cutting")
+        self._advance(record, "cutting")
         began = time.perf_counter()
         with trace.span("job.cut"):
             cut_key = pipeline.cut_fingerprint()
             record.set_fingerprint("cut", cut_key)
+            self._pin(record, "cut", cut_key)
             restored = self.store.get_cut(cut_key, circuit)
             if restored is not None:
                 pipeline.load_cut(*restored)
@@ -607,7 +983,7 @@ class JobScheduler:
         # -- stage 2: evaluate (checkpointed) ---------------------------
         if self._cancelled(record):
             return
-        record.update(state="evaluating")
+        self._advance(record, "evaluating")
         began = time.perf_counter()
         with trace.span("job.evaluate"):
             # shots/seed only shape the tensors when a sampling backend is
@@ -627,6 +1003,7 @@ class JobScheduler:
                 config=config,
             )
             record.set_fingerprint("evaluate", evaluation_key)
+            self._pin(record, "evaluation", evaluation_key)
             results = self.store.get_evaluation(
                 evaluation_key, pipeline.cut()
             )
@@ -652,7 +1029,7 @@ class JobScheduler:
         # -- stage 3: query ---------------------------------------------
         if self._cancelled(record):
             return
-        record.update(state="querying")
+        self._advance(record, "querying")
         began = time.perf_counter()
         with trace.span("job.query", {"mode": spec.query}):
             result = self._run_query(pipeline, spec)
@@ -691,7 +1068,7 @@ class JobScheduler:
 
         if self._cancelled(record):
             return
-        record.update(state="cutting")
+        self._advance(record, "cutting")
         device = None
         if spec.device is not None:
             from ..devices import get_device
@@ -716,9 +1093,10 @@ class JobScheduler:
             fusion_width=spec.fusion_width,
         )
         record.set_fingerprint("cut", session.cut_fingerprint())
+        self._pin(record, "cut", session.cut_fingerprint())
 
         # Warm-up: first rebind cuts (or restores) and evaluates all.
-        record.update(state="evaluating")
+        self._advance(record, "evaluating")
         with trace.span("job.evaluate"):
             warmup = session.rebind(flat(theta))
         record.set_cache_hit("cut", bool(session.cut_store_hit))
@@ -731,7 +1109,7 @@ class JobScheduler:
         initial_cost = best_cost = cost
         best_theta = theta.copy()
 
-        record.update(state="querying")
+        self._advance(record, "querying")
         loop_span = trace.span(
             "job.query", {"mode": "variational", "iterations": spec.iterations}
         )

@@ -140,21 +140,49 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class JobServer:
-    """The assembled service: store + scheduler + threaded HTTP server."""
+    """The assembled service: store + scheduler + threaded HTTP server.
+
+    Each server instance is *stateless* beyond its scheduler's journal
+    mirror: N servers constructed over one shared :class:`ArtifactStore`
+    (``serve --replicas N``, or a ``store`` passed explicitly, or N
+    processes pointed at one ``store_dir``) coordinate through the job
+    journal — any replica accepts submissions, exactly one claims and
+    executes each job, and every replica can serve its status/result.
+    """
 
     def __init__(
         self,
-        store_dir,
+        store_dir=None,
         host: str = "127.0.0.1",
         port: int = 8000,
         workers: int = 2,
         scheduler: Optional[JobScheduler] = None,
         pool_workers: int = 0,
+        store: Optional[ArtifactStore] = None,
+        max_store_bytes: Optional[int] = None,
+        tenants=None,
+        journal: bool = True,
+        journal_poll: float = 0.25,
     ):
-        self.store = scheduler.store if scheduler else ArtifactStore(store_dir)
-        self.scheduler = scheduler or JobScheduler(
-            self.store, workers=workers, pool_workers=pool_workers
-        )
+        if scheduler is not None:
+            self.store = scheduler.store
+            self.scheduler = scheduler
+        else:
+            if store is None:
+                if store_dir is None:
+                    raise ValueError(
+                        "JobServer needs store_dir, store or scheduler"
+                    )
+                store = ArtifactStore(store_dir, max_bytes=max_store_bytes)
+            self.store = store
+            self.scheduler = JobScheduler(
+                self.store,
+                workers=workers,
+                pool_workers=pool_workers,
+                tenants=tenants,
+                journal=journal,
+                journal_poll=journal_poll,
+            )
         self.api = JobServiceAPI(self.scheduler)
 
         api = self.api

@@ -33,6 +33,21 @@ bound parameter values at full double precision so rebinds never collide.
 Both tags are versioned (``cut:v2`` / ``evaluation:v2``): artifacts
 written under the pre-variational semantics simply become unreachable and
 recompute.
+
+Bounded mode: constructed with ``max_bytes`` the store enforces an LRU
+byte budget over cut + evaluation artifacts.  Every hit touches the
+artifact's mtime (cross-process recency); every write triggers
+:meth:`ArtifactStore.enforce_budget`, which evicts least-recently-used
+fingerprints until the footprint fits.  Artifacts *pinned* by a live job
+(:meth:`pin` drops a marker file carrying the pinning pid) are never
+evicted; markers whose pid died are garbage-collected on the next
+eviction pass.  Evictions feed ``repro_store_evictions_total``.
+
+The store also persists terminal job documents (``jobs/results/``) so a
+restarted or peer scheduler can serve ``GET /jobs/<id>/result`` for jobs
+it never executed; the job journal itself lives under ``jobs/`` too (see
+:mod:`repro.service.journal`).  Neither counts toward the LRU budget —
+the budget bounds the recomputable cache, not the job ledger.
 """
 
 from __future__ import annotations
@@ -83,6 +98,20 @@ _STORE_CORRUPT = get_registry().counter(
 )
 _STORE_WRITES = get_registry().counter(
     "repro_store_writes_total", "Artifacts written."
+)
+_STORE_EVICTIONS = get_registry().counter(
+    "repro_store_evictions_total",
+    "Artifacts evicted by the LRU byte-budget enforcer, by kind.",
+    ("kind",),
+)
+_STORE_EVICTED_BYTES = get_registry().counter(
+    "repro_store_evicted_bytes_total",
+    "Bytes reclaimed by LRU eviction.",
+)
+_STORE_BYTES = get_registry().gauge(
+    "repro_store_bytes",
+    "Cache footprint (cut + evaluation artifacts) of the most recently "
+    "written-to bounded store.",
 )
 
 
@@ -224,6 +253,8 @@ class StoreStats:
     misses: int = 0
     corrupt: int = 0
     writes: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
     hits_by_kind: Dict[str, int] = field(default_factory=dict)
     misses_by_kind: Dict[str, int] = field(default_factory=dict)
 
@@ -236,6 +267,8 @@ class StoreStats:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "writes": self.writes,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
             "hits_by_kind": dict(self.hits_by_kind),
             "misses_by_kind": dict(self.misses_by_kind),
         }
@@ -249,22 +282,39 @@ class ArtifactStore:
         cuts/<fingerprint>.json          assignment + priced solution
         evaluations/<fingerprint>.json   variant key map + checksums
         evaluations/<fingerprint>.npz    unique variant tensors
+        pins/<kind>-<key>@<pid>          live-job pin markers
+        jobs/results/<job_id>.json       terminal job documents
+        jobs/journal.jsonl, jobs/claims/ the job journal (journal.py)
 
     Thread-safety: writes go through an atomic rename, and loads verify
     checksums, so concurrent scheduler workers can share one store —
     the worst case for a racing write is recomputing one artifact.
+
+    With ``max_bytes`` set the cut/evaluation footprint is bounded:
+    writes evict least-recently-used unpinned fingerprints until the
+    budget holds (see the module docstring).
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self._cuts = self.root / "cuts"
         self._evaluations = self.root / "evaluations"
         self._traces = self.root / "traces"
+        self._pins_dir = self.root / "pins"
+        self._jobs = self.root / "jobs" / "results"
         self._cuts.mkdir(parents=True, exist_ok=True)
         self._evaluations.mkdir(parents=True, exist_ok=True)
         self._traces.mkdir(parents=True, exist_ok=True)
+        self._pins_dir.mkdir(parents=True, exist_ok=True)
+        self._jobs.mkdir(parents=True, exist_ok=True)
         self.stats = StoreStats()
         self._stats_lock = threading.Lock()
+        self._pin_lock = threading.Lock()
+        self._pins: Dict[str, int] = {}
+        self._evict_lock = threading.Lock()
 
     # -- helpers --------------------------------------------------------
     @staticmethod
@@ -313,6 +363,143 @@ class ArtifactStore:
             except OSError:
                 pass
 
+    @staticmethod
+    def _touch(*paths: Path) -> None:
+        """Refresh mtimes — the cross-process LRU recency signal."""
+        for path in paths:
+            try:
+                os.utime(path, None)
+            except OSError:
+                pass
+
+    # -- pinning (LRU eviction protection) ------------------------------
+    @staticmethod
+    def _pin_token(kind: str, key: str) -> str:
+        return f"{kind}-{key}"
+
+    def pin(self, kind: str, key: str) -> None:
+        """Protect an artifact from eviction while a live job uses it.
+
+        Pins are reference-counted in-process and mirrored as a marker
+        file carrying this pid, so N servers sharing one store dir see
+        each other's pins; markers of dead pids are swept lazily.
+        """
+        token = self._pin_token(kind, key)
+        with self._pin_lock:
+            count = self._pins.get(token, 0)
+            self._pins[token] = count + 1
+            if count == 0:
+                try:
+                    (self._pins_dir / f"{token}@{os.getpid()}").touch()
+                except OSError:
+                    pass
+
+    def unpin(self, kind: str, key: str) -> None:
+        token = self._pin_token(kind, key)
+        with self._pin_lock:
+            count = self._pins.get(token, 0) - 1
+            if count > 0:
+                self._pins[token] = count
+                return
+            self._pins.pop(token, None)
+            self._discard(self._pins_dir / f"{token}@{os.getpid()}")
+
+    def pinned_tokens(self) -> set:
+        """Tokens pinned by any live process (dead-pid markers swept)."""
+        from .journal import pid_alive
+
+        tokens = set()
+        try:
+            markers = list(self._pins_dir.iterdir())
+        except OSError:
+            markers = []
+        for marker in markers:
+            token, _, pid_text = marker.name.rpartition("@")
+            if not token:
+                continue
+            try:
+                holder = int(pid_text)
+            except ValueError:
+                holder = None
+            if pid_alive(holder):
+                tokens.add(token)
+            else:
+                self._discard(marker)
+        with self._pin_lock:
+            tokens.update(self._pins)
+        return tokens
+
+    # -- LRU budget enforcement -----------------------------------------
+    def _entries(self):
+        """Every evictable artifact: (kind, key, paths, bytes, mtime)."""
+        entries = []
+        for meta in self._cuts.glob("*.json"):
+            try:
+                stat = meta.stat()
+            except OSError:
+                continue
+            entries.append(
+                ("cut", meta.stem, (meta,), stat.st_size, stat.st_mtime)
+            )
+        for meta in self._evaluations.glob("*.json"):
+            paths = [meta]
+            size = 0
+            newest = 0.0
+            tensors = meta.with_suffix(".npz")
+            if tensors.exists():
+                paths.append(tensors)
+            try:
+                for path in paths:
+                    stat = path.stat()
+                    size += stat.st_size
+                    newest = max(newest, stat.st_mtime)
+            except OSError:
+                continue
+            entries.append(
+                ("evaluation", meta.stem, tuple(paths), size, newest)
+            )
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current cut + evaluation footprint in bytes."""
+        return sum(entry[3] for entry in self._entries())
+
+    def enforce_budget(self, protect: Optional[str] = None) -> List[str]:
+        """Evict LRU artifacts until the footprint fits ``max_bytes``.
+
+        ``protect`` names a fingerprint that must survive this pass (the
+        artifact just written — even when it alone exceeds the budget,
+        evicting it would turn every write into a thrash cycle).  Pinned
+        artifacts are always skipped.  Returns the evicted fingerprints.
+        """
+        if self.max_bytes is None:
+            return []
+        with self._evict_lock:
+            entries = self._entries()
+            total = sum(entry[3] for entry in entries)
+            _STORE_BYTES.set(float(total))
+            if total <= self.max_bytes:
+                return []
+            pinned = self.pinned_tokens()
+            evicted: List[str] = []
+            for kind, key, paths, size, _ in sorted(
+                entries, key=lambda entry: entry[4]
+            ):
+                if total <= self.max_bytes:
+                    break
+                if key == protect or self._pin_token(kind, key) in pinned:
+                    continue
+                self._discard(*paths)
+                total -= size
+                evicted.append(key)
+                with self._stats_lock:
+                    self.stats.evictions += 1
+                    self.stats.evicted_bytes += size
+                _STORE_EVICTIONS.inc(kind=kind)
+                _STORE_EVICTED_BYTES.inc(size)
+            _STORE_BYTES.set(float(total))
+            return evicted
+
     # -- cut artifacts --------------------------------------------------
     def cut_path(self, key: str) -> Path:
         return self._cuts / f"{key}.json"
@@ -347,6 +534,7 @@ class ArtifactStore:
         path = self.cut_path(key)
         self._write_atomic(path, (json.dumps(document, indent=2) + "\n").encode())
         self._record_write()
+        self.enforce_budget(protect=key)
         return path
 
     def get_cut(
@@ -380,6 +568,7 @@ class ArtifactStore:
             self._discard(path)
             return None
         self._record_hit("cut")
+        self._touch(path)
         return restored, solution
 
     # -- evaluation artifacts -------------------------------------------
@@ -451,6 +640,7 @@ class ArtifactStore:
             meta_path, (json.dumps(document, indent=2) + "\n").encode()
         )
         self._record_write()
+        self.enforce_budget(protect=key)
         return meta_path
 
     def get_evaluation(
@@ -520,6 +710,7 @@ class ArtifactStore:
             self._discard(meta_path, tensor_path)
             return None
         self._record_hit("evaluation")
+        self._touch(meta_path, tensor_path)
         return results
 
     # -- trace artifacts ------------------------------------------------
@@ -546,6 +737,30 @@ class ArtifactStore:
             self._discard(path)
             return None
 
+    # -- job documents (terminal job records, keyed by job id) ----------
+    def job_document_path(self, job_id: str) -> Path:
+        return self._jobs / f"{job_id}.json"
+
+    def put_job_document(self, job_id: str, document: Dict) -> Path:
+        """Persist a terminal job record so any server can serve its
+        status/result after a restart (not LRU-budgeted)."""
+        path = self.job_document_path(job_id)
+        self._write_atomic(
+            path, (json.dumps(document, indent=2) + "\n").encode()
+        )
+        self._record_write()
+        return path
+
+    def get_job_document(self, job_id: str) -> Optional[Dict]:
+        path = self.job_document_path(job_id)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (ValueError, OSError):
+            self._discard(path)
+            return None
+
     # -- reporting ------------------------------------------------------
     def artifact_counts(self) -> Dict[str, int]:
         return {
@@ -558,5 +773,7 @@ class ArtifactStore:
         return {
             "root": str(self.root),
             "artifacts": self.artifact_counts(),
+            "max_bytes": self.max_bytes,
+            "bytes": self.total_bytes(),
             **self.stats.as_dict(),
         }

@@ -1,6 +1,7 @@
 """Artifact store: fingerprints, bit-identical round trips, corruption."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -199,3 +200,100 @@ class TestEvaluationRoundTrip:
             "cuts": 1, "evaluations": 1, "traces": 0,
         }
         assert store.as_dict()["writes"] == 2
+
+
+class TestLruBudget:
+    """Bounded mode: byte budget, LRU order, pin protection, counters."""
+
+    def _three_cuts(self, root):
+        """Three cut artifacts with mtimes forced oldest -> newest."""
+        store = ArtifactStore(root)
+        keys = []
+        for index, qubits in enumerate((6, 7, 8)):
+            circuit = bv(qubits)
+            solution = find_cuts(circuit, 5)
+            key = f"cut{index}"
+            path = store.put_cut(
+                key, circuit, solution.apply(circuit), solution
+            )
+            os.utime(path, (1_000 + index, 1_000 + index))
+            keys.append(key)
+        return store, keys
+
+    def test_budget_evicts_oldest_first_and_counts(self, tmp_path):
+        unbounded, keys = self._three_cuts(tmp_path / "store")
+        total = unbounded.total_bytes()
+        bounded = ArtifactStore(tmp_path / "store", max_bytes=total - 1)
+        evicted = bounded.enforce_budget()
+        assert evicted == [keys[0]]  # least recently used goes first
+        assert not bounded.has_cut(keys[0])
+        assert bounded.has_cut(keys[1]) and bounded.has_cut(keys[2])
+        assert bounded.stats.evictions == 1
+        assert bounded.stats.evicted_bytes > 0
+        assert bounded.total_bytes() <= bounded.max_bytes
+
+    def test_pinned_artifact_is_never_evicted(self, tmp_path):
+        unbounded, keys = self._three_cuts(tmp_path / "store")
+        total = unbounded.total_bytes()
+        bounded = ArtifactStore(tmp_path / "store", max_bytes=total - 1)
+        bounded.pin("cut", keys[0])
+        try:
+            evicted = bounded.enforce_budget()
+            # The pinned oldest survives; the next-oldest pays instead.
+            assert keys[0] not in evicted
+            assert bounded.has_cut(keys[0])
+            assert evicted == [keys[1]]
+        finally:
+            bounded.unpin("cut", keys[0])
+        # Unpinned, it becomes evictable again.
+        tight = ArtifactStore(tmp_path / "store", max_bytes=1)
+        assert keys[0] in tight.enforce_budget()
+
+    def test_hits_refresh_recency(self, tmp_path):
+        unbounded, keys = self._three_cuts(tmp_path / "store")
+        # Touch the oldest through a read: it becomes the newest.
+        assert unbounded.get_cut(keys[0], bv(6)) is not None
+        total = unbounded.total_bytes()
+        bounded = ArtifactStore(tmp_path / "store", max_bytes=total - 1)
+        evicted = bounded.enforce_budget()
+        assert keys[0] not in evicted
+        assert evicted == [keys[1]]
+
+    def test_write_protects_itself_and_triggers_enforcement(self, tmp_path):
+        unbounded, keys = self._three_cuts(tmp_path / "store")
+        total = unbounded.total_bytes()
+        bounded = ArtifactStore(tmp_path / "store", max_bytes=total)
+        circuit = bv(9)
+        solution = find_cuts(circuit, 5)
+        # This put pushes the footprint over budget; the enforcement it
+        # triggers must evict old artifacts, never the fresh write.
+        bounded.put_cut("fresh", circuit, solution.apply(circuit), solution)
+        assert bounded.has_cut("fresh")
+        assert not bounded.has_cut(keys[0])
+        assert bounded.total_bytes() <= bounded.max_bytes
+
+    def test_job_documents_do_not_count_toward_budget(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", max_bytes=64)
+        store.put_job_document("job-1", {"state": "done", "blob": "x" * 4096})
+        assert store.total_bytes() == 0
+        assert store.enforce_budget() == []
+        assert store.get_job_document("job-1")["state"] == "done"
+
+    def test_eviction_feeds_the_metrics_registry(self, tmp_path):
+        from repro.obs.metrics import get_registry
+
+        counter = get_registry().counter(
+            "repro_store_evictions_total", "", ("kind",)
+        )
+        before = counter.value(kind="cut")
+        unbounded, keys = self._three_cuts(tmp_path / "store")
+        bounded = ArtifactStore(
+            tmp_path / "store", max_bytes=unbounded.total_bytes() - 1
+        )
+        bounded.enforce_budget()
+        assert counter.value(kind="cut") == before + 1
+        assert "repro_store_bytes" in get_registry().render()
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ArtifactStore(tmp_path / "store", max_bytes=0)

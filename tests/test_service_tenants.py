@@ -1,0 +1,235 @@
+"""Multi-tenant hardening: quotas, weighted fairness, typed rejections."""
+
+import sys
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.service import (
+    ArtifactStore,
+    FairQueue,
+    JobScheduler,
+    JobServer,
+    JobSpec,
+    QuotaExceededError,
+    ServiceClientError,
+    TenantConfig,
+    TenantPolicy,
+    request_json,
+)
+
+
+def _bv_spec(**overrides):
+    spec = {"benchmark": "bv", "qubits": 6, "device_size": 5, "query": "fd",
+            "top": 3}
+    spec.update(overrides)
+    return JobSpec(**spec)
+
+
+class TestTenantConfig:
+    def test_policy_lookup_falls_back_to_default(self):
+        config = TenantConfig({"acme": TenantPolicy(weight=3.0)})
+        assert config.policy("acme").weight == 3.0
+        assert config.policy("anyone-else").weight == 1.0
+
+    def test_parse_cli_specs(self):
+        config = TenantConfig.parse_specs(
+            ["acme:3", "free:1:16:2", "blocked:0", "burst::8"]
+        )
+        assert config.policy("acme") == TenantPolicy(weight=3.0)
+        assert config.policy("free") == TenantPolicy(
+            weight=1.0, max_queued=16, max_concurrent=2
+        )
+        assert config.policy("blocked").weight == 0.0
+        assert config.policy("burst") == TenantPolicy(max_queued=8)
+        with pytest.raises(ValueError, match="no name"):
+            TenantConfig.parse_specs([":3"])
+        with pytest.raises(ValueError, match="expected"):
+            TenantConfig.parse_specs(["a:1:2:3:4"])
+
+    def test_admit_raises_typed_errors(self):
+        config = TenantConfig({
+            "blocked": TenantPolicy(weight=0.0),
+            "free": TenantPolicy(max_queued=2),
+        })
+        with pytest.raises(QuotaExceededError) as excinfo:
+            config.admit("blocked", queued=0)
+        assert excinfo.value.reason == "disabled"
+        assert excinfo.value.as_dict()["code"] == "quota_exceeded"
+        config.admit("free", queued=1)  # under quota: no raise
+        with pytest.raises(QuotaExceededError) as excinfo:
+            config.admit("free", queued=2)
+        error = excinfo.value
+        assert (error.reason, error.limit, error.queued) == ("max_queued", 2, 2)
+
+
+class TestFairQueue:
+    def test_weighted_share_while_backlogged(self):
+        queue = FairQueue(TenantConfig({
+            "heavy": TenantPolicy(weight=2.0),
+            "light": TenantPolicy(weight=1.0),
+        }))
+        for index in range(6):
+            queue.push("heavy", f"h{index}")
+        for index in range(3):
+            queue.push("light", f"l{index}")
+        first_six = [queue.pop(timeout=1)[0] for _ in range(6)]
+        # Stride scheduling: weight 2 gets ~2x the dispatch slots.
+        assert first_six.count("heavy") == 4
+        assert first_six.count("light") == 2
+
+    def test_flooding_tenant_cannot_starve_the_victim(self):
+        queue = FairQueue()
+        for index in range(100):
+            queue.push("flood", f"f{index}")
+        queue.push("victim", "v0")
+        queue.push("victim", "v1")
+        first_four = [queue.pop(timeout=1) for _ in range(4)]
+        items = {item for _, item in first_four}
+        # Both victim jobs dispatch within the first few slots even
+        # though the flooder has a 100-deep backlog.
+        assert {"v0", "v1"} <= items
+
+    def test_idle_tenant_joins_at_the_clock_without_banked_credit(self):
+        queue = FairQueue()
+        for index in range(5):
+            queue.push("x", f"x{index}")
+        for _ in range(5):
+            assert queue.pop(timeout=1)[0] == "x"
+        # y was idle the whole time; it must not now monopolize dispatch.
+        for index in range(3):
+            queue.push("y", f"y{index}")
+        for index in range(3):
+            queue.push("x", f"x{5 + index}")
+        order = [queue.pop(timeout=1)[0] for _ in range(6)]
+        assert order == ["y", "x", "y", "x", "y", "x"]
+
+    def test_max_concurrent_gates_eligibility(self):
+        queue = FairQueue(TenantConfig({
+            "capped": TenantPolicy(max_concurrent=1),
+        }))
+        queue.push("capped", "c0")
+        queue.push("capped", "c1")
+        queue.push("other", "o0")
+        assert queue.pop(timeout=1) == ("capped", "c0")
+        # capped is at its cap: other flows past its backlog.
+        assert queue.pop(timeout=1) == ("other", "o0")
+        assert queue.pop(timeout=0.05) is None
+        queue.task_done("capped")
+        assert queue.pop(timeout=1) == ("capped", "c1")
+
+    def test_close_wakes_pop_with_none(self):
+        queue = FairQueue()
+        queue.close()
+        assert queue.pop() is None
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.push("a", "x")
+
+    def test_depths_always_list_configured_tenants(self):
+        queue = FairQueue(TenantConfig({"acme": TenantPolicy()}))
+        queue.push("seen", "s0")
+        depths = queue.depths()
+        assert depths["acme"] == 0
+        assert depths["default"] == 0
+        assert depths["seen"] == 1
+
+
+class TestSchedulerQuotas:
+    def test_zero_quota_tenant_is_rejected_typed(self, tmp_path):
+        scheduler = JobScheduler(
+            ArtifactStore(tmp_path / "store"), workers=1, autostart=False,
+            tenants={"blocked": {"weight": 0}},
+        )
+        with pytest.raises(QuotaExceededError) as excinfo:
+            scheduler.submit(_bv_spec(tenant="blocked"))
+        assert excinfo.value.reason == "disabled"
+        assert scheduler.stats()["jobs"]["submitted"] == 0
+        scheduler.shutdown()
+
+    def test_max_queued_enforced_against_live_backlog(self, tmp_path):
+        scheduler = JobScheduler(
+            ArtifactStore(tmp_path / "store"), workers=1, autostart=False,
+            tenants={"free": {"max_queued": 1}},
+        )
+        scheduler.submit(_bv_spec(tenant="free"))
+        with pytest.raises(QuotaExceededError) as excinfo:
+            scheduler.submit(_bv_spec(tenant="free"))
+        assert excinfo.value.reason == "max_queued"
+        # Other tenants are unaffected by free's quota.
+        scheduler.submit(_bv_spec(tenant="other"))
+        scheduler.shutdown()
+
+    def test_quota_rejections_feed_the_metrics_registry(self, tmp_path):
+        rejections = get_registry().counter(
+            "repro_quota_rejections_total", "", ("tenant", "reason")
+        )
+        before = rejections.value(tenant="metered", reason="disabled")
+        scheduler = JobScheduler(
+            ArtifactStore(tmp_path / "store"), workers=1, autostart=False,
+            tenants={"metered": {"weight": 0}},
+        )
+        with pytest.raises(QuotaExceededError):
+            scheduler.submit(_bv_spec(tenant="metered"))
+        assert rejections.value(
+            tenant="metered", reason="disabled"
+        ) == before + 1
+        scheduler.shutdown()
+
+    def test_queue_depth_gauge_reflects_backlog(self, tmp_path):
+        scheduler = JobScheduler(
+            ArtifactStore(tmp_path / "store"), workers=1, autostart=False
+        )
+        scheduler.submit(_bv_spec(tenant="gauged"))
+        scheduler.submit(_bv_spec(tenant="gauged"))
+        text = get_registry().render()  # runs the depth collector
+        assert 'repro_queue_depth{tenant="gauged"} 2' in text
+        scheduler.shutdown()
+
+    def test_flooded_victim_still_completes(self, tmp_path):
+        scheduler = JobScheduler(
+            ArtifactStore(tmp_path / "store"), workers=1, autostart=False
+        )
+        for _ in range(4):
+            scheduler.submit(_bv_spec(tenant="flood"))
+        victim_id = scheduler.submit(_bv_spec(tenant="victim", top=4))
+        scheduler.start()
+        record = scheduler.wait(victim_id, timeout=120)
+        assert record.state == "done"
+        stats = scheduler.stats()
+        assert stats["tenants"]["victim"]["by_state"]["done"] == 1
+        scheduler.shutdown()
+
+    def test_stats_report_per_tenant_tables(self, tmp_path):
+        scheduler = JobScheduler(
+            ArtifactStore(tmp_path / "store"), workers=1,
+            tenants={"acme": {"weight": 2.0, "max_queued": 8}},
+        )
+        scheduler.wait(scheduler.submit(_bv_spec(tenant="acme")), timeout=60)
+        tenants = scheduler.stats()["tenants"]
+        assert tenants["acme"]["by_state"]["done"] == 1
+        assert tenants["acme"]["policy"]["weight"] == 2.0
+        assert tenants["acme"]["policy"]["max_queued"] == 8
+        scheduler.shutdown()
+
+
+class TestHttpQuotaRejection:
+    def test_over_quota_submission_is_a_typed_429(self, tmp_path):
+        with JobServer(
+            store_dir=tmp_path / "store", port=0, workers=1,
+            tenants={"blocked": {"weight": 0}},
+        ).start() as server:
+            with pytest.raises(ServiceClientError) as excinfo:
+                request_json("POST", f"{server.url}/jobs", payload={
+                    "benchmark": "bv", "qubits": 6, "device_size": 5,
+                    "query": "fd", "tenant": "blocked",
+                })
+            assert excinfo.value.status == 429
+            body = excinfo.value.document
+            assert body["code"] == "quota_exceeded"
+            assert body["tenant"] == "blocked"
+            assert body["reason"] == "disabled"
+            assert body["status"] == 429
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))
