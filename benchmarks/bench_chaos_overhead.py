@@ -1,0 +1,133 @@
+"""Chaos-harness overhead: hooks disabled vs configured-but-never-firing.
+
+The fault-injection hooks (:mod:`repro.chaos`) sit on the service hot
+paths — every artifact-store read and write, every journal append, every
+pool dispatch.  The design claim mirrors the tracing one: the *disabled*
+path is a single global read that returns immediately, and even the
+*armed* path (a spec whose selectors never match) only walks a tiny rule
+list per consultation.
+
+The estimator is the same drift-cancelling construction as
+``bench_obs_overhead.py``: adjacent off/on pairs, best-of-k per side,
+median of per-pair ratios::
+
+    speedup = median_i( best_off_i / best_on_i )   # 1.0 = free
+
+The workload is the hook-dense one: warm scheduler jobs, each of which
+replays the cut and evaluation artifacts from the store (two read hooks),
+journals its state transitions (append hooks) and writes its job
+document (write hook).  ``results/BENCH_chaos.json`` records the figure;
+the floor (default 0.95, i.e. <= 5% overhead) is enforced here and by
+``tools/check_bench_regression.py`` against ``results/baselines.json``.
+"""
+
+import json
+import os
+import statistics
+import tempfile
+import time
+
+from repro import chaos
+from repro.service import ArtifactStore, JobScheduler, JobSpec
+
+from conftest import RESULTS_DIR, report
+
+#: Warm jobs timed per side of a pair.
+_JOBS = int(os.environ.get("REPRO_BENCH_CHAOS_JOBS", "24"))
+#: Number of adjacent off/on pairs; the gated figure is their median ratio.
+_PAIRS = int(os.environ.get("REPRO_BENCH_CHAOS_PAIRS", "5"))
+#: Back-to-back runs per side of a pair; each side scores its fastest.
+_SAMPLES = int(os.environ.get("REPRO_BENCH_CHAOS_SAMPLES", "3"))
+#: Floor on off/on: 0.95 == the armed-but-idle harness may cost at most 5%.
+_MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_CHAOS_MIN_SPEEDUP", "0.95"))
+
+#: Armed spec whose selectors can never match (ordinals start at 1), so
+#: every consultation walks the full rule-evaluation path but nothing
+#: fires and nothing faults the measured jobs.
+_IDLE_SPEC = "store_ioerror@at=0;corrupt_artifact@at=0;journal_ioerror@at=0"
+
+_SPEC = {"benchmark": "bv", "qubits": 6, "device_size": 5, "query": "fd",
+         "top": 3}
+
+
+def _timed(scheduler: JobScheduler, armed: bool) -> float:
+    chaos.configure(_IDLE_SPEC if armed else None, export=False)
+    try:
+        began = time.perf_counter()
+        for _ in range(_JOBS):
+            record = scheduler.wait(
+                scheduler.submit(JobSpec(**_SPEC)), timeout=60
+            )
+            assert record.state == "done", record.error
+        return time.perf_counter() - began
+    finally:
+        chaos.configure(None)
+
+
+def test_chaos_overhead_within_budget():
+    with tempfile.TemporaryDirectory() as root:
+        scheduler = JobScheduler(ArtifactStore(root), workers=1)
+        try:
+            # One untimed cold job warms the store so every measured job
+            # takes the artifact-replay path the hooks actually guard.
+            warm = scheduler.wait(scheduler.submit(JobSpec(**_SPEC)),
+                                  timeout=120)
+            assert warm.state == "done", warm.error
+
+            # Each completed job leaves a job document in the store, so
+            # later runs scan a slightly bigger directory — a monotone
+            # drift.  Alternating which side goes first inside each pair
+            # keeps that drift from always penalising the same side.
+            pairs = []
+            for index in range(_PAIRS):
+                sides = {}
+                order = (False, True) if index % 2 == 0 else (True, False)
+                for armed in order:
+                    sides[armed] = min(
+                        _timed(scheduler, armed=armed)
+                        for _ in range(_SAMPLES)
+                    )
+                pairs.append((sides[False], sides[True]))
+        finally:
+            scheduler.shutdown()
+
+    off_seconds = statistics.median(off for off, _ in pairs)
+    on_seconds = statistics.median(on for _, on in pairs)
+    speedup = statistics.median(off / on for off, on in pairs)
+    overhead = 1.0 / speedup - 1.0
+
+    rows = [
+        ("chaos disabled", _PAIRS * _SAMPLES, f"{off_seconds:.4f}", "--"),
+        ("chaos armed, idle", _PAIRS * _SAMPLES, f"{on_seconds:.4f}",
+         f"{100 * overhead:+.1f}%"),
+    ]
+    report(
+        "bench_chaos_overhead",
+        f"Chaos-hook overhead — {_JOBS} warm bv jobs per run, "
+        f"median ratio of {_PAIRS} best-of-{_SAMPLES} off/on pairs",
+        ["mode", "runs", "median s", "overhead"],
+        rows,
+    )
+
+    document = {
+        "generated_by": "bench_chaos_overhead.py",
+        "jobs_per_run": _JOBS,
+        "pairs": _PAIRS,
+        "samples_per_side": _SAMPLES,
+        "idle_spec": _IDLE_SPEC,
+        "off_seconds": off_seconds,
+        "on_seconds": on_seconds,
+        "overhead": overhead,
+        "speedup": speedup,
+        "min_speedup": _MIN_SPEEDUP,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_chaos.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+
+    assert speedup >= _MIN_SPEEDUP, (
+        f"armed-but-idle chaos costs {100 * overhead:.1f}% "
+        f"(median off {off_seconds:.4f}s vs on {on_seconds:.4f}s); "
+        f"budget is {100 * (1 - _MIN_SPEEDUP):.0f}%"
+    )

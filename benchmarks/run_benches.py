@@ -160,6 +160,19 @@ BENCHES: List[Bench] = [
             "results/bench_obs_overhead.txt",
         ],
     ),
+    Bench(
+        name="chaos-overhead",
+        target="benchmarks/bench_chaos_overhead.py",
+        capped_env={},  # module defaults are already CI-sized (~15s)
+        full_env={
+            "REPRO_BENCH_CHAOS_PAIRS": "9",
+            "REPRO_BENCH_CHAOS_SAMPLES": "5",
+        },
+        artifacts=[
+            "results/BENCH_chaos.json",
+            "results/bench_chaos_overhead.txt",
+        ],
+    ),
 ]
 
 

@@ -1,0 +1,298 @@
+"""Deterministic chaos injection for the fault-tolerance layer.
+
+Disabled by default and **allocation-free when disabled**: every hook is
+a module-level function whose first statement reads one global and
+returns — the same bar ``obs/trace.py`` holds (the paired
+``benchmarks/bench_chaos_overhead.py`` gate keeps it ≤5%).
+
+Activation is either programmatic (:func:`configure`) or environmental
+(``CHAOS_SPEC`` / ``CHAOS_SEED``), and :func:`configure` exports to the
+environment by default so pool worker processes — ``fork`` *and*
+``spawn`` — inherit the same spec.
+
+Spec grammar (entries joined with ``;``)::
+
+    CHAOS_SPEC="worker_exit@task=7;store_ioerror@p=0.1;slow_task=2.5s;corrupt_artifact@nth=3"
+
+Each entry is ``name[=param][@selector[@selector...]]``:
+
+==================  ====================================================
+rule                effect at its hook site
+==================  ====================================================
+``worker_exit``     ``os._exit(1)`` in the pool worker task loop
+``slow_task``       ``time.sleep(param)`` in the worker task loop
+``task_error``      raise :class:`~repro.faults.ChaosInjectedError`
+``pool_down``       raise ``PoolUnrecoverableError`` at parent dispatch
+``store_ioerror``   raise ``OSError`` in ``ArtifactStore`` read/write
+``corrupt_artifact``  flip bytes in an artifact as it is written
+``journal_ioerror``  raise ``OSError`` in ``JobJournal.append``
+==================  ====================================================
+
+Selectors decide *when* a consulted rule fires:
+
+* ``task=N`` / ``at=N`` — on ordinal ``N`` exactly once.  Worker-task
+  sites use the pool's **global task id** (deterministic across any
+  number of workers); other sites count their own invocations
+  per-process.  Retried attempts do **not** re-fire unless ``every``
+  is also given — so a ``worker_exit@task=7`` kill is survivable while
+  ``worker_exit@task=7@every`` poisons task 7 outright.
+* ``nth=N`` — every ``N``-th consultation (per process).
+* ``p=F`` — probability ``F`` per consultation, from a ``random.Random``
+  seeded with ``CHAOS_SEED`` (deterministic per process).
+* no selector — every consultation (first attempts only, unless
+  ``every``).
+
+Every injection increments ``repro_chaos_injections_total{rule,site}``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .faults import ChaosInjectedError, PoolUnrecoverableError
+
+__all__ = [
+    "configure",
+    "enabled",
+    "on_journal_append",
+    "on_pool_dispatch",
+    "on_store_read",
+    "on_store_write",
+    "on_worker_task",
+    "parse_spec",
+]
+
+_RULE_NAMES = frozenset({
+    "worker_exit", "slow_task", "task_error", "pool_down",
+    "store_ioerror", "corrupt_artifact", "journal_ioerror",
+})
+
+
+def _parse_seconds(text: str) -> float:
+    return float(text[:-1] if text.endswith("s") else text)
+
+
+class _Rule:
+    __slots__ = ("name", "param", "at", "nth", "p", "every", "count", "rng")
+
+    def __init__(self, name: str, param: Optional[str], selectors: Dict,
+                 seed: int):
+        self.name = name
+        self.param = param
+        self.at = selectors.get("at")
+        self.nth = selectors.get("nth")
+        self.p = selectors.get("p")
+        self.every = selectors.get("every", False)
+        self.count = 0
+        # Seed folds in the rule name so two p= rules don't share a coin.
+        self.rng = random.Random(f"{seed}:{name}") if self.p is not None else None
+
+    def fires(self, ordinal: Optional[int] = None, attempt: int = 1) -> bool:
+        if self.at is not None:
+            if ordinal is None:
+                self.count += 1
+                ordinal = self.count
+            return ordinal == self.at and (attempt == 1 or self.every)
+        if self.nth is not None:
+            self.count += 1
+            return self.count % self.nth == 0
+        if self.p is not None:
+            return self.rng.random() < self.p
+        return attempt == 1 or self.every
+
+    def as_dict(self) -> Dict:
+        doc: Dict = {"rule": self.name}
+        if self.param is not None:
+            doc["param"] = self.param
+        for key in ("at", "nth", "p"):
+            value = getattr(self, key)
+            if value is not None:
+                doc[key] = value
+        if self.every:
+            doc["every"] = True
+        return doc
+
+
+def parse_spec(text: str, seed: int = 0) -> List[_Rule]:
+    """Parse a ``CHAOS_SPEC`` string into rule objects (raises on typos)."""
+    rules: List[_Rule] = []
+    for entry in text.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        head, *raw_selectors = entry.split("@")
+        name, _, param = head.partition("=")
+        name = name.strip()
+        if name not in _RULE_NAMES:
+            raise ValueError(
+                f"unknown chaos rule {name!r} (known: {sorted(_RULE_NAMES)})"
+            )
+        selectors: Dict = {}
+        for selector in raw_selectors:
+            key, _, value = selector.partition("=")
+            key = key.strip()
+            if key == "task":
+                key = "at"
+            if key == "every":
+                selectors["every"] = True
+            elif key in ("at", "nth"):
+                selectors[key] = int(value)
+            elif key == "p":
+                selectors[key] = float(value)
+            else:
+                raise ValueError(f"unknown chaos selector {key!r} in {entry!r}")
+        rules.append(_Rule(name, param.strip() or None if param else None,
+                           selectors, seed))
+    return rules
+
+
+class _Spec:
+    """One activated chaos configuration (rules grouped by name)."""
+
+    def __init__(self, text: str, seed: int):
+        self.text = text
+        self.seed = seed
+        self.rules: Dict[str, List[_Rule]] = {}
+        for rule in parse_spec(text, seed):
+            self.rules.setdefault(rule.name, []).append(rule)
+        self._lock = threading.Lock()
+        self._counter = None
+
+    def _record(self, rule: str, site: str) -> None:
+        if self._counter is None:
+            from .obs.metrics import get_registry
+
+            self._counter = get_registry().counter(
+                "repro_chaos_injections_total",
+                "Faults injected by the chaos harness.",
+                ("rule", "site"),
+            )
+        self._counter.inc(rule=rule, site=site)
+
+    def fired(self, name: str, site: str, ordinal: Optional[int] = None,
+              attempt: int = 1) -> Optional[_Rule]:
+        """The first matching rule that fires at this consultation."""
+        rules = self.rules.get(name)
+        if not rules:
+            return None
+        with self._lock:
+            for rule in rules:
+                if rule.fires(ordinal=ordinal, attempt=attempt):
+                    self._record(name, site)
+                    return rule
+        return None
+
+
+#: The active spec, or ``None`` (the allocation-free fast path).
+_SPEC: Optional[_Spec] = None
+
+
+def configure(spec: Optional[str], seed: int = 0, export: bool = True) -> None:
+    """Activate (or with ``None``/``""`` deactivate) fault injection.
+
+    ``export=True`` mirrors the spec into ``CHAOS_SPEC``/``CHAOS_SEED``
+    so pool workers spawned afterwards inherit it.
+    """
+    global _SPEC
+    if not spec:
+        _SPEC = None
+        if export:
+            os.environ.pop("CHAOS_SPEC", None)
+            os.environ.pop("CHAOS_SEED", None)
+        return
+    _SPEC = _Spec(spec, seed)
+    if export:
+        os.environ["CHAOS_SPEC"] = spec
+        os.environ["CHAOS_SEED"] = str(seed)
+
+
+def enabled() -> bool:
+    return _SPEC is not None
+
+
+def active_spec() -> Optional[str]:
+    spec = _SPEC
+    return spec.text if spec is not None else None
+
+
+# ----------------------------------------------------------------------
+# Hook points.  Each starts with the one-global-read guard; everything
+# below the guard only runs when chaos is configured.
+# ----------------------------------------------------------------------
+
+def on_worker_task(task_id: int, attempt: int) -> None:
+    """Pool worker task loop, after the start heartbeat is sent."""
+    spec = _SPEC
+    if spec is None:
+        return
+    rule = spec.fired("slow_task", "pool_task", ordinal=task_id,
+                      attempt=attempt)
+    if rule is not None:
+        time.sleep(_parse_seconds(rule.param or "1.0"))
+    if spec.fired("worker_exit", "pool_task", ordinal=task_id,
+                  attempt=attempt) is not None:
+        os._exit(1)
+    if spec.fired("task_error", "pool_task", ordinal=task_id,
+                  attempt=attempt) is not None:
+        raise ChaosInjectedError(
+            f"chaos: injected task error (task {task_id}, attempt {attempt})"
+        )
+
+
+def on_pool_dispatch() -> None:
+    """Parent-side pool dispatch (before any worker is spawned)."""
+    spec = _SPEC
+    if spec is None:
+        return
+    if spec.fired("pool_down", "pool_dispatch") is not None:
+        raise PoolUnrecoverableError("chaos: pool forced unrecoverable")
+
+
+def on_store_read(kind: str) -> None:
+    """Top of ``ArtifactStore`` artifact loads (before any ``open``)."""
+    spec = _SPEC
+    if spec is None:
+        return
+    if spec.fired("store_ioerror", f"store_read_{kind}") is not None:
+        raise OSError(f"chaos: injected store read error ({kind})")
+
+
+def on_store_write(data: bytes) -> bytes:
+    """Inside the store's atomic write; may corrupt the payload."""
+    spec = _SPEC
+    if spec is None:
+        return data
+    if spec.fired("store_ioerror", "store_write") is not None:
+        raise OSError("chaos: injected store write error")
+    if spec.fired("corrupt_artifact", "store_write") is not None and data:
+        # Flip bits in the middle of the payload: detectable by the
+        # store's SHA-256 verification, invisible to a size check.
+        middle = len(data) // 2
+        mangled = bytearray(data)
+        mangled[middle] ^= 0xFF
+        mangled[0] ^= 0xFF
+        return bytes(mangled)
+    return data
+
+
+def on_journal_append() -> None:
+    """Top of ``JobJournal.append`` (before the lock/write)."""
+    spec = _SPEC
+    if spec is None:
+        return
+    if spec.fired("journal_ioerror", "journal_append") is not None:
+        raise OSError("chaos: injected journal append error")
+
+
+# Environment activation at import time: this is how spawned pool
+# workers (fresh interpreters) pick up the parent's spec.
+if os.environ.get("CHAOS_SPEC"):
+    configure(
+        os.environ["CHAOS_SPEC"],
+        seed=int(os.environ.get("CHAOS_SEED", "0") or 0),
+        export=False,
+    )

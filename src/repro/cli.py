@@ -111,6 +111,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="record spans across the whole pipeline and print the "
                  "span tree (wall time + per-stage percentages)",
         )
+        sub.add_argument(
+            "--max-retries", type=int, default=2, metavar="R",
+            help="retry the command body up to R times on transient "
+                 "faults (worker crashes, store IO; default: 2)",
+        )
+        sub.add_argument(
+            "--no-degrade", dest="degrade", action="store_false",
+            default=True,
+            help="fail instead of falling back to serial in-process "
+                 "evaluation when the worker pool is unrecoverable",
+        )
 
     cut = commands.add_parser("cut", help="find cuts and print the plan")
     add_circuit_options(cut)
@@ -191,6 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pool-workers", type=int, default=0, metavar="N",
                        help="share one persistent N-process worker pool "
                             "across all jobs (0 = no pool)")
+    serve.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="reject submissions with a typed 503 "
+                            "(code 'overloaded') while N jobs are already "
+                            "queued (default: unbounded)")
+    serve.add_argument("--max-retries", type=int, default=2, metavar="R",
+                       help="per-stage retry budget for transient faults "
+                            "(worker crashes, store IO; default: 2)")
+    serve.add_argument("--no-degrade", dest="degrade",
+                       action="store_false", default=True,
+                       help="fail jobs instead of degrading to serial "
+                            "in-process evaluation when the worker pool "
+                            "is unrecoverable")
     serve.add_argument("--json", action="store_true",
                        help="print the startup banner as JSON")
 
@@ -377,6 +400,53 @@ def _run_traced_command(args: argparse.Namespace, name: str, body) -> int:
     return code
 
 
+def _run_resilient(
+    args: argparse.Namespace, name: str, pipeline: CutQC, rebuild, body
+) -> int:
+    """Run a pipeline command under the CLI retry/degrade policy.
+
+    Transient faults (see :func:`repro.faults.is_transient`) retry the
+    command up to ``--max-retries`` times; an unrecoverable worker pool
+    rebuilds the pipeline without one and re-runs serially — degraded,
+    not failed — unless ``--no-degrade``.  The whole command body is
+    idempotent (the pipeline recomputes from its inputs), so a retry is
+    waste, never corruption.
+    """
+    from .faults import PoolUnrecoverableError, is_transient
+
+    max_retries = max(0, getattr(args, "max_retries", 2))
+    degraded = False
+    attempt = 0
+    try:
+        while True:
+            attempt += 1
+            try:
+                return _run_traced_command(
+                    args, name, lambda: body(pipeline)
+                )
+            except PoolUnrecoverableError as error:
+                if degraded or not getattr(args, "degrade", True):
+                    raise
+                degraded = True
+                print(
+                    f"warning: {error}; degrading to serial in-process "
+                    "evaluation",
+                    file=sys.stderr,
+                )
+                _close_worker_pool(pipeline)
+                pipeline = rebuild()
+            except Exception as error:  # noqa: BLE001 - taxonomy below
+                if attempt > max_retries or not is_transient(error):
+                    raise
+                print(
+                    f"warning: transient fault "
+                    f"({type(error).__name__}: {error}); retrying",
+                    file=sys.stderr,
+                )
+    finally:
+        _close_worker_pool(pipeline)
+
+
 def _command_cut(args: argparse.Namespace) -> int:
     from .viz import cut_diagram
 
@@ -480,12 +550,16 @@ def _command_run(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    try:
-        return _run_traced_command(
-            args, "cli.run", lambda: _command_run_body(args, pipeline)
-        )
-    finally:
-        _close_worker_pool(pipeline)
+
+    def rebuild() -> CutQC:
+        poolless = argparse.Namespace(**vars(args))
+        poolless.pool_workers = 0
+        return _build_pipeline(poolless, device=device)
+
+    return _run_resilient(
+        args, "cli.run", pipeline, rebuild,
+        lambda p: _command_run_body(args, p),
+    )
 
 
 def _command_run_body(args: argparse.Namespace, pipeline: CutQC) -> int:
@@ -621,12 +695,16 @@ def _command_dd(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    try:
-        return _run_traced_command(
-            args, "cli.dd", lambda: _command_dd_body(args, pipeline)
-        )
-    finally:
-        _close_worker_pool(pipeline)
+
+    def rebuild() -> CutQC:
+        poolless = argparse.Namespace(**vars(args))
+        poolless.pool_workers = 0
+        return _build_pipeline(poolless)
+
+    return _run_resilient(
+        args, "cli.dd", pipeline, rebuild,
+        lambda p: _command_dd_body(args, p),
+    )
 
 
 def _command_dd_body(args: argparse.Namespace, pipeline: CutQC) -> int:
@@ -764,6 +842,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             pool_workers=args.pool_workers,
             tenants=tenants,
+            max_pending=args.max_pending,
+            max_retries=args.max_retries,
+            degrade=args.degrade,
         )
         for index in range(args.replicas)
     ]

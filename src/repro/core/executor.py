@@ -401,6 +401,18 @@ class VariantExecutor:
         return results
 
     # ------------------------------------------------------------------
+    def _usable_pool(self):
+        """The warm worker pool, unless it is broken.
+
+        A pool whose respawn budget is exhausted fails every dispatch
+        with ``PoolUnrecoverableError``; treating it as absent degrades
+        this executor to its forked/serial paths instead.
+        """
+        pool = self.worker_pool
+        if pool is not None and getattr(pool, "broken", False):
+            return None
+        return pool
+
     def _execute(
         self, circuits: Sequence[QuantumCircuit]
     ) -> Tuple[List[np.ndarray], str, Optional[float], Optional[float]]:
@@ -419,12 +431,13 @@ class VariantExecutor:
         # falls back to serial here, while a genuine backend exception
         # raised *during* parallel execution propagates immediately
         # instead of being misread as a transport failure and re-run.
+        worker_pool = self._usable_pool()
         parallel_wanted = (
-            self.worker_pool is not None or self.workers > 1
+            worker_pool is not None or self.workers > 1
         ) and len(circuits) >= _MIN_PARALLEL_CIRCUITS
         if parallel_wanted and _crosses_process_boundary(backend):
-            if self.worker_pool is not None:
-                vectors = self.worker_pool.map_backend(backend, list(circuits))
+            if worker_pool is not None:
+                vectors = worker_pool.map_backend(backend, list(circuits))
                 return vectors, "worker-pool", None, None
             return self._execute_parallel(backend, circuits), "process", None, None
         vectors = [np.asarray(backend(c), dtype=float) for c in circuits]
@@ -609,20 +622,21 @@ class VariantExecutor:
         self, payloads: Sequence[Tuple], prefix: str
     ) -> Tuple[List[Tuple[Dict, int]], str]:
         """Run init-batch payloads serially, on the warm pool, or forked."""
+        worker_pool = self._usable_pool()
         parallel_wanted = (
-            self.worker_pool is not None or self.workers > 1
+            worker_pool is not None or self.workers > 1
         ) and len(payloads) > 1
-        if parallel_wanted and self.worker_pool is not None:
+        if parallel_wanted and worker_pool is not None:
             with trace.span(
                 "evaluate.dispatch",
                 {"mode": f"{prefix}-pool", "payloads": len(payloads)},
             ):
-                outputs = self.worker_pool.map_variant_batches(payloads)
+                outputs = worker_pool.map_variant_batches(payloads)
             # Pull the workers' fusion/geometry cache counters home while
             # the pool is warm — scrapes then read gauges, never dispatch.
             from ..postprocess.parallel import publish_cache_gauges
 
-            publish_cache_gauges(self.worker_pool)
+            publish_cache_gauges(worker_pool)
             return outputs, f"{prefix}-pool"
         if parallel_wanted:
             import multiprocessing

@@ -1,0 +1,68 @@
+"""Typed failure taxonomy shared by the pool, scheduler and store layers.
+
+The fault-tolerance contract (see ``docs/robustness.md``) hinges on one
+distinction: **transient** faults are worth retrying (the operation is
+pure/idempotent and the trigger — a killed worker, a flaky filesystem —
+may not recur), while **permanent** faults must surface immediately
+(retrying a deterministic error only burns the budget).
+
+* :class:`TransientFault` — base class for retryable failures.  The
+  scheduler's per-stage retry policy also treats raw :class:`OSError`
+  as transient (store/journal IO), see :func:`is_transient`.
+* :class:`WorkerCrashError` — a pool worker died (or was killed as
+  hung) while holding a task and the pool could not finish the task
+  within its attempt budget *for reasons other than the task itself*.
+* :class:`PoisonedTaskError` — one task killed its worker on every
+  attempt; the task is quarantined.  Permanent: it fails only the job
+  that submitted it, never the pool.
+* :class:`PoolUnrecoverableError` — the pool's worker-respawn budget is
+  exhausted (or it was torn down underneath its callers).  Not retried
+  against the pool; the scheduler reacts by degrading to serial
+  in-process evaluation instead.
+* :class:`ChaosInjectedError` — raised by ``repro.chaos`` ``task_error``
+  rules; permanent by design so injected logic errors are visibly
+  distinct from injected infrastructure faults.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChaosInjectedError",
+    "PoisonedTaskError",
+    "PoolUnrecoverableError",
+    "TransientFault",
+    "WorkerCrashError",
+    "is_transient",
+]
+
+
+class TransientFault(RuntimeError):
+    """A failure that is expected to succeed on retry."""
+
+
+class WorkerCrashError(TransientFault):
+    """A pool worker died/hung under a task, beyond the task's budget."""
+
+
+class PoisonedTaskError(RuntimeError):
+    """A task that killed its worker ``K`` times; quarantined."""
+
+
+class PoolUnrecoverableError(RuntimeError):
+    """The worker pool cannot be healed by respawning."""
+
+
+class ChaosInjectedError(RuntimeError):
+    """A deterministic logic error injected by ``repro.chaos``."""
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether the scheduler's staged-retry policy should retry.
+
+    ``OSError`` covers store/journal IO (including injected
+    ``store_ioerror`` faults); :class:`PoolUnrecoverableError` is
+    *excluded* because its remedy is degradation, not repetition.
+    """
+    if isinstance(error, (PoolUnrecoverableError, PoisonedTaskError)):
+        return False
+    return isinstance(error, (TransientFault, OSError))

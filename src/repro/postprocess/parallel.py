@@ -32,6 +32,7 @@ single ``unlink``) stays with the publishing parent.
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import threading
@@ -43,6 +44,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import chaos
+from ..faults import PoisonedTaskError, PoolUnrecoverableError
 from ..obs import trace
 from ..obs.metrics import get_registry
 from .attribution import TermTensor
@@ -243,28 +246,33 @@ def _run_kron_range(payload):
 
 
 def _run_reduce(payload):
-    """One tree-reduction step: ``dst += src`` in shared memory.
+    """One tree-reduction step: a fresh ``out = left + right`` segment.
 
-    Both segments are per-call transients the parent frees as the tree
-    collapses, so the worker attaches, adds in place, and detaches —
-    nothing is cached.
+    Out-of-place so the step is *idempotent*: a retried reduce (its
+    worker killed mid-add) recomputes the same sum instead of
+    double-adding into a half-mutated accumulator.  The parent adopts
+    the result segment and frees both inputs as the tree collapses.
     """
     from multiprocessing import shared_memory
 
-    dst_ref, src_ref = payload
+    left_ref, right_ref = payload
     began = time.perf_counter()
-    _, dst_name, shape, dtype = dst_ref
-    _, src_name, _, _ = src_ref
-    dst_segment = shared_memory.SharedMemory(name=dst_name)
-    src_segment = shared_memory.SharedMemory(name=src_name)
-    dst = np.ndarray(shape, dtype=np.dtype(dtype), buffer=dst_segment.buf)
-    src = np.ndarray(shape, dtype=np.dtype(dtype), buffer=src_segment.buf)
-    dst += src
-    del dst, src
-    dst_segment.close()
-    src_segment.close()
+    _, left_name, shape, dtype = left_ref
+    _, right_name, _, _ = right_ref
+    left_segment = shared_memory.SharedMemory(name=left_name)
+    right_segment = shared_memory.SharedMemory(name=right_name)
+    left = np.ndarray(shape, dtype=np.dtype(dtype), buffer=left_segment.buf)
+    right = np.ndarray(shape, dtype=np.dtype(dtype), buffer=right_segment.buf)
+    out_segment = _create_unowned_segment(max(1, left.nbytes))
+    out = np.ndarray(shape, dtype=np.dtype(dtype), buffer=out_segment.buf)
+    np.add(left, right, out=out)
+    name = out_segment.name
+    del out, left, right
+    out_segment.close()
+    left_segment.close()
+    right_segment.close()
     meta = _TaskMeta(pid=os.getpid(), elapsed_seconds=time.perf_counter() - began)
-    return dst_ref, meta
+    return ("shm", name, shape, dtype), meta
 
 
 def _run_variant_batch(payload):
@@ -357,6 +365,85 @@ def _run_cache_stats(_payload):
     }
 
 
+_TASK_FNS["cache-stats"] = _run_cache_stats
+
+
+def _shippable_error(error: BaseException) -> BaseException:
+    """An exception object guaranteed to pickle back to the parent."""
+    try:
+        pickle.dumps(error)
+        return error
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+
+
+def _result_segment_names(kind, result) -> List[str]:
+    """Worker-created shm segment names inside a task result.
+
+    Used to reclaim segments of results nobody will consume (abandoned
+    streams, stale duplicate attempts).  Tolerant of every task kind:
+    only ``plan``/``kron-range``/``reduce`` results lead with a 4-tuple
+    ``("shm", name, shape, dtype)`` shipment.
+    """
+    if not isinstance(result, tuple) or not result:
+        return []
+    shipped = result[0]
+    if (isinstance(shipped, tuple) and len(shipped) == 4
+            and shipped[0] == "shm"):
+        return [shipped[1]]
+    return []
+
+
+def _pool_worker_main(task_queue, conn) -> None:
+    """Supervised worker loop: task envelopes in, heartbeats + results out.
+
+    The ``start`` heartbeat goes over a raw ``Pipe`` connection — a
+    synchronous write in this thread (no feeder-thread buffering), so it
+    survives even an ``os._exit`` immediately after.  Worker death is
+    then visible to the parent supervisor as EOF on the same pipe,
+    *after* any already-buffered results — instant pid-liveness without
+    polling.  Envelopes and results are pre-pickled bytes so pickling
+    errors surface synchronously on whichever side created the payload.
+    """
+    while True:
+        try:
+            blob = task_queue.get()
+        except (EOFError, OSError):  # parent tore the queue down
+            return
+        if blob is None:
+            return
+        task_id, attempt, kind, payload, traced = pickle.loads(blob)
+        try:
+            conn.send(("start", task_id, attempt, os.getpid()))
+        except (BrokenPipeError, OSError):
+            return
+        span_doc = None
+        try:
+            chaos.on_worker_task(task_id, attempt)
+            if traced:
+                result, span_doc = _run_traced((kind, payload))
+            else:
+                result = _TASK_FNS[kind](payload)
+            try:
+                out = pickle.dumps(
+                    ("done", task_id, attempt, True, result, span_doc)
+                )
+            except Exception as error:  # unpicklable result
+                out = pickle.dumps(
+                    ("done", task_id, attempt, False,
+                     _shippable_error(error), None)
+                )
+        except BaseException as error:
+            out = pickle.dumps(
+                ("done", task_id, attempt, False, _shippable_error(error),
+                 None)
+            )
+        try:
+            conn.send_bytes(out)
+        except (BrokenPipeError, OSError):
+            return
+
+
 def _publish_cache_report(report: Dict) -> None:
     """Fold one process's cache report into pid-labelled gauges."""
     registry = get_registry()
@@ -433,6 +520,10 @@ class ParallelStats:
     utilization: float = 0.0
     bytes_published: int = 0
     shm_segments: int = 0
+    worker_respawns: int = 0
+    task_retries: int = 0
+    tasks_quarantined: int = 0
+    broken: bool = False
     tasks_by_kind: Dict[str, int] = field(default_factory=dict)
     busy_seconds_by_kind: Dict[str, float] = field(default_factory=dict)
     busy_by_worker: Dict[str, float] = field(default_factory=dict)
@@ -448,6 +539,10 @@ class ParallelStats:
             "utilization": self.utilization,
             "bytes_published": self.bytes_published,
             "shm_segments": self.shm_segments,
+            "worker_respawns": self.worker_respawns,
+            "task_retries": self.task_retries,
+            "tasks_quarantined": self.tasks_quarantined,
+            "broken": self.broken,
             "tasks_by_kind": dict(self.tasks_by_kind),
             "busy_seconds_by_kind": dict(self.busy_seconds_by_kind),
             "busy_by_worker": dict(self.busy_by_worker),
@@ -469,8 +564,50 @@ class PublishedTensors:
         return len(self.refs)
 
 
+class _PoolTask:
+    """Parent-side record of one dispatched task (all attempts)."""
+
+    __slots__ = (
+        "task_id", "kind", "payload", "traced", "attempt", "event", "done",
+        "ok", "result", "error", "span", "reaped", "discarded",
+        "started_at", "dispatched_at",
+    )
+
+    def __init__(self, task_id: int, kind: str, payload, traced: bool):
+        self.task_id = task_id
+        self.kind = kind
+        self.payload = payload
+        self.traced = traced
+        self.attempt = 1
+        self.event = threading.Event()
+        self.done = False
+        self.ok = False
+        self.result = None
+        self.error: Optional[BaseException] = None
+        self.span = None
+        self.reaped = False
+        self.discarded = False
+        self.started_at: Optional[float] = None
+        self.dispatched_at = time.monotonic()
+
+
+class _WorkerSlot:
+    """One supervised worker process and its result pipe."""
+
+    __slots__ = ("proc", "conn", "pid", "current", "current_started",
+                 "doomed")
+
+    def __init__(self, proc, conn, pid):
+        self.proc = proc
+        self.conn = conn
+        self.pid = pid
+        self.current: Optional[int] = None  # task id it announced last
+        self.current_started: Optional[float] = None
+        self.doomed = False  # already SIGKILLed as hung
+
+
 class WorkerPool:
-    """A persistent, spawn-safe process pool for the query runtime.
+    """A persistent, spawn-safe, *supervised* process pool.
 
     Parameters
     ----------
@@ -482,8 +619,27 @@ class WorkerPool:
         platform default.  All task functions are module-level, so
         ``spawn`` (macOS/Windows default) is fully supported.
     task_timeout:
-        Seconds to wait for any single task before raising — a dead
-        worker then surfaces as a ``TimeoutError`` instead of a hang.
+        Per-task heartbeat deadline: a worker that has been *running*
+        one task longer than this is killed as hung and the task
+        retried.  (This replaces the old blanket reap timeout — callers
+        no longer wait 600s for a worker that died instantly.)
+    max_task_attempts:
+        A task that kills (or hangs) its worker this many times is
+        quarantined: it fails with :class:`PoisonedTaskError`, failing
+        only its caller, never the pool.
+    max_worker_respawns:
+        Worker deaths tolerated over the pool's lifetime (default
+        ``4 * workers``).  Beyond it the pool is *broken*: every pending
+        and future call raises :class:`PoolUnrecoverableError` so the
+        scheduler can degrade to serial evaluation.
+
+    Supervision: a daemon thread watches one result pipe per worker.
+    Workers send a synchronous ``start`` heartbeat before each task, so
+    a death (pipe EOF) immediately identifies the in-flight task, which
+    is transparently re-dispatched — tasks are pure/idempotent (the
+    reduce step is out-of-place for exactly this reason), so retried
+    results are bit-identical.  Deterministic in-task exceptions are
+    *not* retried; they surface to the caller on first occurrence.
 
     The pool starts lazily on first use; :meth:`close` (or the context
     manager form) terminates the workers and unlinks every shared-memory
@@ -496,6 +652,8 @@ class WorkerPool:
         context=None,
         task_timeout: float = 600.0,
         max_published: int = 8,
+        max_task_attempts: int = 3,
+        max_worker_respawns: Optional[int] = None,
     ):
         if workers is None:
             workers = os.cpu_count() or 1
@@ -503,6 +661,8 @@ class WorkerPool:
             raise ValueError("workers must be positive")
         if max_published < 1:
             raise ValueError("max_published must be positive")
+        if max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be positive")
         import multiprocessing
 
         if context is None or isinstance(context, str):
@@ -510,14 +670,28 @@ class WorkerPool:
         self.workers = int(workers)
         self.task_timeout = float(task_timeout)
         self.max_published = int(max_published)
+        self.max_task_attempts = int(max_task_attempts)
+        if max_worker_respawns is None:
+            max_worker_respawns = 4 * self.workers
+        if max_worker_respawns < 0:
+            raise ValueError("max_worker_respawns must be >= 0")
+        self.max_worker_respawns = int(max_worker_respawns)
         self._ctx = context
-        self._pool = None
         self._lock = threading.Lock()
         self._segments: Dict[str, object] = {}  # name -> SharedMemory
         self._published: "OrderedDict[str, PublishedTensors]" = OrderedDict()
         self._closed = False
         self._started_at: Optional[float] = None
         self._stats = ParallelStats(workers=self.workers)
+        self._slots: List[_WorkerSlot] = []
+        self._tasks: Dict[int, _PoolTask] = {}
+        self._task_queue = None
+        self._supervisor: Optional[threading.Thread] = None
+        self._task_counter = itertools.count(1)
+        self._deaths = 0
+        self._broken = False
+        self._broken_reason = ""
+        self._last_progress = 0.0
         registry = get_registry()
         self._metric_tasks = registry.counter(
             "repro_pool_tasks_total",
@@ -533,17 +707,62 @@ class WorkerPool:
             "repro_pool_bytes_published_total",
             "Bytes copied into shared-memory segments by the pool.",
         )
+        self._metric_respawns = registry.counter(
+            "repro_pool_worker_respawns_total",
+            "Dead or hung pool workers replaced by the supervisor.",
+        )
+        self._metric_retries = registry.counter(
+            "repro_pool_task_retries_total",
+            "Pool tasks transparently re-executed after a worker death.",
+            ("kind",),
+        )
+        self._metric_quarantined = registry.counter(
+            "repro_pool_tasks_quarantined_total",
+            "Pool tasks quarantined after exhausting their attempt budget.",
+        )
+        self._metric_broken = registry.gauge(
+            "repro_pool_broken",
+            "1 when the pool's respawn budget is exhausted (unrecoverable).",
+        )
 
     # -- lifecycle ------------------------------------------------------
-    def _ensure_pool(self):
+    @property
+    def broken(self) -> bool:
+        """Whether the pool is unrecoverable (respawn budget exhausted)."""
+        return self._broken
+
+    def _spawn_slot(self) -> _WorkerSlot:
+        receiver, sender = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(self._task_queue, sender),
+            daemon=True,
+            name="repro-pool-worker",
+        )
+        proc.start()
+        sender.close()  # EOF on worker death reaches the supervisor
+        return _WorkerSlot(proc=proc, conn=receiver, pid=proc.pid)
+
+    def _ensure_started(self) -> None:
+        chaos.on_pool_dispatch()
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
-            if self._pool is None:
-                self._pool = self._ctx.Pool(processes=self.workers)
-                self._started_at = time.perf_counter()
-                self._stats.started = True
-        return self._pool
+            if self._broken:
+                raise PoolUnrecoverableError(self._broken_reason)
+            if self._stats.started:
+                return
+            self._task_queue = self._ctx.Queue()
+            self._slots = [self._spawn_slot() for _ in range(self.workers)]
+            self._started_at = time.perf_counter()
+            self._last_progress = time.monotonic()
+            self._stats.started = True
+            self._supervisor = threading.Thread(
+                target=self._supervise,
+                name="repro-pool-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
 
     def close(self) -> None:
         """Terminate the workers and free every published segment."""
@@ -551,13 +770,37 @@ class WorkerPool:
             if self._closed:
                 return
             self._closed = True
-            pool, self._pool = self._pool, None
+            slots, self._slots = self._slots, []
+            tasks = [t for t in self._tasks.values() if not t.done]
+            self._tasks.clear()
+            queue, self._task_queue = self._task_queue, None
+            supervisor, self._supervisor = self._supervisor, None
             segments = list(self._segments.values())
             self._segments.clear()
             self._published.clear()
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        for task in tasks:
+            task.done = True
+            task.ok = False
+            task.error = RuntimeError("worker pool is closed")
+            task.payload = None
+            task.event.set()
+        if supervisor is not None and supervisor.is_alive():
+            supervisor.join(timeout=5)
+        for slot in slots:
+            if slot.proc.is_alive():
+                slot.proc.terminate()
+        for slot in slots:
+            slot.proc.join(timeout=10)
+            if slot.proc.is_alive():  # pragma: no cover - stuck in kernel
+                slot.proc.kill()
+                slot.proc.join(timeout=10)
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if queue is not None:
+            queue.close()
+            queue.cancel_join_thread()
         for segment in segments:
             try:
                 segment.close()
@@ -611,6 +854,10 @@ class WorkerPool:
                 busy_seconds=self._stats.busy_seconds,
                 bytes_published=self._stats.bytes_published,
                 shm_segments=len(self._segments),
+                worker_respawns=self._stats.worker_respawns,
+                task_retries=self._stats.task_retries,
+                tasks_quarantined=self._stats.tasks_quarantined,
+                broken=self._broken,
                 tasks_by_kind=dict(self._stats.tasks_by_kind),
                 busy_seconds_by_kind=dict(self._stats.busy_seconds_by_kind),
                 busy_by_worker=dict(self._stats.busy_by_worker),
@@ -630,42 +877,312 @@ class WorkerPool:
         started — no cold start just to read empty caches.
         """
         with self._lock:
-            if self._pool is None or self._closed:
+            if self._closed or self._broken or not self._stats.started:
                 return []
-            pool = self._pool
-        pending = [
-            pool.apply_async(_run_cache_stats, (None,))
-            for _ in range(2 * self.workers)
-        ]
+        probes: List[_PoolTask] = []
+        try:
+            for _ in range(2 * self.workers):
+                probes.append(self._dispatch("cache-stats", None,
+                                             ensure=False))
+        except Exception:  # pragma: no cover - pool torn down mid-probe
+            pass
         reports: Dict[int, Dict] = {}
-        for task in pending:
+        for task in probes:
             try:
-                report = task.get(self.task_timeout)
-            except Exception:  # pragma: no cover - worker death
+                report = self._reap(task)
+            except Exception:
                 continue
             reports.setdefault(report["pid"], report)
         return [reports[pid] for pid in sorted(reports)]
 
-    # -- task dispatch (trace-aware) ------------------------------------
-    def _submit(self, pool, kind: str, payload):
-        """``apply_async`` with ambient-trace propagation.
+    # -- task dispatch (supervised, trace-aware) ------------------------
+    def _dispatch(self, kind: str, payload, ensure: bool = True) -> _PoolTask:
+        """Enqueue one task; returns the parent-side task record.
 
-        Returns ``(async_result, traced)``.  When the submitting context
-        is traced the task runs under :func:`_run_traced` so the worker
-        records a span tree; :meth:`_reap` unwraps and grafts it.  The
-        untraced path is byte-identical to a direct ``apply_async``.
+        The envelope is pickled *here*, synchronously, so an unpicklable
+        payload raises in the caller (never in a queue feeder thread).
+        The ``traced`` flag travels with the envelope; the worker wraps
+        the task in :func:`_run_traced` and :meth:`_reap` grafts the
+        returned span tree.
         """
-        if trace.enabled():
-            return pool.apply_async(_run_traced, ((kind, payload),)), True
-        return pool.apply_async(_TASK_FNS[kind], (payload,)), False
+        if ensure:
+            self._ensure_started()
+        traced = trace.enabled() and kind != "cache-stats"
+        task = _PoolTask(next(self._task_counter), kind, payload, traced)
+        blob = pickle.dumps(
+            (task.task_id, task.attempt, kind, payload, traced)
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            if self._broken:
+                raise PoolUnrecoverableError(self._broken_reason)
+            queue = self._task_queue
+            if queue is None:
+                raise RuntimeError("worker pool is closed")
+            self._tasks[task.task_id] = task
+        queue.put(blob)
+        return task
 
-    def _reap(self, task, traced: bool):
-        """Wait for a submitted task; graft its worker span tree if any."""
-        result = task.get(self.task_timeout)
-        if traced:
-            result, span_doc = result
-            trace.attach(span_doc)
-        return result
+    def _reap(self, task: _PoolTask):
+        """Wait for a task; raise its error or return its result.
+
+        No blanket deadline here — the supervisor owns liveness.  Every
+        task terminates: crashes/hangs are retried at most
+        ``max_task_attempts`` times, each running attempt is bounded by
+        ``task_timeout``, so the outcome is a result, a
+        ``PoisonedTaskError``, a ``PoolUnrecoverableError``, or "pool
+        is closed".
+        """
+        task.event.wait()
+        task.reaped = True
+        with self._lock:
+            self._tasks.pop(task.task_id, None)
+        if not task.ok:
+            raise task.error
+        if task.traced and task.span is not None:
+            trace.attach(task.span)
+        return task.result
+
+    def _discard(self, task: _PoolTask) -> None:
+        """Abandon a task the caller will never reap.
+
+        Completed tasks are cleaned immediately (worker-shipped shm
+        results unlinked); in-flight ones are flagged and the supervisor
+        cleans them on completion.
+        """
+        if task.reaped:
+            return
+        cleanup: List[str] = []
+        with self._lock:
+            task.discarded = True
+            if not task.done:
+                return
+            self._tasks.pop(task.task_id, None)
+            if task.ok:
+                cleanup = _result_segment_names(task.kind, task.result)
+        for name in cleanup:
+            self._reclaim_segment(name)
+
+    def _reclaim_segment(self, name: str) -> None:
+        """Adopt-and-unlink a worker-created segment nobody consumed."""
+        try:
+            self._adopt_segment(name)
+        except FileNotFoundError:
+            return
+        self._free_segment(name)
+
+    # -- supervision ----------------------------------------------------
+    def _supervise(self) -> None:
+        """Watch result pipes: resolve tasks, respawn dead/hung workers."""
+        from multiprocessing.connection import wait as connection_wait
+
+        try:
+            while True:
+                with self._lock:
+                    if self._closed:
+                        return
+                    slots = list(self._slots)
+                if not slots:
+                    if self._broken:
+                        return
+                    time.sleep(0.02)
+                    continue
+                by_conn = {slot.conn: slot for slot in slots}
+                try:
+                    ready = connection_wait(list(by_conn), timeout=0.05)
+                except OSError:  # pragma: no cover - teardown race
+                    ready = []
+                for conn in ready:
+                    slot = by_conn[conn]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        self._on_worker_death(slot)
+                        continue
+                    self._on_message(slot, message)
+                self._enforce_deadlines()
+        except Exception as error:  # pragma: no cover - must not die silent
+            self._mark_broken(f"pool supervisor crashed: {error!r}")
+
+    def _on_message(self, slot: _WorkerSlot, message) -> None:
+        kind = message[0]
+        now = time.monotonic()
+        if kind == "start":
+            _, task_id, attempt, _pid = message
+            with self._lock:
+                self._last_progress = now
+                slot.current = task_id
+                slot.current_started = now
+                task = self._tasks.get(task_id)
+                if (task is not None and not task.done
+                        and attempt == task.attempt):
+                    task.started_at = now
+            return
+        if kind != "done":  # pragma: no cover - unknown message
+            return
+        _, task_id, _attempt, ok, result, span = message
+        cleanup: List[str] = []
+        with self._lock:
+            self._last_progress = now
+            if slot.current == task_id:
+                slot.current = None
+                slot.current_started = None
+            task = self._tasks.get(task_id)
+            if task is None or task.done:
+                # Stale duplicate (a re-dispatched task raced its
+                # original): reclaim any segments it shipped.
+                if ok:
+                    cleanup = _result_segment_names(None, result)
+            else:
+                task.done = True
+                task.ok = ok
+                if ok:
+                    task.result = result
+                    task.span = span
+                else:
+                    task.error = result
+                task.payload = None
+                task.event.set()
+                if task.discarded:
+                    self._tasks.pop(task_id, None)
+                    if ok:
+                        cleanup = _result_segment_names(task.kind, result)
+        for name in cleanup:
+            self._reclaim_segment(name)
+
+    def _on_worker_death(self, slot: _WorkerSlot,
+                         reason: str = "exited") -> None:
+        with self._lock:
+            if self._closed or slot not in self._slots:
+                return
+            self._slots.remove(slot)
+            current_id = slot.current
+            self._deaths += 1
+            deaths = self._deaths
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if slot.proc.is_alive():
+            slot.proc.kill()
+        slot.proc.join(timeout=10)
+        if current_id is not None:
+            self._retry_task(
+                current_id,
+                f"worker pid {slot.pid} {reason} while running it",
+            )
+        if deaths > self.max_worker_respawns:
+            self._mark_broken(
+                f"worker respawn budget exhausted "
+                f"({self.max_worker_respawns}): last worker pid "
+                f"{slot.pid} {reason}"
+            )
+            return
+        with self._lock:
+            if self._closed or self._broken:
+                return
+            self._slots.append(self._spawn_slot())
+            self._stats.worker_respawns += 1
+        self._metric_respawns.inc()
+
+    def _retry_task(self, task_id: int, reason: str) -> None:
+        """Re-dispatch (or quarantine) a task whose worker died/hung."""
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None or task.done:
+                return
+            task.attempt += 1
+            task.started_at = None
+            kind = task.kind
+            if task.attempt > self.max_task_attempts:
+                task.done = True
+                task.ok = False
+                task.error = PoisonedTaskError(
+                    f"pool task {task.kind} #{task_id} quarantined after "
+                    f"{self.max_task_attempts} attempts: {reason}"
+                )
+                task.payload = None
+                task.event.set()
+                self._stats.tasks_quarantined += 1
+                if task.discarded:
+                    self._tasks.pop(task_id, None)
+                quarantined = True
+                blob = queue = None
+            else:
+                quarantined = False
+                blob = pickle.dumps(
+                    (task.task_id, task.attempt, task.kind, task.payload,
+                     task.traced)
+                )
+                task.dispatched_at = time.monotonic()
+                queue = self._task_queue
+                self._stats.task_retries += 1
+        if quarantined:
+            self._metric_quarantined.inc()
+            return
+        self._metric_retries.inc(kind=kind)
+        if queue is not None:
+            queue.put(blob)
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        doomed: List[_WorkerSlot] = []
+        stuck: List[int] = []
+        with self._lock:
+            for slot in self._slots:
+                if (slot.current is not None and not slot.doomed
+                        and slot.current_started is not None
+                        and now - slot.current_started > self.task_timeout):
+                    slot.doomed = True
+                    doomed.append(slot)
+            # A task that never started although the pool made no
+            # progress for a whole deadline means its envelope was lost
+            # (worker died between queue.get() and the heartbeat).
+            # Progress gating keeps legitimately-queued tasks — waiting
+            # behind a busy but healthy pool — from being re-dispatched.
+            for task in self._tasks.values():
+                if (not task.done and task.started_at is None
+                        and now - max(task.dispatched_at,
+                                      self._last_progress)
+                        > self.task_timeout):
+                    stuck.append(task.task_id)
+        for slot in doomed:
+            # SIGKILL; the death path (pipe EOF) retries its task.
+            slot.proc.kill()
+        for task_id in stuck:
+            # Duplicate execution is waste, not corruption: tasks are
+            # idempotent and the first completed attempt wins.
+            self._retry_task(task_id, "never started before its deadline")
+
+    def _mark_broken(self, reason: str) -> None:
+        with self._lock:
+            if self._closed or self._broken:
+                return
+            self._broken = True
+            self._broken_reason = reason
+            self._stats.broken = True
+            slots, self._slots = self._slots, []
+            tasks = [t for t in self._tasks.values() if not t.done]
+            for task in tasks:
+                if task.discarded:
+                    self._tasks.pop(task.task_id, None)
+        for slot in slots:
+            if slot.proc.is_alive():
+                slot.proc.kill()
+        for slot in slots:
+            slot.proc.join(timeout=10)
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for task in tasks:
+            task.done = True
+            task.ok = False
+            task.error = PoolUnrecoverableError(reason)
+            task.payload = None
+            task.event.set()
+        self._metric_broken.set(1)
 
     # -- shared-memory transport ---------------------------------------
     def _new_segment(self, size: int):
@@ -789,25 +1306,28 @@ class WorkerPool:
         :meth:`~repro.postprocess.engine.ContractionEngine.contract_batch`
         — same argument triple, same result order.
         """
-        pool = self._ensure_pool()
+        self._ensure_started()
         pending = []
         fresh: List[str] = []
-        for tensors, order, num_cuts in batch:
-            refs, names = self._tensor_refs(tensors)
-            fresh.extend(names)
-            payload = (refs, list(order), num_cuts, strategy, early_termination)
-            pending.append(self._submit(pool, "contract", payload))
         results: List[ContractionResult] = []
         try:
-            for task, traced in pending:
+            for tensors, order, num_cuts in batch:
+                refs, names = self._tensor_refs(tensors)
+                fresh.extend(names)
+                payload = (refs, list(order), num_cuts, strategy,
+                           early_termination)
+                pending.append(self._dispatch("contract", payload))
+            for task in pending:
                 try:
-                    result, meta = self._reap(task, traced)
+                    result, meta = self._reap(task)
                 except Exception:
                     self._record("contract", None, ok=False)
                     raise
                 self._record("contract", meta, ok=True)
                 results.append(result)
         finally:
+            for task in pending:
+                self._discard(task)
             for name in fresh:
                 self._free_segment(name)
         return results
@@ -833,7 +1353,7 @@ class WorkerPool:
         generator close the in-flight remainder is drained and its
         worker-created segments freed.
         """
-        pool = self._ensure_pool()
+        self._ensure_started()
         plans = list(plans)
         window = max(2, 2 * self.workers)
         pending: "deque" = deque()
@@ -850,13 +1370,11 @@ class WorkerPool:
                         early_termination,
                         top_k,
                     )
-                    pending.append(self._submit(pool, "plan", payload))
+                    pending.append(self._dispatch("plan", payload))
                     submitted += 1
-                task, traced = pending.popleft()
+                task = pending.popleft()
                 try:
-                    shipped, hits, misses, nbytes, meta = self._reap(
-                        task, traced
-                    )
+                    shipped, hits, misses, nbytes, meta = self._reap(task)
                 except Exception:
                     self._record("plan", None, ok=False)
                     raise
@@ -874,23 +1392,11 @@ class WorkerPool:
                     self._free_segment(name)
                     yield index, vector, hits, misses, nbytes
         finally:
-            # Abandoned stream (or a failed task): reap what is already
-            # in flight so worker-created result segments are unlinked.
+            # Abandoned stream (or a failed task): hand the in-flight
+            # remainder to the supervisor so worker-created result
+            # segments are reclaimed whenever those tasks complete.
             while pending:
-                task, traced = pending.popleft()
-                try:
-                    result = task.get(self.task_timeout)
-                except Exception:
-                    continue
-                if traced:
-                    result = result[0]
-                shipped = result[0]
-                if shipped[0] == "shm":
-                    try:
-                        self._adopt_segment(shipped[1])
-                    except FileNotFoundError:  # pragma: no cover
-                        continue
-                    self._free_segment(shipped[1])
+                self._discard(pending.popleft())
 
     def contract_kron(
         self,
@@ -906,7 +1412,7 @@ class WorkerPool:
         merged pairwise *in the workers* (a reduction tree), so the
         parent never performs more than one final copy.
         """
-        pool = self._ensure_pool()
+        self._ensure_started()
         total = 4**num_cuts
         step = (total + self.workers - 1) // self.workers
         bounds = [
@@ -916,19 +1422,20 @@ class WorkerPool:
         refs, fresh = self._tensor_refs(tensors)
         order = list(order)
         skipped = 0
-        partials: List[Tuple] = []  # vector refs, in completion order
+        partials: List[Tuple] = []  # vector refs, in submission order
+        outstanding: List[_PoolTask] = []
         try:
             pending = [
-                self._submit(
-                    pool,
+                self._dispatch(
                     "kron-range",
                     (refs, order, num_cuts, start, stop, early_termination),
                 )
                 for start, stop in bounds
             ]
-            for task, traced in pending:
+            outstanding.extend(pending)
+            for task in pending:
                 try:
-                    shipped, part_skipped, meta = self._reap(task, traced)
+                    shipped, part_skipped, meta = self._reap(task)
                 except Exception:
                     self._record("kron-range", None, ok=False)
                     raise
@@ -940,26 +1447,31 @@ class WorkerPool:
 
             # Tree-reduce the shared-memory partials in the workers;
             # inline (small) partials are summed directly in the parent.
+            # Each reduce is out-of-place (fresh output segment, inputs
+            # untouched) so a retried reduce after a worker kill cannot
+            # double-add into an accumulator.
             inline = [p[1] for p in partials if p[0] == "inline"]
             shm_refs = [p for p in partials if p[0] == "shm"]
             while len(shm_refs) > 1:
                 next_round = []
                 reductions = []
                 for left, right in zip(shm_refs[::2], shm_refs[1::2]):
-                    reductions.append(
-                        (self._submit(pool, "reduce", (left, right)), right)
-                    )
-                    next_round.append(left)
-                if len(shm_refs) % 2:
-                    next_round.append(shm_refs[-1])
-                for (task, traced), right in reductions:
+                    task = self._dispatch("reduce", (left, right))
+                    outstanding.append(task)
+                    reductions.append((task, left, right))
+                for task, left, right in reductions:
                     try:
-                        _, meta = self._reap(task, traced)
+                        shipped, meta = self._reap(task)
                     except Exception:
                         self._record("reduce", None, ok=False)
                         raise
                     self._record("reduce", meta, ok=True)
+                    self._adopt_segment(shipped[1])
+                    self._free_segment(left[1])
                     self._free_segment(right[1])
+                    next_round.append(shipped)
+                if len(shm_refs) % 2:
+                    next_round.append(shm_refs[-1])
                 shm_refs = next_round
 
             if shm_refs:
@@ -976,6 +1488,8 @@ class WorkerPool:
             for extra in inline:
                 vector += extra
         finally:
+            for task in outstanding:
+                self._discard(task)
             for name in fresh:
                 self._free_segment(name)
         if vector is None:  # pragma: no cover - bounds is never empty
@@ -995,22 +1509,28 @@ class WorkerPool:
         ``"noisy-variant-batch"``).  Returns
         ``(probabilities, num_body_passes)`` per payload, in order.
         """
-        pool = self._ensure_pool()
+        self._ensure_started()
         pending = []
-        for payload in payloads:
-            kind = (
-                "noisy-variant-batch" if len(payload) == 4 else "variant-batch"
-            )
-            pending.append((kind, self._submit(pool, kind, payload)))
         outputs: List[Tuple[Dict, int]] = []
-        for kind, (task, traced) in pending:
-            try:
-                probabilities, passes, meta = self._reap(task, traced)
-            except Exception:
-                self._record(kind, None, ok=False)
-                raise
-            self._record(kind, meta, ok=True)
-            outputs.append((probabilities, passes))
+        try:
+            for payload in payloads:
+                kind = (
+                    "noisy-variant-batch"
+                    if len(payload) == 4
+                    else "variant-batch"
+                )
+                pending.append((kind, self._dispatch(kind, payload)))
+            for kind, task in pending:
+                try:
+                    probabilities, passes, meta = self._reap(task)
+                except Exception:
+                    self._record(kind, None, ok=False)
+                    raise
+                self._record(kind, meta, ok=True)
+                outputs.append((probabilities, passes))
+        finally:
+            for _, task in pending:
+                self._discard(task)
         return outputs
 
     def map_backend(self, backend, circuits: Sequence) -> List[np.ndarray]:
@@ -1020,22 +1540,26 @@ class WorkerPool:
         Raises whatever the backend raises (including pickling errors
         for backends that cannot cross a process boundary).
         """
-        pool = self._ensure_pool()
+        self._ensure_started()
         circuits = list(circuits)
         if not circuits:
             return []
         chunk = max(1, len(circuits) // (self.workers * 4))
         pending = []
-        for start in range(0, len(circuits), chunk):
-            payload = (backend, circuits[start : start + chunk])
-            pending.append(self._submit(pool, "backend", payload))
         vectors: List[np.ndarray] = []
-        for task, traced in pending:
-            try:
-                chunk_vectors, meta = self._reap(task, traced)
-            except Exception:
-                self._record("backend", None, ok=False)
-                raise
-            self._record("backend", meta, ok=True)
-            vectors.extend(chunk_vectors)
+        try:
+            for start in range(0, len(circuits), chunk):
+                payload = (backend, circuits[start : start + chunk])
+                pending.append(self._dispatch("backend", payload))
+            for task in pending:
+                try:
+                    chunk_vectors, meta = self._reap(task)
+                except Exception:
+                    self._record("backend", None, ok=False)
+                    raise
+                self._record("backend", meta, ok=True)
+                vectors.extend(chunk_vectors)
+        finally:
+            for task in pending:
+                self._discard(task)
         return vectors

@@ -29,6 +29,12 @@ from .tenancy import QuotaExceededError
 
 __all__ = ["ApiError", "JobServiceAPI"]
 
+_OVERLOAD_REJECTIONS = get_registry().counter(
+    "repro_overload_rejections_total",
+    "Submissions rejected at the front door because the scheduler's "
+    "accept queue exceeded max_pending.",
+)
+
 
 class ApiError(Exception):
     """A client-visible error with an HTTP status code.
@@ -70,13 +76,38 @@ def _flatten_payload(payload: Dict) -> Dict:
 
 
 class JobServiceAPI:
-    """Dict-in / dict-out handlers over one :class:`JobScheduler`."""
+    """Dict-in / dict-out handlers over one :class:`JobScheduler`.
 
-    def __init__(self, scheduler: JobScheduler):
+    ``max_pending`` bounds the scheduler's accept queue: submissions
+    arriving while that many jobs are already waiting are rejected with
+    a typed 503 (code ``overloaded``), mirroring the 429 quota shape —
+    backpressure instead of unbounded queue growth under overload.
+    """
+
+    def __init__(
+        self, scheduler: JobScheduler, max_pending: Optional[int] = None
+    ):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be positive (or None)")
         self.scheduler = scheduler
+        self.max_pending = max_pending
 
     # ------------------------------------------------------------------
     def create_job(self, payload: Dict) -> Dict:
+        if self.max_pending is not None:
+            pending = self.scheduler.queue_depth()
+            if pending >= self.max_pending:
+                _OVERLOAD_REJECTIONS.inc()
+                raise ApiError(
+                    503,
+                    f"service overloaded: {pending} jobs already pending "
+                    f"(max_pending={self.max_pending})",
+                    payload={
+                        "code": "overloaded",
+                        "limit": self.max_pending,
+                        "pending": pending,
+                    },
+                )
         try:
             spec = JobSpec.from_dict(_flatten_payload(payload))
             job_id = self.scheduler.submit(spec)

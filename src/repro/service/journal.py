@@ -47,7 +47,15 @@ try:  # pragma: no cover - always available on the POSIX CI targets
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
+from .. import chaos
+from ..obs.metrics import get_registry
+
 __all__ = ["JobJournal"]
+
+_TORN_LINES = get_registry().counter(
+    "repro_journal_torn_lines_total",
+    "Corrupted or torn journal lines skipped during replay/tailing.",
+)
 
 
 def _flock(stream, exclusive: bool) -> None:
@@ -94,6 +102,7 @@ class JobJournal:
     # -- log ------------------------------------------------------------
     def append(self, event_type: str, job_id: str, **fields) -> Dict:
         """Append one event; returns the record as written."""
+        chaos.on_journal_append()
         record = {"type": event_type, "job_id": job_id, "ts": time.time()}
         record.update(fields)
         data = (json.dumps(record, separators=(",", ":")) + "\n").encode()
@@ -134,8 +143,15 @@ class JobJournal:
                     continue
                 try:
                     record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # tolerate a torn/garbage line
+                except ValueError:
+                    # JSONDecodeError and UnicodeDecodeError both subclass
+                    # ValueError; torn lines can be invalid UTF-8, not
+                    # just invalid JSON.
+                    # Tolerate a torn/garbage line anywhere in the log
+                    # (tail *or* middle): skip it, count it, keep
+                    # consuming the records after it.
+                    _TORN_LINES.inc()
+                    continue
                 if isinstance(record, dict):
                     records.append(record)
             self._offset += consumed

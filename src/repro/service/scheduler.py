@@ -39,17 +39,19 @@ Durability and scale-out (see :mod:`repro.service.journal` and
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 import uuid
 import weakref
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..circuits import QuantumCircuit
 from ..circuits.qasm import from_qasm
 from ..core import CutQC
 from ..cutting.searcher import DEFAULT_MAX_CUTS, DEFAULT_MAX_SUBCIRCUITS
+from ..faults import PoolUnrecoverableError, is_transient
 from ..library import BENCHMARKS, get_benchmark
 from ..obs import trace
 from ..obs.metrics import get_registry
@@ -90,6 +92,16 @@ _QUOTA_REJECTIONS = get_registry().counter(
     "repro_quota_rejections_total",
     "Submissions rejected by per-tenant admission control.",
     ("tenant", "reason"),
+)
+_STAGE_RETRIES = get_registry().counter(
+    "repro_scheduler_stage_retries_total",
+    "Transient stage failures retried by the staged-retry policy.",
+    ("stage",),
+)
+_DEGRADED_MODE = get_registry().gauge(
+    "repro_scheduler_degraded_mode",
+    "1 while the scheduler serves jobs serially because its worker "
+    "pool is unrecoverable.",
 )
 
 JOB_STATES = (
@@ -295,6 +307,12 @@ class JobRecord:
     result: Optional[Dict] = None
     error: Optional[str] = None
     cancel_requested: bool = False
+    #: Attempts consumed per stage by the staged-retry policy (1 for a
+    #: stage that succeeded first try).
+    attempts: Dict[str, int] = field(default_factory=dict)
+    #: True when the job completed through serial in-process evaluation
+    #: because the scheduler's worker pool was unrecoverable.
+    degraded: bool = False
     #: The job's span tree (set once the job reaches a terminal state).
     trace: Optional[Dict] = None
     #: Owner id of the scheduler executing (or having executed) the job;
@@ -311,6 +329,22 @@ class JobRecord:
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
+    #: Signalled on every state transition; :meth:`JobScheduler.wait`
+    #: blocks on it instead of busy-polling.
+    _cond: threading.Condition = field(init=False, repr=False, compare=False)
+    #: True once terminal bookkeeping (trace/journal/store document) has
+    #: completed — the point the record stops changing entirely.
+    _settled: bool = field(
+        default=False, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._cond = threading.Condition(self._lock)
+
+    def mark_settled(self) -> None:
+        with self._lock:
+            self._settled = True
+            self._cond.notify_all()
 
     @property
     def done(self) -> bool:
@@ -322,6 +356,8 @@ class JobRecord:
         with self._lock:
             for name, value in fields.items():
                 setattr(self, name, value)
+            if "state" in fields:
+                self._cond.notify_all()
 
     def set_timing(self, stage: str, seconds: float) -> None:
         with self._lock:
@@ -371,6 +407,8 @@ class JobRecord:
                 "fingerprints": dict(self.fingerprints),
                 "execution": self.execution,
                 "error": self.error,
+                "attempts": dict(self.attempts),
+                "degraded": self.degraded,
             }
             if self.iterations or self.spec.query == "variational":
                 document["iterations"] = list(self.iterations)
@@ -401,13 +439,24 @@ class JobScheduler:
         tenants=None,
         journal: bool = True,
         journal_poll: float = 0.25,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        degrade: bool = True,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
         if pool_workers < 0:
             raise ValueError("pool_workers must be >= 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.store = store
         self.num_workers = int(workers)
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.degrade = bool(degrade)
+        self._retry_rng = random.Random()
         self._owns_pool = worker_pool is None and pool_workers > 0
         if worker_pool is None and pool_workers > 0:
             worker_pool = WorkerPool(pool_workers)
@@ -561,6 +610,7 @@ class JobScheduler:
                 self._records[job_id] = record
                 self._order.append(job_id)
             if record.done:
+                record.mark_settled()
                 continue
             if entry.get("cancel"):
                 record.cancel_requested = True
@@ -629,6 +679,7 @@ class JobScheduler:
                     state = event.get("state")
                     if state in JOB_STATES:
                         record.state = state
+                        record._cond.notify_all()
                     record.owner = owner or record.owner
                     if event.get("error"):
                         record.error = event["error"]
@@ -639,11 +690,11 @@ class JobScheduler:
                             k: bool(v)
                             for k, v in event["cache_hits"].items()
                         }
-                    if (
-                        record.state in _TERMINAL_STATES
-                        and record.finished_at is None
-                    ):
-                        record.finished_at = event.get("ts", time.time())
+                    if record.state in _TERMINAL_STATES:
+                        if record.finished_at is None:
+                            record.finished_at = event.get("ts", time.time())
+                        record._settled = True
+                        record._cond.notify_all()
             elif kind == "cancel":
                 with self._lock:
                     record = self._records.get(job_id)
@@ -726,6 +777,10 @@ class JobScheduler:
         self._queue.push(spec.tenant, job_id)
         return job_id
 
+    def queue_depth(self) -> int:
+        """Total jobs waiting in the fair queue, across all tenants."""
+        return sum(self._queue.depths().values())
+
     def get(self, job_id: str) -> JobRecord:
         with self._lock:
             try:
@@ -753,24 +808,47 @@ class JobScheduler:
                 record.state = "cancelled"
                 record.finished_at = time.time()
                 became_cancelled = True
+                record._cond.notify_all()
         if self.journal is not None:
             self.journal.append("cancel", job_id)
             if became_cancelled:
                 self._journal_state(record, terminal=True)
+        if became_cancelled:
+            record.mark_settled()
         return True
 
     def wait(
         self, job_id: str, timeout: float = 60.0, poll: float = 0.01
     ) -> JobRecord:
-        """Block until the job reaches a terminal state (or timeout)."""
+        """Block until the job reaches a terminal state (or timeout).
+
+        Sleeps on the record's condition variable (notified on every
+        state transition) instead of busy-polling; ``poll`` is kept for
+        backward compatibility and only caps the wait slices, so a
+        transition journaled by a *peer* scheduler — applied without a
+        local notification path — is still observed promptly.
+        """
         deadline = time.monotonic() + timeout
         record = self.get(job_id)
-        while not record.done:
-            if time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"job {job_id} still {record.state!r} after {timeout}s"
-                )
-            time.sleep(poll)
+        slice_cap = max(0.01, min(1.0, float(poll) * 100))
+        with record._cond:
+            while not record.done:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {record.state!r} "
+                        f"after {timeout}s"
+                    )
+                record._cond.wait(min(remaining, slice_cap))
+            # Terminal state is published *before* the worker's final
+            # bookkeeping (trace/journal/store document); give that a
+            # bounded grace so callers observe a fully-settled record.
+            settle_deadline = min(deadline, time.monotonic() + 2.0)
+            while not record._settled:
+                remaining = settle_deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                record._cond.wait(remaining)
         return record
 
     # ------------------------------------------------------------------
@@ -817,6 +895,7 @@ class JobScheduler:
             "jobs": {
                 "submitted": len(records),
                 "by_state": by_state,
+                "degraded": sum(1 for r in records if r.degraded),
             },
             "cache": {
                 "stage_hits": stage_hits,
@@ -878,15 +957,61 @@ class JobScheduler:
                 "tenant": record.spec.tenant,
             },
         )
+        requeued = False
         try:
             with tracer as root:
-                self._execute(record)
+                use_pool = True
+                pool = self.worker_pool
+                if (
+                    pool is not None
+                    and self.degrade
+                    and getattr(pool, "broken", False)
+                ):
+                    # The pool is known-unrecoverable: go straight to
+                    # serial evaluation instead of paying one doomed
+                    # dispatch per job.
+                    use_pool = False
+                    record.update(degraded=True)
+                    _DEGRADED_MODE.set(1)
+                try:
+                    self._execute(record, use_pool=use_pool)
+                except PoolUnrecoverableError:
+                    if not self.degrade or pool is None or not use_pool:
+                        raise
+                    # Graceful degradation: the stage checkpoints
+                    # already in the store turn the serial re-run into
+                    # a resume of whatever had completed.
+                    record.update(degraded=True)
+                    _DEGRADED_MODE.set(1)
+                    with trace.span("job.degrade"):
+                        self._execute(record, use_pool=False)
         except Exception as error:  # noqa: BLE001 - job isolation
-            record.update(
-                state="failed",
-                error=f"{type(error).__name__}: {error}",
-            )
+            if self._shutdown and not record.done:
+                # Shutdown tore a shared resource (worker pool, store)
+                # from under this in-flight job: requeue it for the
+                # next scheduler instead of failing it.
+                requeued = True
+                record.update(state="queued", owner=None, started_at=None)
+                if self.journal is not None:
+                    try:
+                        self.journal.release_claim(job_id, self.owner_id)
+                        self.journal.append(
+                            "state", job_id, state="queued",
+                            owner=self.owner_id, resumed=True,
+                        )
+                    except OSError:  # pragma: no cover - torn teardown
+                        pass
+            else:
+                record.update(
+                    state="failed",
+                    error=f"{type(error).__name__}: {error}",
+                )
         finally:
+            if requeued:
+                for kind, key in record.pins:
+                    self.store.unpin(kind, key)
+                record.pins = []
+                return
             if not record.done:  # pragma: no cover - defensive
                 record.update(
                     state="failed",
@@ -918,6 +1043,7 @@ class JobScheduler:
                     )
                 except Exception:  # pragma: no cover - store teardown
                     pass
+            record.mark_settled()
 
     def _pin(self, record: JobRecord, kind: str, key: str) -> None:
         """Pin a store artifact for the lifetime of this job."""
@@ -925,17 +1051,47 @@ class JobScheduler:
         with record._lock:
             record.pins.append((kind, key))
 
+    def _run_stage(self, record: JobRecord, stage: str, body: Callable):
+        """Run one stage body under the staged-retry policy.
+
+        Transient faults (see :func:`repro.faults.is_transient`) are
+        retried up to ``max_retries`` times with exponential backoff and
+        jitter; the attempts consumed are recorded on the job.  Permanent
+        faults — including :class:`PoolUnrecoverableError`, whose remedy
+        is degradation — propagate immediately.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            with record._lock:
+                record.attempts[stage] = max(
+                    attempt, record.attempts.get(stage, 0)
+                )
+            try:
+                return body()
+            except Exception as error:  # noqa: BLE001 - taxonomy below
+                if (
+                    attempt > self.max_retries
+                    or not is_transient(error)
+                    or self._shutdown
+                ):
+                    raise
+                _STAGE_RETRIES.inc(stage=stage)
+                delay = min(2.0, self.retry_backoff * (2 ** (attempt - 1)))
+                time.sleep(delay * (0.5 + self._retry_rng.random()))
+
     def _cancelled(self, record: JobRecord) -> bool:
         with record._lock:
             if record.cancel_requested:
                 record.state = "cancelled"
+                record._cond.notify_all()
                 return True
         return False
 
-    def _execute(self, record: JobRecord) -> None:
+    def _execute(self, record: JobRecord, use_pool: bool = True) -> None:
         spec = record.spec
         if spec.query == "variational":
-            self._execute_variational(record)
+            self._execute_variational(record, use_pool=use_pool)
             return
         circuit = spec.build_circuit()
         device = None
@@ -956,7 +1112,7 @@ class JobScheduler:
             workers=spec.workers,
             strategy=spec.strategy,
             seed=spec.seed,
-            worker_pool=self.worker_pool,
+            worker_pool=self.worker_pool if use_pool else None,
             sim_batch=spec.sim_batch,
             fusion_width=spec.fusion_width,
         )
@@ -966,7 +1122,8 @@ class JobScheduler:
             return
         self._advance(record, "cutting")
         began = time.perf_counter()
-        with trace.span("job.cut"):
+
+        def cut_stage() -> None:
             cut_key = pipeline.cut_fingerprint()
             record.set_fingerprint("cut", cut_key)
             self._pin(record, "cut", cut_key)
@@ -978,6 +1135,9 @@ class JobScheduler:
                 cut = pipeline.cut()
                 self.store.put_cut(cut_key, circuit, cut, pipeline.solution)
                 record.set_cache_hit("cut", False)
+
+        with trace.span("job.cut"):
+            self._run_stage(record, "cut", cut_stage)
         record.set_timing("cut", time.perf_counter() - began)
 
         # -- stage 2: evaluate (checkpointed) ---------------------------
@@ -985,7 +1145,8 @@ class JobScheduler:
             return
         self._advance(record, "evaluating")
         began = time.perf_counter()
-        with trace.span("job.evaluate"):
+
+        def evaluate_stage() -> None:
             # shots/seed only shape the tensors when a sampling backend is
             # configured; for the deterministic statevector backend they
             # are inert and would only fragment the warm cache.
@@ -1024,6 +1185,9 @@ class JobScheduler:
                         "num_body_passes": report.num_body_passes,
                         "sim_batch": report.sim_batch,
                     })
+
+        with trace.span("job.evaluate"):
+            self._run_stage(record, "evaluate", evaluate_stage)
         record.set_timing("evaluate", time.perf_counter() - began)
 
         # -- stage 3: query ---------------------------------------------
@@ -1032,11 +1196,15 @@ class JobScheduler:
         self._advance(record, "querying")
         began = time.perf_counter()
         with trace.span("job.query", {"mode": spec.query}):
-            result = self._run_query(pipeline, spec)
+            result = self._run_stage(
+                record, "query", lambda: self._run_query(pipeline, spec)
+            )
         record.set_timing("query", time.perf_counter() - began)
         record.update(result=result, state="done")
 
-    def _execute_variational(self, record: JobRecord) -> None:
+    def _execute_variational(
+        self, record: JobRecord, use_pool: bool = True
+    ) -> None:
         """Server-side SPSA MaxCut loop over one warm
         :class:`~repro.core.variational.VariationalSession`.
 
@@ -1088,7 +1256,7 @@ class JobScheduler:
             workers=spec.workers,
             strategy=spec.strategy,
             seed=spec.seed,
-            worker_pool=self.worker_pool,
+            worker_pool=self.worker_pool if use_pool else None,
             sim_batch=spec.sim_batch,
             fusion_width=spec.fusion_width,
         )
@@ -1098,7 +1266,9 @@ class JobScheduler:
         # Warm-up: first rebind cuts (or restores) and evaluates all.
         self._advance(record, "evaluating")
         with trace.span("job.evaluate"):
-            warmup = session.rebind(flat(theta))
+            warmup = self._run_stage(
+                record, "evaluate", lambda: session.rebind(flat(theta))
+            )
         record.set_cache_hit("cut", bool(session.cut_store_hit))
         record.set_timing("cut", warmup.cut_seconds)
         record.set_timing(

@@ -163,6 +163,9 @@ class JobServer:
         tenants=None,
         journal: bool = True,
         journal_poll: float = 0.25,
+        max_pending: Optional[int] = None,
+        max_retries: int = 2,
+        degrade: bool = True,
     ):
         if scheduler is not None:
             self.store = scheduler.store
@@ -182,8 +185,10 @@ class JobServer:
                 tenants=tenants,
                 journal=journal,
                 journal_poll=journal_poll,
+                max_retries=max_retries,
+                degrade=degrade,
             )
-        self.api = JobServiceAPI(self.scheduler)
+        self.api = JobServiceAPI(self.scheduler, max_pending=max_pending)
 
         api = self.api
 
@@ -191,7 +196,16 @@ class JobServer:
             pass
 
         BoundHandler.api = api
-        self.httpd = ThreadingHTTPServer((host, port), BoundHandler)
+        class BoundServer(ThreadingHTTPServer):
+            pass
+
+        if max_pending is not None:
+            # Bound the TCP accept backlog too, so overload pushes back
+            # at the socket before the typed 503 ever has to.
+            BoundServer.request_queue_size = min(
+                128, max(8, int(max_pending))
+            )
+        self.httpd = BoundServer((host, port), BoundHandler)
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 

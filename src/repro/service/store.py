@@ -65,6 +65,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import chaos
 from ..circuits import QuantumCircuit
 from ..cutting import CutCircuit, CutSolution, SubcircuitResult
 from ..cutting.cutter import cut_circuit_from_assignment
@@ -319,6 +320,10 @@ class ArtifactStore:
     # -- helpers --------------------------------------------------------
     @staticmethod
     def _write_atomic(path: Path, data: bytes) -> None:
+        # Chaos hook: may raise an injected OSError or corrupt the
+        # payload (checksums are computed upstream over the original
+        # content, so corruption surfaces on the next read).
+        data = chaos.on_store_write(data)
         handle, temp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=path.name, suffix=".tmp"
         )
@@ -541,6 +546,7 @@ class ArtifactStore:
         self, key: str, circuit: QuantumCircuit
     ) -> Optional[Tuple[CutCircuit, Optional[CutSolution]]]:
         """Restore a cut for ``circuit``; ``None`` on miss or corruption."""
+        chaos.on_store_read("cut")
         path = self.cut_path(key)
         if not path.exists():
             self._record_miss("cut")
@@ -648,6 +654,7 @@ class ArtifactStore:
     ) -> Optional[List[SubcircuitResult]]:
         """Restore the evaluated tensors of ``cut_circuit``'s subcircuits,
         bit-identical to what was stored; ``None`` on miss or corruption."""
+        chaos.on_store_read("evaluation")
         meta_path, tensor_path = self.evaluation_path(key)
         if not (meta_path.exists() and tensor_path.exists()):
             self._record_miss("evaluation")

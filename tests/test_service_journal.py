@@ -82,6 +82,36 @@ class TestJournalLog:
             stream.write(b',"state":"cutting"}\n')
         assert [e["state"] for e in journal.read_new()] == ["cutting"]
 
+    def test_corrupt_middle_line_is_skipped_counted_and_survived(
+        self, tmp_path
+    ):
+        """A torn line in the *middle* of the log must not hide the
+        records appended after it — skip it, count it, keep reading."""
+        from repro.obs.metrics import get_registry
+
+        torn = get_registry().counter("repro_journal_torn_lines_total")
+        before = torn.value()
+        journal = JobJournal(tmp_path / "jobs")
+        journal.append("submit", "job-1")
+        with open(journal.path, "ab") as stream:
+            stream.write(b'{"type":"state","job_id":"job-1","st\xff\xfe}\n')
+        journal.append("state", "job-1", state="cutting")
+        journal.append("state", "job-1", state="done")
+        events = journal.read_new()
+        assert [e["type"] for e in events] == ["submit", "state", "state"]
+        assert events[-1]["state"] == "done"
+        assert torn.value() == before + 1
+        # The offset advanced past the torn line: no re-count on re-read.
+        assert journal.read_new() == []
+        assert torn.value() == before + 1
+        # A fresh handle replaying the whole log counts it once more but
+        # still recovers every valid record.
+        replayer = JobJournal(tmp_path / "jobs")
+        assert [e["type"] for e in replayer.read_new()] == [
+            "submit", "state", "state"
+        ]
+        assert torn.value() == before + 2
+
     def test_two_handles_share_one_log(self, tmp_path):
         writer = JobJournal(tmp_path / "jobs")
         reader = JobJournal(tmp_path / "jobs")

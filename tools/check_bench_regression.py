@@ -21,6 +21,7 @@ Usage::
 
     python tools/check_bench_regression.py [--results-dir results]
         [--baselines results/baselines.json] [--allow-missing]
+        [--only NAME ...]
 """
 
 from __future__ import annotations
@@ -57,15 +58,27 @@ def main(argv=None) -> int:
         "--allow-missing", action="store_true",
         help="skip benches whose artifact file is absent instead of failing",
     )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="NAME",
+        help="gate only the named bench(es); repeatable",
+    )
     args = parser.parse_args(argv)
 
     results_dir = pathlib.Path(args.results_dir)
     config = json.loads(pathlib.Path(args.baselines).read_text())
     tolerance = float(config.get("tolerance", 0.30))
 
+    benches = config["benches"]
+    if args.only:
+        unknown = sorted(set(args.only) - set(benches))
+        if unknown:
+            print(f"unknown bench name(s): {', '.join(unknown)}")
+            return 2
+        benches = {name: benches[name] for name in args.only}
+
     rows = []
     failures = []
-    for name, spec in sorted(config["benches"].items()):
+    for name, spec in sorted(benches.items()):
         path = results_dir / spec["file"]
         baseline = float(spec["baseline"])
         # An entry may pin its own tolerance — the obs-overhead gate is a
